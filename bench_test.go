@@ -1,0 +1,405 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (§8), plus the ablation benches called out in
+// DESIGN.md §4. Each bench wraps the corresponding runner in
+// internal/experiments at a reduced default scale; the cmd/ tools run the
+// same code at paper scale and print the full tables (see EXPERIMENTS.md
+// for paper-vs-measured shapes).
+//
+// Run everything:  go test -bench=. -benchmem
+package sparcml
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+	"repro/internal/topk"
+	"repro/internal/train"
+)
+
+// --- Figure 1 -------------------------------------------------------------
+
+// BenchmarkFig1ReducedDensity measures the empirical fill-in computation:
+// real TopK gradient supports from a model under training, unioned across
+// simulated nodes.
+func BenchmarkFig1ReducedDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig1Empirical([]int{2, 8, 32}, []float64{0.01, 0.05}, 1)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// --- Figure 3 -------------------------------------------------------------
+
+// BenchmarkFig3NodeSweep measures the left panel: reduction time vs node
+// count at d=0.781% on the Aries profile, all six algorithms.
+func BenchmarkFig3NodeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3NodeSweep(1<<16, 0.0078, []int{2, 4, 8, 16}, simnet.Aries, 1, 1)
+		if len(rows) != 4*len(experiments.Fig3Algorithms) {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkFig3DensitySweep measures the right panel: reduction time vs
+// per-node density at P=8 on the GigE profile.
+func BenchmarkFig3DensitySweep(b *testing.B) {
+	densities := []float64{0.0005, 0.005, 0.05}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3DensitySweep(1<<16, 8, densities, simnet.GigE, 1, 1)
+		if len(rows) != len(densities)*len(experiments.Fig3Algorithms) {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkFig3PerAlgorithm isolates one allreduce per iteration at the
+// Figure 3 operating point, per algorithm — the core measured quantity.
+func BenchmarkFig3PerAlgorithm(b *testing.B) {
+	var n, P = 1 << 18, 8
+	rng := rand.New(rand.NewSource(1))
+	inputs := make([]*stream.Vector, P)
+	for r := range inputs {
+		k := int(0.0078 * float64(n))
+		idx := make([]int32, 0, k)
+		seen := map[int32]bool{}
+		val := make([]float64, 0, k)
+		for len(idx) < k {
+			ix := int32(rng.Intn(n))
+			if !seen[ix] {
+				seen[ix] = true
+				idx = append(idx, ix)
+				val = append(val, rng.NormFloat64())
+			}
+		}
+		inputs[r] = stream.NewSparse(n, idx, val, stream.OpSum)
+	}
+	for _, alg := range experiments.Fig3Algorithms {
+		b.Run(alg.String(), func(b *testing.B) {
+			w := comm.NewWorld(P, simnet.Aries)
+			for i := 0; i < b.N; i++ {
+				comm.Run(w, func(p *comm.Proc) any {
+					return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: alg})
+				})
+			}
+			b.ReportMetric(w.MaxTime()*1e6, "simµs/op")
+		})
+	}
+}
+
+// --- Figure 4 -------------------------------------------------------------
+
+// BenchmarkFig4aCIFARTopK runs the CIFAR-shaped comparison (dense vs TopK
+// 8/512 and 16/512 with 4-bit QSGD).
+func BenchmarkFig4aCIFARTopK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := experiments.Fig4aCIFAR(experiments.DNNScale{Rows: 400, Epochs: 2, P: 4}, 1)
+		if len(series) != 3 {
+			b.Fatal("want 3 series")
+		}
+	}
+}
+
+// BenchmarkFig4bATISLSTM runs the ATIS-shaped LSTM comparison (dense vs
+// TopK 2/512).
+func BenchmarkFig4bATISLSTM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := experiments.Fig4bATIS(experiments.DNNScale{Rows: 200, Epochs: 2, P: 2}, 1)
+		if len(series) != 2 {
+			b.Fatal("want 2 series")
+		}
+	}
+}
+
+// --- Figure 5 -------------------------------------------------------------
+
+// BenchmarkFig5WideResNet runs the wide-residual-network comparison
+// (1000-class head, TopK 1/512 vs dense).
+func BenchmarkFig5WideResNet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := experiments.Fig5Wide(experiments.DNNScale{Rows: 400, Epochs: 1, P: 4}, 1)
+		if len(series) != 2 {
+			b.Fatal("want 2 series")
+		}
+	}
+}
+
+// --- Figure 6 -------------------------------------------------------------
+
+// BenchmarkFig6aASR runs the ASR-shaped workload: BMUF baseline vs TopK at
+// 2x/4x/8x scale.
+func BenchmarkFig6aASR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := experiments.Fig6ASR(experiments.DNNScale{Rows: 320, Epochs: 1, P: 2}, 1)
+		if len(series) != 4 {
+			b.Fatal("want 4 series")
+		}
+	}
+}
+
+// BenchmarkFig6bScalability computes the scalability curve from the ASR
+// runs and reports the largest-scale speedup as a metric.
+func BenchmarkFig6bScalability(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		series := experiments.Fig6ASR(experiments.DNNScale{Rows: 320, Epochs: 1, P: 2}, 1)
+		pts := experiments.Scalability(series[1:])
+		last = pts[len(pts)-1].Speedup
+	}
+	b.ReportMetric(last, "speedup@8x")
+}
+
+// --- Figure 7 -------------------------------------------------------------
+
+// BenchmarkFig7ExpectedK evaluates the closed-form growth surface.
+func BenchmarkFig7ExpectedK(b *testing.B) {
+	ks := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	ps := []int{2, 4, 8, 16, 32, 64}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7Table(ks, ps)
+		if len(rows) != len(ks)*len(ps) {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// --- Table 2 and §8.2 -----------------------------------------------------
+
+// BenchmarkTable2MPIOpt runs one Table 2 row per named system
+// configuration (scaled dataset).
+func BenchmarkTable2MPIOpt(b *testing.B) {
+	cases := experiments.DefaultTable2Cases(0.005)
+	for _, tc := range []experiments.Table2Case{cases[0], cases[5], cases[9]} {
+		tc.Nodes = 4
+		b.Run(fmt.Sprintf("%s/%s", tc.System, tc.Dataset), func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				row := experiments.RunTable2Case(tc, 1, 1)
+				speedup = row.Speedup
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkSCDAllgather runs the coordinate-descent sparse-vs-dense
+// allgather comparison.
+func BenchmarkSCDAllgather(b *testing.B) {
+	var comm float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunSCDExperiment(0.003, 1, 1)
+		comm = res.CommSpeedup
+	}
+	b.ReportMetric(comm, "comm-speedup")
+}
+
+// BenchmarkSparkComparison runs the Spark-like-layer comparison.
+func BenchmarkSparkComparison(b *testing.B) {
+	var f float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunSparkComparison(0.005, 1, 1)
+		f = res.SparseVsSparkComm
+	}
+	b.ReportMetric(f, "comm-speedup-vs-spark")
+}
+
+// --- Ablations (DESIGN.md §4) ----------------------------------------------
+
+// BenchmarkAblationDelta varies the sparse→dense switch threshold δ and
+// measures the simulated SSAR recursive-doubling time: too small a δ
+// densifies early (bandwidth blow-up); the default tracks the volume
+// crossover.
+func BenchmarkAblationDelta(b *testing.B) {
+	const n, P, k = 1 << 16, 8, 1500
+	for _, frac := range []float64{0.05, 0.25, 0.67, 1.0} {
+		b.Run(fmt.Sprintf("delta=%.0f%%N", frac*100), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			inputs := make([]*stream.Vector, P)
+			for r := range inputs {
+				idx := make([]int32, 0, k)
+				seen := map[int32]bool{}
+				val := make([]float64, 0, k)
+				for len(idx) < k {
+					ix := int32(rng.Intn(n))
+					if !seen[ix] {
+						seen[ix] = true
+						idx = append(idx, ix)
+						val = append(val, rng.NormFloat64())
+					}
+				}
+				v := stream.NewSparse(n, idx, val, stream.OpSum)
+				v.SetDelta(int(frac * n))
+				inputs[r] = v
+			}
+			w := comm.NewWorld(P, simnet.GigE)
+			for i := 0; i < b.N; i++ {
+				comm.Run(w, func(p *comm.Proc) any {
+					return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: core.SSARRecDouble})
+				})
+			}
+			b.ReportMetric(w.MaxTime()*1e3, "simms/op")
+		})
+	}
+}
+
+// BenchmarkAblationMerge compares the sorted-merge summation against the
+// hash-accumulate alternative.
+func BenchmarkAblationMerge(b *testing.B) {
+	const n, k = 1 << 20, 20000
+	rng := rand.New(rand.NewSource(5))
+	mk := func() *stream.Vector {
+		idx := make([]int32, 0, k)
+		seen := map[int32]bool{}
+		val := make([]float64, 0, k)
+		for len(idx) < k {
+			ix := int32(rng.Intn(n))
+			if !seen[ix] {
+				seen[ix] = true
+				idx = append(idx, ix)
+				val = append(val, rng.NormFloat64())
+			}
+		}
+		return stream.NewSparse(n, idx, val, stream.OpSum)
+	}
+	x, y := mk(), mk()
+	b.Run("sorted-merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := x.Clone()
+			c.Add(y)
+		}
+	})
+	b.Run("hash-accumulate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := x.Clone()
+			c.AddHash(y)
+		}
+	})
+}
+
+// BenchmarkAblationQuantBits measures the DSAR allreduce at 2/4/8-bit
+// quantization versus full precision.
+func BenchmarkAblationQuantBits(b *testing.B) {
+	const n, P = 1 << 15, 8
+	rng := rand.New(rand.NewSource(7))
+	inputs := make([]*stream.Vector, P)
+	for r := range inputs {
+		vals := make([]float64, n)
+		for i := range vals {
+			if rng.Float64() < 0.3 {
+				vals[i] = rng.NormFloat64()
+			}
+		}
+		inputs[r] = stream.FromDense(vals, stream.OpSum)
+	}
+	run := func(b *testing.B, q *quant.Config) {
+		w := comm.NewWorld(P, simnet.GigE)
+		for i := 0; i < b.N; i++ {
+			comm.Run(w, func(p *comm.Proc) any {
+				return core.Allreduce(p, inputs[p.Rank()], core.Options{
+					Algorithm: core.DSARSplitAllgather, Quant: q, Seed: 1,
+				})
+			})
+		}
+		b.ReportMetric(w.MaxTime()*1e3, "simms/op")
+	}
+	b.Run("fp64", func(b *testing.B) { run(b, nil) })
+	for _, bits := range []int{8, 4, 2} {
+		b.Run(fmt.Sprintf("%dbit", bits), func(b *testing.B) {
+			run(b, &quant.Config{Bits: bits, Bucket: 1024, Norm: quant.NormMax})
+		})
+	}
+}
+
+// BenchmarkAblationBucket varies the TopK bucket size (selection
+// granularity, §8.3).
+func BenchmarkAblationBucket(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	v := make([]float64, 1<<20)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	for _, bucket := range []int{128, 512, 1024} {
+		b.Run(fmt.Sprintf("bucket=%d", bucket), func(b *testing.B) {
+			k := bucket / 128 // constant selected fraction
+			for i := 0; i < b.N; i++ {
+				topk.SparsifyBuckets(v, bucket, k)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNetworkProfile locates the rec-double vs
+// split-allgather crossover across network profiles (α/β ratios).
+func BenchmarkAblationNetworkProfile(b *testing.B) {
+	const n, P, k = 1 << 18, 8, 4000
+	rng := rand.New(rand.NewSource(11))
+	inputs := make([]*stream.Vector, P)
+	for r := range inputs {
+		idx := make([]int32, 0, k)
+		seen := map[int32]bool{}
+		val := make([]float64, 0, k)
+		for len(idx) < k {
+			ix := int32(rng.Intn(n))
+			if !seen[ix] {
+				seen[ix] = true
+				idx = append(idx, ix)
+				val = append(val, rng.NormFloat64())
+			}
+		}
+		inputs[r] = stream.NewSparse(n, idx, val, stream.OpSum)
+	}
+	for _, prof := range []simnet.Profile{simnet.Aries, simnet.InfiniBandFDR, simnet.GigE} {
+		for _, alg := range []core.Algorithm{core.SSARRecDouble, core.SSARSplitAllgather} {
+			b.Run(prof.Name+"/"+alg.String(), func(b *testing.B) {
+				w := comm.NewWorld(P, prof)
+				for i := 0; i < b.N; i++ {
+					comm.Run(w, func(p *comm.Proc) any {
+						return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: alg})
+					})
+				}
+				b.ReportMetric(w.MaxTime()*1e6, "simµs/op")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationErrorFeedback compares TopK training with and without
+// the error-feedback residual; the metric is final top-1 accuracy (the
+// convergence cost of dropping feedback).
+func BenchmarkAblationErrorFeedback(b *testing.B) {
+	run := func(b *testing.B, disable bool) {
+		const P = 4
+		ds := data.SyntheticDense(data.DenseConfig{Rows: 600, Dim: 24, Classes: 4, Sep: 3, Seed: 5})
+		var top1 float64
+		for i := 0; i < b.N; i++ {
+			w := comm.NewWorld(P, simnet.Aries)
+			results := comm.Run(w, func(p *comm.Proc) []train.Point {
+				task := &train.MLPTask{
+					Net:   nn.ResidualMLP(33, 24, 32, 1, 4, 1),
+					Shard: ds.Shard(p.Rank(), P),
+				}
+				return train.Run(p, task, train.Config{
+					Method: train.MethodTopK, LR: 0.0125, BatchPerNode: 32,
+					Epochs: 4, Bucket: 512, K: 8,
+					Algorithm: core.SSARRecDouble, Seed: 1,
+					DisableErrorFeedback: disable,
+				})
+			})
+			top1 = results[0][len(results[0])-1].Top1
+		}
+		b.ReportMetric(top1, "final-top1")
+	}
+	b.Run("with-feedback", func(b *testing.B) { run(b, false) })
+	b.Run("without-feedback", func(b *testing.B) { run(b, true) })
+}

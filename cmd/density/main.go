@@ -1,0 +1,87 @@
+// Command density regenerates the density-analysis figures: Figure 1 (the
+// density of the reduced gradient versus node count and per-node density,
+// analytic and empirical from real model gradients) and Figure 7 (the
+// expected multiplicative growth of the reduced result under uniform
+// sparsity, N=512).
+//
+// Usage:
+//
+//	density -fig 1 [-n 270000] [-empirical]
+//	density -fig 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("density: ")
+	var (
+		fig       = flag.Int("fig", 1, "figure to regenerate: 1 or 7")
+		n         = flag.Int("n", 270000, "model dimension for Figure 1 (~ResNet20 parameter count)")
+		empirical = flag.Bool("empirical", false, "also measure real TopK gradient fill-in (slower)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	switch *fig {
+	case 1:
+		nodes := report.Pow2Range(2, 256)
+		densities := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25}
+		fmt.Printf("# Figure 1: reduced-result density (%%) vs node count and per-node density; N=%d\n", *n)
+		var rows []experiments.Fig1Row
+		if *empirical {
+			rows = experiments.Fig1Empirical(nodes[:6], densities, 1) // empirical capped at P=64
+		} else {
+			rows = experiments.Fig1Grid(*n, nodes, densities)
+		}
+		tb := report.NewTable("per-node-density%", "P", "analytic%", "empirical%")
+		for _, r := range rows {
+			emp := "-"
+			if r.Empirical > 0 {
+				emp = fmt.Sprintf("%.2f", r.Empirical*100)
+			}
+			tb.AddRowRaw(
+				fmt.Sprintf("%.2f", r.PerNodeDensity*100),
+				fmt.Sprint(r.P),
+				fmt.Sprintf("%.2f", r.Analytic*100),
+				emp,
+			)
+		}
+		emit(tb, *csv)
+	case 7:
+		fmt.Println("# Figure 7: expected size growth of the reduced result, uniform distribution, N=512")
+		ks := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+		ps := report.Pow2Range(2, 64)
+		rows := experiments.Fig7Table(ks, ps)
+		tb := report.NewTable("k", "P", "E[K]", "growth E[K]/k")
+		for _, r := range rows {
+			tb.AddRowRaw(
+				fmt.Sprint(r.K),
+				fmt.Sprint(r.P),
+				fmt.Sprintf("%.1f", r.Expected),
+				fmt.Sprintf("%.2f", r.Growth),
+			)
+		}
+		emit(tb, *csv)
+	default:
+		log.Fatalf("unknown figure %d (want 1 or 7)", *fig)
+	}
+}
+
+func emit(tb *report.Table, csv bool) {
+	if csv {
+		if err := tb.WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	tb.Fprint(os.Stdout)
+}

@@ -1,0 +1,95 @@
+// Command dnn regenerates the deep-learning experiments: Figure 4a
+// (CIFAR-shaped residual network, TopK+QSGD vs dense), Figure 4b
+// (ATIS-shaped LSTM, TopK vs dense), Figure 5 (4×-wide residual network on
+// the ImageNet-shaped task, top-1/top-5), and Figure 6 (ASR-shaped LSTM:
+// TopK at growing GPU counts vs the BMUF baseline, plus the scalability
+// curve). Hyperparameters mirror Table 3 at reduced scale.
+//
+// Usage:
+//
+//	dnn -task cifar [-rows 2000] [-epochs 8] [-p 8]
+//	dnn -task atis | wide | asr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dnn: ")
+	var (
+		task   = flag.String("task", "cifar", "experiment: cifar | atis | wide | asr")
+		rows   = flag.Int("rows", 0, "dataset rows (0 = task default)")
+		epochs = flag.Int("epochs", 0, "training epochs (0 = task default)")
+		p      = flag.Int("p", 0, "base rank count (0 = task default)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	sc := experiments.DNNScale{Rows: *rows, Epochs: *epochs, P: *p}
+	if sc.Rows != 0 && (sc.Epochs == 0 || sc.P == 0) {
+		log.Fatal("-rows, -epochs and -p must be set together (or all left default)")
+	}
+
+	var series []experiments.DNNSeries
+	switch *task {
+	case "cifar":
+		fmt.Println("# Figure 4a: train accuracy, sparsified+quantized vs dense SGD (CIFAR-shaped, residual MLP for ResNet-110)")
+		series = experiments.Fig4aCIFAR(sc, *seed)
+	case "atis":
+		fmt.Println("# Figure 4b: train accuracy, LSTM on ATIS-shaped data, topk 2/512 vs dense")
+		series = experiments.Fig4bATIS(sc, *seed)
+	case "wide":
+		fmt.Println("# Figure 5: top-1/top-5 train accuracy, 4x-wide residual net, topk 1/512 vs dense (ImageNet-shaped)")
+		series = experiments.Fig5Wide(sc, *seed)
+	case "asr":
+		fmt.Println("# Figure 6a: CE loss vs simulated time, ASR-shaped LSTM; BMUF baseline vs SparCML topk at 2x/4x/8x GPUs")
+		series = experiments.Fig6ASR(sc, *seed)
+	default:
+		log.Fatalf("unknown task %q", *task)
+	}
+
+	for _, s := range series {
+		fmt.Printf("\n== %s (P=%d, %d params)\n", s.Label, s.P, s.Params)
+		tb := report.NewTable("epoch", "sim-time", "comm-time", "loss", "top1", "top5", "bytes-sent")
+		for _, pt := range s.Points {
+			tb.AddRowRaw(
+				fmt.Sprint(pt.Epoch),
+				report.FormatSeconds(pt.Time),
+				report.FormatSeconds(pt.CommTime),
+				fmt.Sprintf("%.4f", pt.Loss),
+				fmt.Sprintf("%.3f", pt.Top1),
+				fmt.Sprintf("%.3f", pt.Top5),
+				report.FormatBytes(pt.BytesSent),
+			)
+		}
+		emit(tb, *csv)
+	}
+
+	if *task == "asr" {
+		fmt.Println("\n# Figure 6b: scalability (end-of-run speedup vs the smallest SparCML configuration)")
+		tb := report.NewTable("configuration", "P", "sim-time", "speedup")
+		for _, pt := range experiments.Scalability(series[1:]) {
+			tb.AddRowRaw(pt.Label, fmt.Sprint(pt.P), report.FormatSeconds(pt.Time), fmt.Sprintf("%.2f", pt.Speedup))
+		}
+		emit(tb, *csv)
+	}
+}
+
+func emit(tb *report.Table, csv bool) {
+	if csv {
+		if err := tb.WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	tb.Fprint(os.Stdout)
+}

@@ -1,0 +1,85 @@
+// Command mlopt regenerates the large-scale classification experiments of
+// §8.2: Table 2 (distributed SGD with MPI-OPT on URL/Webspam-shaped data,
+// SparCML versus dense MPI), the stochastic-coordinate-descent comparison
+// (sparse versus dense allgather), and the Apache-Spark-layer comparison.
+//
+// Usage:
+//
+//	mlopt -exp table2 [-scale 0.02] [-epochs 3]
+//	mlopt -exp scd    [-scale 0.01]
+//	mlopt -exp spark  [-scale 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mlopt: ")
+	var (
+		exp    = flag.String("exp", "table2", "experiment: table2 | scd | spark")
+		scale  = flag.Float64("scale", 0.02, "dataset scale relative to the paper's (rows and dimension)")
+		epochs = flag.Int("epochs", 3, "epochs per configuration")
+		seed   = flag.Int64("seed", 1, "random seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	switch *exp {
+	case "table2":
+		fmt.Printf("# Table 2: distributed optimization using MPI-OPT (dataset scale %.3f)\n", *scale)
+		fmt.Println("# per-epoch simulated times; communication part in brackets, as in the paper")
+		tb := report.NewTable("system", "dataset", "model", "nodes", "baseline", "algorithm", "algo-time", "speedup", "comm-speedup", "final-acc")
+		for _, tc := range experiments.DefaultTable2Cases(*scale) {
+			row := experiments.RunTable2Case(tc, *epochs, *seed)
+			tb.AddRowRaw(
+				row.System, row.Dataset, row.Model, fmt.Sprint(row.Nodes),
+				fmt.Sprintf("%s (%s)", report.FormatSeconds(row.BaselineTime), report.FormatSeconds(row.BaselineComm)),
+				row.Algorithm.String(),
+				fmt.Sprintf("%s (%s)", report.FormatSeconds(row.AlgoTime), report.FormatSeconds(row.AlgoComm)),
+				fmt.Sprintf("%.2f", row.Speedup),
+				fmt.Sprintf("(%.2f)", row.CommSpeedup),
+				fmt.Sprintf("%.3f", row.FinalAccuracy),
+			)
+		}
+		emit(tb, *csv)
+	case "scd":
+		fmt.Printf("# §8.2 SCD: sparse vs dense allgather, URL-shaped data, 8 nodes, 100 coords/node/iter (scale %.3f)\n", *scale)
+		res := experiments.RunSCDExperiment(*scale, *epochs, *seed)
+		tb := report.NewTable("variant", "epoch-time", "comm-time")
+		tb.AddRowRaw("dense allgather", report.FormatSeconds(res.DenseEpochTime), report.FormatSeconds(res.DenseCommTime))
+		tb.AddRowRaw("sparse allgather", report.FormatSeconds(res.SparseEpochTime), report.FormatSeconds(res.SparseCommTime))
+		emit(tb, *csv)
+		fmt.Printf("\noverall speedup %.2fx (paper: 1.8x); communication speedup %.2fx (paper: 5.3x); final accuracy %.3f\n",
+			res.Speedup, res.CommSpeedup, res.FinalAccuracy)
+	case "spark":
+		fmt.Printf("# §8.2 Spark comparison: URL-shaped SGD, 8 nodes (scale %.3f)\n", *scale)
+		res := experiments.RunSparkComparison(*scale, *epochs, *seed)
+		tb := report.NewTable("layer", "epoch-time", "comm-time")
+		tb.AddRowRaw("Spark-like (dense)", report.FormatSeconds(res.SparkEpoch), report.FormatSeconds(res.SparkComm))
+		tb.AddRowRaw("dense MPI", report.FormatSeconds(res.DenseEpoch), report.FormatSeconds(res.DenseComm))
+		tb.AddRowRaw("SparCML sparse", report.FormatSeconds(res.SparseEpoch), report.FormatSeconds(res.SparseComm))
+		emit(tb, *csv)
+		fmt.Printf("\ncomm speedup vs Spark-like: dense MPI %.1fx (paper on GigE: 12x), SparCML %.1fx (paper: up to 185x on Daint)\n",
+			res.DenseVsSparkComm, res.SparseVsSparkComm)
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func emit(tb *report.Table, csv bool) {
+	if csv {
+		if err := tb.WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	tb.Fprint(os.Stdout)
+}

@@ -1,0 +1,136 @@
+// Command sparbench regenerates the Figure 3 micro-benchmarks: sparse
+// allreduce time versus node count (left panel; paper: Piz Daint, N=16M,
+// d=0.781%) and versus per-node density (right panel; paper: Greina GigE,
+// N=16M, P=8), for all six algorithms.
+//
+// Usage:
+//
+//	sparbench -sweep nodes   [-n 1048576] [-density 0.00781] [-maxp 64] [-profile aries]
+//	sparbench -sweep density [-n 1048576] [-p 8] [-profile gige]
+//	sparbench -csv  # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sparbench: ")
+	var (
+		sweep    = flag.String("sweep", "nodes", "sweep to run: nodes | density")
+		n        = flag.Int("n", 1<<20, "vector dimension N (paper uses 16M; 2^20 default keeps memory modest)")
+		densityF = flag.Float64("density", 0.00781, "per-node density d for the nodes sweep")
+		maxP     = flag.Int("maxp", 64, "largest node count for the nodes sweep")
+		p        = flag.Int("p", 8, "node count for the density sweep")
+		profile  = flag.String("profile", "", "network profile: aries | ib-fdr | gige | spark (default: aries for nodes, gige for density)")
+		gens     = flag.Int("gens", 2, "data generations per cell (paper: 5)")
+		runs     = flag.Int("runs", 3, "runs per generation (paper: 10)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		trace    = flag.Bool("trace", false, "dump a message timeline of one SSAR_Recursive_double allreduce and exit")
+	)
+	flag.Parse()
+
+	if *trace {
+		dumpTrace(*n, *densityF, *p, mustProfile(*profile, "aries"))
+		return
+	}
+
+	var rows []experiments.MicrobenchRow
+	switch *sweep {
+	case "nodes":
+		prof := mustProfile(*profile, "aries")
+		nodes := report.Pow2Range(2, *maxP)
+		fmt.Printf("# Figure 3 (left): reduction time vs node count; N=%d d=%.4f%% profile=%s\n",
+			*n, *densityF*100, prof.Name)
+		rows = experiments.Fig3NodeSweep(*n, *densityF, nodes, prof, *gens, *runs)
+	case "density":
+		prof := mustProfile(*profile, "gige")
+		densities := []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25}
+		fmt.Printf("# Figure 3 (right): reduction time vs density; N=%d P=%d profile=%s\n",
+			*n, *p, prof.Name)
+		rows = experiments.Fig3DensitySweep(*n, *p, densities, prof, *gens, *runs)
+	default:
+		log.Fatalf("unknown sweep %q", *sweep)
+	}
+
+	tb := report.NewTable("algorithm", "P", "density%", "median", "q25", "q75", "result_nnz", "dense?")
+	for _, r := range rows {
+		tb.AddRowRaw(
+			r.Algorithm.String(),
+			fmt.Sprint(r.P),
+			fmt.Sprintf("%.4f", r.Density*100),
+			report.FormatSeconds(r.Median),
+			report.FormatSeconds(r.Q25),
+			report.FormatSeconds(r.Q75),
+			fmt.Sprint(r.ResultNNZ),
+			fmt.Sprint(r.ResultDense),
+		)
+	}
+	if *csv {
+		if err := tb.WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	tb.Fprint(os.Stdout)
+}
+
+// dumpTrace runs one recursive-doubling sparse allreduce with tracing
+// enabled and prints the virtual-time message timeline (the Figure 2
+// schedule, observable directly).
+func dumpTrace(n int, density float64, P int, prof simnet.Profile) {
+	w := comm.NewWorld(P, prof)
+	tr := w.EnableTrace()
+	rng := rand.New(rand.NewSource(1))
+	k := int(density * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	inputs := make([]*stream.Vector, P)
+	for r := range inputs {
+		seen := map[int32]bool{}
+		idx := make([]int32, 0, k)
+		val := make([]float64, 0, k)
+		for len(idx) < k {
+			ix := int32(rng.Intn(n))
+			if !seen[ix] {
+				seen[ix] = true
+				idx = append(idx, ix)
+				val = append(val, rng.NormFloat64())
+			}
+		}
+		inputs[r] = stream.NewSparse(n, idx, val, stream.OpSum)
+	}
+	comm.Run(w, func(p *comm.Proc) any {
+		return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: core.SSARRecDouble})
+	})
+	fmt.Printf("# SSAR_Recursive_double message timeline: N=%d d=%.4f%% P=%d profile=%s\n",
+		n, density*100, P, prof.Name)
+	tr.Dump(os.Stdout)
+	counts, bytes := tr.Rounds()
+	fmt.Printf("\n# rounds: %d; per-round messages %v\n", len(counts), counts)
+	fmt.Printf("# per-round bytes %v (geometric growth under low overlap)\n", bytes)
+}
+
+func mustProfile(name, fallback string) simnet.Profile {
+	if name == "" {
+		name = fallback
+	}
+	prof, err := simnet.ProfileByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return prof
+}

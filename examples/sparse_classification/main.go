@@ -1,0 +1,58 @@
+// Sparse classification: the §8.2 workload in miniature. A URL-shaped
+// high-dimensional sparse dataset is trained with distributed logistic
+// regression (MPI-OPT), once with the dense MPI-style allreduce baseline
+// and once with SparCML sparse collectives — no sparsification or
+// quantization, just exploiting the sparsity the task already has.
+//
+// Run: go run ./examples/sparse_classification
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/mlopt"
+	"repro/internal/simnet"
+)
+
+func main() {
+	const P = 8
+	ds := data.SyntheticSparse(data.SparseConfig{
+		Rows: 4000, Dim: 100000, NNZPerRow: 80,
+		HotFraction: 0.02, ClusterBias: 0.7, NoiseRate: 0.02, Seed: 1,
+	})
+	fmt.Printf("dataset: %d samples, %d features, density %.4f%% (URL-shaped)\n",
+		ds.Rows(), ds.Dim, 100*ds.Density())
+
+	run := func(mode mlopt.CommMode, name string) []mlopt.EpochStats {
+		w := comm.NewWorld(P, simnet.GigE)
+		results := comm.Run(w, func(p *comm.Proc) []mlopt.EpochStats {
+			return mlopt.TrainSGD(p, ds.Shard(p.Rank(), P), mlopt.SGDConfig{
+				Loss: mlopt.Logistic, LR: 1.0, BatchPerNode: 100, Epochs: 3,
+				Mode: mode, Algorithm: core.SSARSplitAllgather, Seed: 7,
+			})
+		})
+		stats := results[0]
+		fmt.Printf("\n%s:\n", name)
+		for _, e := range stats {
+			fmt.Printf("  epoch %d: time %8.2fms (comm %8.2fms)  loss %.4f  acc %.3f\n",
+				e.Epoch, e.Time*1e3, e.CommTime*1e3, e.Loss, e.Accuracy)
+		}
+		return stats
+	}
+
+	dense := run(mlopt.CommDense, "dense MPI baseline (Rabenseifner allreduce)")
+	sparse := run(mlopt.CommSparse, "SparCML (SSAR_Split_allgather)")
+
+	var dT, dC, sT, sC float64
+	for i := range dense {
+		dT += dense[i].Time
+		dC += dense[i].CommTime
+		sT += sparse[i].Time
+		sC += sparse[i].CommTime
+	}
+	fmt.Printf("\nend-to-end speedup %.2fx, communication speedup %.2fx (cf. Table 2: up to 20x/26x on GigE)\n",
+		dT/sT, dC/sC)
+}

@@ -1,0 +1,72 @@
+// TopK SGD: Algorithm 1 end to end. A residual MLP is trained
+// data-parallel on 8 ranks three ways — full dense SGD, TopK 8/512 with
+// error feedback, and TopK 8/512 with 4-bit QSGD quantization — showing
+// that accuracy tracks the dense baseline while the transmitted gradient
+// volume drops by orders of magnitude (the Figure 4a finding).
+//
+// Run: go run ./examples/topk_sgd
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/simnet"
+	"repro/internal/train"
+)
+
+func main() {
+	const P = 8
+	ds := data.SyntheticDense(data.DenseConfig{Rows: 2000, Dim: 64, Classes: 10, Sep: 2.2, Seed: 3})
+
+	mkTask := func(rank int) train.Task {
+		return &train.MLPTask{
+			Net:   nn.ResidualMLP(41, 64, 96, 3, 10, 1),
+			Shard: ds.Shard(rank, P),
+		}
+	}
+
+	run := func(name string, cfg train.Config) {
+		w := comm.NewWorld(P, simnet.Aries)
+		results := comm.Run(w, func(p *comm.Proc) []train.Point {
+			return train.Run(p, mkTask(p.Rank()), cfg)
+		})
+		last := results[0][len(results[0])-1]
+		fmt.Printf("%-28s final top-1 %.3f  loss %.4f  comm %8.2fms  gradient payload %s\n",
+			name, last.Top1, last.Loss, last.CommTime*1e3, formatBytes(last.BytesSent))
+	}
+
+	base := train.Config{
+		LR: 0.05, BatchPerNode: 32, Epochs: 8,
+		Device: simnet.GPUP100, EvalSamples: 256, Seed: 9,
+	}
+
+	dense := base
+	dense.Method = train.MethodDense
+	dense.Momentum = 0.9
+	run("dense 32-bit SGD", dense)
+
+	topk := base
+	topk.Method = train.MethodTopK
+	topk.LR = base.LR / P // Algorithm 1 applies the summed update
+	topk.Bucket, topk.K = 512, 8
+	topk.Algorithm = core.Auto
+	run("TopK 8/512 + error feedback", topk)
+
+	quantized := topk
+	quantized.QuantBits = 4
+	quantized.Algorithm = core.DSARSplitAllgather
+	run("TopK 8/512 + 4-bit QSGD", quantized)
+}
+
+func formatBytes(b int64) string {
+	switch {
+	case b < 1<<20:
+		return fmt.Sprintf("%.0fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	}
+}

@@ -1,0 +1,315 @@
+// Package comm provides the message-passing substrate the collectives run
+// on: an in-process "world" of P ranks (one goroutine each) exchanging
+// tagged messages, in the style of MPI point-to-point communication. It
+// stands in for the MPI runtime the paper builds on (there is no MPI
+// ecosystem for Go), preserving exactly the properties the collective
+// algorithms rely on: ordered, reliable, tagged point-to-point messages
+// between any pair of ranks, plus nonblocking operation via Requests.
+//
+// Every message carries both its payload and its modeled wire size, and is
+// timestamped with the sender's virtual clock; receivers advance their
+// clocks to the α–β-model arrival time (see package simnet). Collective
+// implementations therefore get faithful simulated timings "for free" while
+// moving real data.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simnet"
+)
+
+// Message is a tagged point-to-point message.
+type Message struct {
+	// Src is the sender's rank.
+	Src int
+	// Tag disambiguates concurrent protocols (MPI-style).
+	Tag int
+	// Payload is the application data. Ownership transfers to the receiver:
+	// senders must not mutate a payload after sending.
+	Payload any
+	// Bytes is the modeled wire size used by the α–β cost model.
+	Bytes int
+	// Arrival is the virtual time at which the message is fully received.
+	Arrival float64
+}
+
+// World is a communicator over P ranks.
+type World struct {
+	p       int
+	profile simnet.Profile
+	boxes   []*mailbox
+	times   []float64 // final virtual clock per rank, filled by Run
+
+	msgs  atomic.Int64 // total messages sent since the last reset
+	bytes atomic.Int64 // total modeled payload bytes since the last reset
+
+	// poisoned is set when a rank panics mid-Run so that ranks blocked in
+	// Recv unblock (and re-panic) instead of deadlocking on messages that
+	// will never arrive.
+	poisoned atomic.Bool
+
+	// tracer, when non-nil, records every Send (see trace.go).
+	tracer atomic.Pointer[Tracer]
+}
+
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []Message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// NewWorld creates a world of p ranks communicating under the given
+// network profile.
+func NewWorld(p int, profile simnet.Profile) *World {
+	if p <= 0 {
+		panic("comm: world size must be positive")
+	}
+	w := &World{p: p, profile: profile, boxes: make([]*mailbox, p), times: make([]float64, p)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.p }
+
+// Profile returns the world's network profile.
+func (w *World) Profile() simnet.Profile { return w.profile }
+
+// Times returns each rank's final virtual clock after the last Run: the
+// collective's simulated completion time is the maximum entry.
+func (w *World) Times() []float64 { return w.times }
+
+// TotalMessages returns the number of messages sent since the last
+// ResetCounters, across all ranks. Useful for verifying the analytic
+// message complexity of collective algorithms.
+func (w *World) TotalMessages() int64 { return w.msgs.Load() }
+
+// TotalBytes returns the total modeled payload volume since the last
+// ResetCounters.
+func (w *World) TotalBytes() int64 { return w.bytes.Load() }
+
+// ResetCounters zeroes the message and byte counters.
+func (w *World) ResetCounters() {
+	w.msgs.Store(0)
+	w.bytes.Store(0)
+}
+
+// MaxTime returns the maximum final virtual clock after the last Run.
+func (w *World) MaxTime() float64 {
+	max := 0.0
+	for _, t := range w.times {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Proc is one rank's handle on the world. A Proc is confined to the
+// goroutine running the rank's program (plus any nonblocking-operation
+// goroutines it explicitly forks via Fork).
+type Proc struct {
+	rank    int
+	world   *World
+	clock   simnet.Clock
+	nextTag int
+}
+
+// Rank returns this process's rank in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.world.p }
+
+// Profile returns the network profile.
+func (p *Proc) Profile() simnet.Profile { return p.world.profile }
+
+// Now returns the rank's current virtual time.
+func (p *Proc) Now() float64 { return p.clock.Now() }
+
+// Compute advances the rank's virtual clock by a modeled computation.
+func (p *Proc) Compute(seconds float64) { p.clock.Advance(seconds) }
+
+// Observe advances the rank's virtual clock to time t if later.
+func (p *Proc) Observe(t float64) { p.clock.Observe(t) }
+
+// NextTagBase allocates a fresh tag range for one collective operation.
+// Ranks call collectives in identical program order, so the same base is
+// allocated on every rank; each collective may use [base, base+tagStride).
+func (p *Proc) NextTagBase() int {
+	base := p.nextTag
+	p.nextTag += tagStride
+	return base
+}
+
+// tagStride is the tag space reserved per collective invocation; stages
+// within one collective offset into this range.
+const tagStride = 1 << 20
+
+// Send transmits payload of the given modeled size to rank `to`. The
+// sender's clock advances by the full α+β·bytes transfer (message
+// injection occupies the sender, which is what gives the split phase its
+// (P−1)α latency term in §5.3.2); the receiver will observe the same
+// completion time.
+func (p *Proc) Send(to, tag int, payload any, bytes int) {
+	if to < 0 || to >= p.world.p {
+		panic(fmt.Sprintf("comm: send to invalid rank %d", to))
+	}
+	start := p.clock.Now()
+	cost := p.world.profile.TransferTime(bytes)
+	p.clock.Advance(cost)
+	p.world.msgs.Add(1)
+	p.world.bytes.Add(int64(bytes))
+	if tr := p.world.tracer.Load(); tr != nil {
+		tr.record(TraceEvent{Src: p.rank, Dst: to, Tag: tag, Bytes: bytes,
+			SendTime: start, Arrival: p.clock.Now()})
+	}
+	p.deliver(to, Message{Src: p.rank, Tag: tag, Payload: payload, Bytes: bytes, Arrival: p.clock.Now()})
+}
+
+// SendAt is like Send but stamps the message with an explicit start time
+// (used by nonblocking operations running on a forked clock).
+func (p *Proc) deliver(to int, m Message) {
+	box := p.world.boxes[to]
+	box.mu.Lock()
+	box.pending = append(box.pending, m)
+	box.mu.Unlock()
+	box.cond.Broadcast()
+}
+
+// Recv blocks until a message from rank `from` with the given tag is
+// available, removes it, advances the virtual clock to its arrival time,
+// and returns it. Out-of-order messages (different tags or sources) are
+// left queued, giving MPI-style tag matching.
+func (p *Proc) Recv(from, tag int) Message {
+	box := p.world.boxes[p.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		for i, m := range box.pending {
+			if m.Src == from && m.Tag == tag {
+				box.pending = append(box.pending[:i], box.pending[i+1:]...)
+				p.clock.Observe(m.Arrival)
+				return m
+			}
+		}
+		if p.world.poisoned.Load() {
+			panic("comm: world poisoned by a peer rank's panic")
+		}
+		box.cond.Wait()
+	}
+}
+
+// SendRecv exchanges messages with a peer (both directions use the same
+// tag), the fundamental step of recursive doubling/halving. Send happens
+// first; the pattern is deadlock-free because payloads are buffered.
+func (p *Proc) SendRecv(peer, tag int, payload any, bytes int) Message {
+	p.Send(peer, tag, payload, bytes)
+	return p.Recv(peer, tag)
+}
+
+// Fork creates a detached Proc sharing this rank's identity and mailbox but
+// with an independent clock starting at the current virtual time. Used to
+// run nonblocking collectives: the forked Proc's sends and receives do not
+// advance the parent's clock; Join folds the forked completion time back.
+//
+// Tag ranges must be allocated on the parent (in program order) before
+// forking, so concurrent operations never collide.
+func (p *Proc) Fork() *Proc {
+	f := &Proc{rank: p.rank, world: p.world}
+	f.clock.Observe(p.clock.Now())
+	return f
+}
+
+// Join folds a forked Proc's elapsed virtual time into the parent,
+// modeling perfect computation/communication overlap: the parent's clock
+// becomes max(parent, forked).
+func (p *Proc) Join(f *Proc) {
+	p.clock.Observe(f.clock.Now())
+}
+
+// Barrier synchronizes all ranks (dissemination barrier: ⌈log2 P⌉ rounds),
+// advancing every clock to a common time.
+func (p *Proc) Barrier() {
+	base := p.NextTagBase()
+	n := p.world.p
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		to := (p.rank + dist) % n
+		from := (p.rank - dist + n) % n
+		p.Send(to, base+round, nil, 0)
+		p.Recv(from, base+round)
+	}
+}
+
+// Run executes f on every rank concurrently and returns the per-rank
+// results. Panics on any rank are re-raised on the caller with the rank
+// attached. After Run returns, World.Times holds each rank's final clock.
+func Run[R any](w *World, f func(*Proc) R) []R {
+	w.poisoned.Store(false)
+	results := make([]R, w.p)
+	panics := make([]any, w.p)
+	var wg sync.WaitGroup
+	for r := 0; r < w.p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics[rank] = e
+					// Poison the world and wake every rank blocked in
+					// Recv: their messages will never arrive.
+					w.poisoned.Store(true)
+					for _, b := range w.boxes {
+						b.mu.Lock()
+						b.cond.Broadcast()
+						b.mu.Unlock()
+					}
+				}
+			}()
+			p := &Proc{rank: rank, world: w}
+			results[rank] = f(p)
+			w.times[rank] = p.clock.Now()
+		}(r)
+	}
+	wg.Wait()
+	// Re-raise the root cause, preferring a rank's own panic over the
+	// secondary "world poisoned" panics it triggered in blocked peers.
+	var first any
+	firstRank := -1
+	for rank, e := range panics {
+		if e == nil {
+			continue
+		}
+		if s, ok := e.(string); ok && s == "comm: world poisoned by a peer rank's panic" {
+			if first == nil {
+				first, firstRank = e, rank
+			}
+			continue
+		}
+		first, firstRank = e, rank
+		break
+	}
+	if first != nil {
+		panic(fmt.Sprintf("comm: rank %d panicked: %v", firstRank, first))
+	}
+	// Drain mailboxes so a world can be reused across experiments even if
+	// a protocol intentionally leaves stragglers (none of ours do; this is
+	// defensive hygiene).
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.pending = b.pending[:0]
+		b.mu.Unlock()
+	}
+	return results
+}

@@ -1,0 +1,135 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// Stress and property tests for the matching layer: randomized
+// interleavings of tags, sources, and nonblocking traffic, checked for
+// exactly-once delivery.
+
+func TestRandomTagStorm(t *testing.T) {
+	// Every rank sends a burst of messages with random tags to random
+	// peers, then receives exactly what it was sent, in randomized order.
+	const P = 8
+	const perRank = 50
+	w := NewWorld(P, simnet.Profile{})
+	rng := rand.New(rand.NewSource(99))
+	// Precompute the traffic matrix so receivers know what to expect.
+	type msg struct{ to, tag, payload int }
+	plan := make([][]msg, P)
+	expect := make([]map[int][]msg, P) // receiver → sender → messages in order
+	for r := range expect {
+		expect[r] = map[int][]msg{}
+	}
+	for src := 0; src < P; src++ {
+		for i := 0; i < perRank; i++ {
+			m := msg{to: rng.Intn(P), tag: rng.Intn(5), payload: src*1000 + i}
+			plan[src] = append(plan[src], m)
+			expect[m.to][src] = append(expect[m.to][src], m)
+		}
+	}
+	results := Run(w, func(p *Proc) int {
+		for _, m := range plan[p.Rank()] {
+			p.Send(m.to, m.tag, m.payload, 0)
+		}
+		// Receive per (source, tag) in matching order: within one source
+		// and tag FIFO must hold; across tags order is free.
+		got := 0
+		mine := expect[p.Rank()]
+		// Shuffle the receive order of (src, tag) pairs to stress the
+		// out-of-order buffer.
+		type key struct{ src, tag int }
+		var keys []key
+		for src, ms := range mine {
+			seen := map[int]bool{}
+			for _, m := range ms {
+				if !seen[m.tag] {
+					seen[m.tag] = true
+					keys = append(keys, key{src, m.tag})
+				}
+			}
+		}
+		rr := rand.New(rand.NewSource(int64(p.Rank()) + 7))
+		rr.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		for _, k := range keys {
+			for _, m := range mine[k.src] {
+				if m.tag != k.tag {
+					continue
+				}
+				recv := p.Recv(k.src, k.tag)
+				if recv.Payload.(int) != m.payload {
+					panic("FIFO within (src,tag) violated")
+				}
+				got++
+			}
+		}
+		return got
+	})
+	total := 0
+	for _, g := range results {
+		total += g
+	}
+	if total != P*perRank {
+		t.Fatalf("delivered %d messages, want %d", total, P*perRank)
+	}
+}
+
+func TestConcurrentForkTraffic(t *testing.T) {
+	// Several forked Procs per rank exchange concurrently on distinct tag
+	// ranges — the nonblocking-collective pattern under contention.
+	const P = 4
+	const forks = 6
+	w := NewWorld(P, simnet.Profile{Alpha: 1e-7})
+	Run(w, func(p *Proc) any {
+		bases := make([]int, forks)
+		for i := range bases {
+			bases[i] = p.NextTagBase()
+		}
+		done := make(chan int, forks)
+		for i := 0; i < forks; i++ {
+			f := p.Fork()
+			go func(f *Proc, base, i int) {
+				peer := f.Rank() ^ 1
+				m := f.SendRecv(peer, base, f.Rank()*100+i, 8)
+				done <- m.Payload.(int)
+			}(f, bases[i], i)
+		}
+		seen := map[int]bool{}
+		for i := 0; i < forks; i++ {
+			seen[<-done] = true
+		}
+		if len(seen) != forks {
+			panic("lost or duplicated fork exchanges")
+		}
+		return nil
+	})
+}
+
+func TestCountersAcrossRuns(t *testing.T) {
+	w := NewWorld(2, simnet.Profile{})
+	Run(w, func(p *Proc) any {
+		p.Send(1-p.Rank(), 0, nil, 100)
+		p.Recv(1-p.Rank(), 0)
+		return nil
+	})
+	if w.TotalMessages() != 2 || w.TotalBytes() != 200 {
+		t.Fatalf("counters = %d msgs / %d bytes, want 2 / 200", w.TotalMessages(), w.TotalBytes())
+	}
+	// Counters accumulate across Runs until reset.
+	Run(w, func(p *Proc) any {
+		p.Send(1-p.Rank(), 0, nil, 50)
+		p.Recv(1-p.Rank(), 0)
+		return nil
+	})
+	if w.TotalMessages() != 4 || w.TotalBytes() != 300 {
+		t.Fatalf("accumulated counters wrong: %d / %d", w.TotalMessages(), w.TotalBytes())
+	}
+	w.ResetCounters()
+	if w.TotalMessages() != 0 || w.TotalBytes() != 0 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,106 @@
+package comm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// TraceEvent records one message for post-hoc analysis of a collective's
+// communication schedule: who sent what to whom, when (virtual time), and
+// how large it was. Tracing is how the micro-benchmarks' per-stage payload
+// growth (Figure 2) can be inspected directly.
+type TraceEvent struct {
+	// Src and Dst are ranks.
+	Src, Dst int
+	// Tag is the message tag.
+	Tag int
+	// Bytes is the modeled payload size.
+	Bytes int
+	// SendTime and Arrival are virtual times in seconds.
+	SendTime, Arrival float64
+}
+
+// Tracer collects TraceEvents from a world. Safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// EnableTrace attaches a tracer to the world; every subsequent Send is
+// recorded until DisableTrace. Returns the tracer.
+func (w *World) EnableTrace() *Tracer {
+	t := &Tracer{}
+	w.tracer.Store(t)
+	return t
+}
+
+// DisableTrace detaches the tracer.
+func (w *World) DisableTrace() {
+	w.tracer.Store((*Tracer)(nil))
+}
+
+func (t *Tracer) record(e TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns the recorded events sorted by send time (ties by src).
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]TraceEvent(nil), t.events...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SendTime != out[j].SendTime {
+			return out[i].SendTime < out[j].SendTime
+		}
+		return out[i].Src < out[j].Src
+	})
+	return out
+}
+
+// Reset clears recorded events.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.mu.Unlock()
+}
+
+// TotalBytes sums the traced payload volume.
+func (t *Tracer) TotalBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total int64
+	for _, e := range t.events {
+		total += int64(e.Bytes)
+	}
+	return total
+}
+
+// Rounds groups events into communication rounds by distinct send times
+// (virtual-time-synchronous algorithms produce one cluster per stage) and
+// returns per-round message counts and byte totals.
+func (t *Tracer) Rounds() (counts []int, bytes []int64) {
+	events := t.Events()
+	var lastT float64 = -1
+	for _, e := range events {
+		if len(counts) == 0 || e.SendTime != lastT {
+			counts = append(counts, 0)
+			bytes = append(bytes, 0)
+			lastT = e.SendTime
+		}
+		counts[len(counts)-1]++
+		bytes[len(bytes)-1] += int64(e.Bytes)
+	}
+	return counts, bytes
+}
+
+// Dump writes a human-readable timeline.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, e := range t.Events() {
+		fmt.Fprintf(w, "%12.3fµs  %2d → %2d  tag=%-8d %8dB  arrives %12.3fµs\n",
+			e.SendTime*1e6, e.Src, e.Dst, e.Tag, e.Bytes, e.Arrival*1e6)
+	}
+}

@@ -1,0 +1,92 @@
+package comm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func TestTracerRecordsAllSends(t *testing.T) {
+	w := NewWorld(2, simnet.Profile{Alpha: 1e-6})
+	tr := w.EnableTrace()
+	Run(w, func(p *Proc) any {
+		p.Send(1-p.Rank(), 3, nil, 64)
+		p.Recv(1-p.Rank(), 3)
+		return nil
+	})
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(events))
+	}
+	for _, e := range events {
+		if e.Bytes != 64 || e.Tag != 3 {
+			t.Fatalf("bad event %+v", e)
+		}
+		if e.Arrival <= e.SendTime {
+			t.Fatal("arrival must follow send")
+		}
+	}
+	if tr.TotalBytes() != 128 {
+		t.Fatalf("TotalBytes = %d, want 128", tr.TotalBytes())
+	}
+}
+
+func TestTracerDisable(t *testing.T) {
+	w := NewWorld(2, simnet.Profile{})
+	tr := w.EnableTrace()
+	w.DisableTrace()
+	Run(w, func(p *Proc) any {
+		p.Send(1-p.Rank(), 0, nil, 8)
+		p.Recv(1-p.Rank(), 0)
+		return nil
+	})
+	if len(tr.Events()) != 0 {
+		t.Fatal("tracer recorded after disable")
+	}
+}
+
+func TestTracerRoundsShowPayloadDoubling(t *testing.T) {
+	// Recursive-doubling style traffic: every rank exchanges 100B, then
+	// 200B. Rounds must cluster by virtual send time with doubling bytes.
+	w := NewWorld(4, simnet.Profile{Alpha: 1e-6})
+	tr := w.EnableTrace()
+	Run(w, func(p *Proc) any {
+		p.SendRecv(p.Rank()^1, 0, nil, 100)
+		p.SendRecv(p.Rank()^2, 1, nil, 200)
+		return nil
+	})
+	counts, byteTotals := tr.Rounds()
+	if len(counts) != 2 {
+		t.Fatalf("got %d rounds, want 2: %v", len(counts), counts)
+	}
+	if counts[0] != 4 || counts[1] != 4 {
+		t.Fatalf("round message counts %v, want [4 4]", counts)
+	}
+	if byteTotals[0] != 400 || byteTotals[1] != 800 {
+		t.Fatalf("round bytes %v, want [400 800]", byteTotals)
+	}
+}
+
+func TestTracerDumpAndReset(t *testing.T) {
+	w := NewWorld(2, simnet.Profile{Alpha: 1e-6})
+	tr := w.EnableTrace()
+	Run(w, func(p *Proc) any {
+		if p.Rank() == 0 {
+			p.Send(1, 7, nil, 32)
+		} else {
+			p.Recv(0, 7)
+		}
+		return nil
+	})
+	var buf bytes.Buffer
+	tr.Dump(&buf)
+	if !strings.Contains(buf.String(), "0 →  1") {
+		t.Fatalf("dump missing edge: %q", buf.String())
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Fatal("reset failed")
+	}
+}

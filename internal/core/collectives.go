@@ -1,0 +1,129 @@
+package core
+
+import (
+	"repro/internal/comm"
+	"repro/internal/stream"
+)
+
+// This file rounds out the MPI collective surface over sparse streams
+// beyond allreduce/allgather: rooted reduce, gather and scatter, a public
+// reduce-scatter (the split phase of §5.3.2), and a sparse all-to-all.
+// These are the operations the paper's interface ("SPARCML provides a
+// similar interface to that of standard MPI calls, with the caveat that
+// the data representation is assumed to be a sparse stream", §7) implies,
+// and they reuse the same stream merge machinery.
+
+// Reduce combines every rank's vector at the root via a binomial tree
+// (log2(P) rounds) and returns the reduction at the root; other ranks
+// return nil. The paper's allreduce could be composed as Reduce + Bcast
+// ("the nodes could collaborate to compute the result at a single node
+// (reduce) followed by a broadcast", §5.3).
+func Reduce(p *comm.Proc, v *stream.Vector, root int) *stream.Vector {
+	base := p.NextTagBase()
+	rank, P := p.Rank(), p.Size()
+	vrank := (rank - root + P) % P
+	acc := v.Clone()
+
+	// Binomial tree, ascending distances: at round d, a virtual rank whose
+	// d-bit is set (all lower bits are zero or it would have exited
+	// earlier) sends its accumulation to vrank−d and leaves; otherwise it
+	// receives from vrank+d when that rank exists.
+	for d := 1; d < P; d *= 2 {
+		if vrank&d != 0 {
+			dst := (vrank - d + root) % P
+			p.Send(dst, base+d, acc, acc.WireBytes())
+			return nil
+		}
+		if vrank+d < P {
+			src := (vrank + d + root) % P
+			in := p.Recv(src, base+d).Payload.(*stream.Vector)
+			mergeCharged(p, acc, in)
+		}
+	}
+	if rank == root {
+		return acc
+	}
+	return nil
+}
+
+// ReduceScatterSparse partitions the dimension space uniformly across
+// ranks and returns this rank's fully reduced partition as a sparse
+// stream — the split phase of SSAR/DSAR Split allgather (§5.3.2) exposed
+// as a standalone collective.
+func ReduceScatterSparse(p *comm.Proc, v *stream.Vector) *stream.Vector {
+	return splitPhase(p, v, p.NextTagBase())
+}
+
+// GatherSparse collects every rank's (disjoint) sparse vector at the root
+// via a binomial tree of concatenations. Non-root ranks return nil.
+func GatherSparse(p *comm.Proc, mine *stream.Vector, root int) *stream.Vector {
+	base := p.NextTagBase()
+	rank, P := p.Rank(), p.Size()
+	vrank := (rank - root + P) % P
+	acc := mine.Clone()
+
+	for d := 1; d < P; d *= 2 {
+		if vrank&d != 0 {
+			dst := (vrank - d + root) % P
+			p.Send(dst, base+d, acc, acc.WireBytes())
+			return nil
+		}
+		if vrank+d < P {
+			src := (vrank + d + root) % P
+			in := p.Recv(src, base+d).Payload.(*stream.Vector)
+			concatCharged(p, acc, in)
+		}
+	}
+	if rank == root {
+		return acc
+	}
+	return nil
+}
+
+// ScatterRanges splits the root's vector by the uniform dimension
+// partition and sends each rank its slice; every rank (including the
+// root) returns its partition as a sparse stream over the full universe.
+// n and op must be provided on non-root ranks (they have no input).
+func ScatterRanges(p *comm.Proc, v *stream.Vector, root, n int, op stream.Op) *stream.Vector {
+	base := p.NextTagBase()
+	rank, P := p.Rank(), p.Size()
+	if rank == root {
+		if v == nil {
+			panic("core: root must provide a vector to ScatterRanges")
+		}
+		for r := 0; r < P; r++ {
+			if r == rank {
+				continue
+			}
+			lo, hi := partition(v.Dim(), P, r)
+			piece := v.ExtractRange(lo, hi)
+			p.Send(r, base, piece, piece.WireBytes())
+		}
+		lo, hi := partition(v.Dim(), P, rank)
+		return v.ExtractRange(lo, hi)
+	}
+	return p.Recv(root, base).Payload.(*stream.Vector).Clone()
+}
+
+// AlltoallSparse sends pieces[r] to rank r and returns the P pieces
+// received, indexed by source rank (the direct exchange pattern of the
+// split phase, generalized to arbitrary per-destination payloads).
+// pieces[p.Rank()] is returned unchanged in its slot.
+func AlltoallSparse(p *comm.Proc, pieces []*stream.Vector) []*stream.Vector {
+	base := p.NextTagBase()
+	rank, P := p.Rank(), p.Size()
+	if len(pieces) != P {
+		panic("core: AlltoallSparse needs one piece per rank")
+	}
+	out := make([]*stream.Vector, P)
+	out[rank] = pieces[rank]
+	for off := 1; off < P; off++ {
+		to := (rank + off) % P
+		p.Send(to, base+rank, pieces[to], pieces[to].WireBytes())
+	}
+	for off := 1; off < P; off++ {
+		from := (rank - off + P) % P
+		out[from] = p.Recv(from, base+from).Payload.(*stream.Vector)
+	}
+	return out
+}

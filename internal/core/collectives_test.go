@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/stream"
+)
+
+func TestReduceToEveryRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, P := range []int{1, 2, 3, 5, 8} {
+		inputs := patterns[0].gen(rng, 200, 15, P)
+		want := refSum(inputs)
+		for root := 0; root < P; root++ {
+			w := comm.NewWorld(P, testProfile)
+			results := comm.Run(w, func(p *comm.Proc) *stream.Vector {
+				return Reduce(p, inputs[p.Rank()], root)
+			})
+			for r, res := range results {
+				if r != root {
+					if res != nil {
+						t.Fatalf("P=%d root=%d: non-root rank %d returned a result", P, root, r)
+					}
+					continue
+				}
+				got := res.ToDense()
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("P=%d root=%d coord=%d: got %g want %g", P, root, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReducePlusBcastEqualsAllreduce(t *testing.T) {
+	// §5.3's composition note: reduce followed by broadcast must agree
+	// with every allreduce implementation.
+	rng := rand.New(rand.NewSource(63))
+	P := 8
+	inputs := patterns[3].gen(rng, 500, 40, P)
+	w := comm.NewWorld(P, testProfile)
+	composed := comm.Run(w, func(p *comm.Proc) []float64 {
+		red := Reduce(p, inputs[p.Rank()], 0)
+		var dense []float64
+		if red != nil {
+			dense = red.ToDense()
+		}
+		return Bcast(p, dense, 0, stream.DefaultValueBytes)
+	})
+	direct := runAllreduce(t, P, inputs, Options{Algorithm: SSARRecDouble})
+	for r := range composed {
+		got := direct[r].ToDense()
+		for i := range got {
+			if composed[r][i] != got[i] {
+				t.Fatalf("rank %d coord %d: reduce+bcast %g vs allreduce %g", r, i, composed[r][i], got[i])
+			}
+		}
+	}
+}
+
+func TestReduceScatterSparseOwnsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	P, n := 4, 400
+	inputs := patterns[0].gen(rng, n, 30, P)
+	want := refSum(inputs)
+	w := comm.NewWorld(P, testProfile)
+	results := comm.Run(w, func(p *comm.Proc) *stream.Vector {
+		return ReduceScatterSparse(p, inputs[p.Rank()])
+	})
+	for r, res := range results {
+		lo, hi := partition(n, P, r)
+		for i := 0; i < n; i++ {
+			wantV := 0.0
+			if i >= lo && i < hi {
+				wantV = want[i]
+			}
+			if res.Get(i) != wantV {
+				t.Fatalf("rank %d coord %d: got %g want %g", r, i, res.Get(i), wantV)
+			}
+		}
+	}
+}
+
+func TestGatherSparse(t *testing.T) {
+	for _, P := range []int{2, 3, 8} {
+		n := 100
+		w := comm.NewWorld(P, testProfile)
+		results := comm.Run(w, func(p *comm.Proc) *stream.Vector {
+			mine := stream.NewSparse(n, []int32{int32(p.Rank() * 3)}, []float64{float64(p.Rank() + 1)}, stream.OpSum)
+			return GatherSparse(p, mine, 0)
+		})
+		for r, res := range results {
+			if r != 0 {
+				if res != nil {
+					t.Fatalf("P=%d: non-root rank %d returned a result", P, r)
+				}
+				continue
+			}
+			if res.NNZ() != P {
+				t.Fatalf("P=%d: root gathered %d entries, want %d", P, res.NNZ(), P)
+			}
+			for i := 0; i < P; i++ {
+				if res.Get(3*i) != float64(i+1) {
+					t.Fatalf("P=%d: coord %d = %g", P, 3*i, res.Get(3*i))
+				}
+			}
+		}
+	}
+}
+
+func TestScatterRangesRoundTripsWithGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	P, n := 4, 200
+	full := randSparse(rng, n, 40)
+	w := comm.NewWorld(P, testProfile)
+	results := comm.Run(w, func(p *comm.Proc) *stream.Vector {
+		var v *stream.Vector
+		if p.Rank() == 1 {
+			v = full
+		}
+		piece := ScatterRanges(p, v, 1, n, stream.OpSum)
+		// Each piece must lie within this rank's partition.
+		lo, hi := partition(n, P, p.Rank())
+		if piece.NNZ() > 0 {
+			idx, _ := piece.Pairs()
+			for _, ix := range idx {
+				if int(ix) < lo || int(ix) >= hi {
+					panic("scattered entry outside partition")
+				}
+			}
+		}
+		return GatherSparse(p, piece, 1)
+	})
+	if !results[1].Equal(full) {
+		t.Fatal("scatter→gather did not round-trip the vector")
+	}
+}
+
+func TestAlltoallSparse(t *testing.T) {
+	P, n := 4, 64
+	w := comm.NewWorld(P, testProfile)
+	results := comm.Run(w, func(p *comm.Proc) []*stream.Vector {
+		pieces := make([]*stream.Vector, P)
+		for to := 0; to < P; to++ {
+			// Encode (src, dst) in the payload: coordinate src·P+dst.
+			pieces[to] = stream.NewSparse(n, []int32{int32(p.Rank()*P + to)}, []float64{1}, stream.OpSum)
+		}
+		return AlltoallSparse(p, pieces)
+	})
+	for dst, recv := range results {
+		for src, piece := range recv {
+			if piece.Get(src*P+dst) != 1 {
+				t.Fatalf("dst %d: piece from src %d wrong", dst, src)
+			}
+		}
+	}
+}
+
+func TestAlltoallSparsePanicsOnWrongLen(t *testing.T) {
+	w := comm.NewWorld(2, testProfile)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	comm.Run(w, func(p *comm.Proc) any {
+		return AlltoallSparse(p, make([]*stream.Vector, 1))
+	})
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/stream"
+)
+
+// These tests pin the *message complexity* of each algorithm — the number
+// of point-to-point messages the analysis of §5.3 counts — using the
+// world's message counters. A regression here means the latency terms
+// L1(P) and L2(P) no longer hold.
+
+func countMessages(t *testing.T, P int, inputs []*stream.Vector, f func(p *comm.Proc) any) (int64, int64) {
+	t.Helper()
+	w := comm.NewWorld(P, testProfile)
+	w.ResetCounters()
+	comm.Run(w, f)
+	return w.TotalMessages(), w.TotalBytes()
+}
+
+func TestMessageComplexityRecDouble(t *testing.T) {
+	// P ranks × log2(P) stages, one message each way per stage pair →
+	// P·log2(P) messages total.
+	rng := rand.New(rand.NewSource(81))
+	P := 8
+	inputs := patterns[0].gen(rng, 500, 10, P)
+	msgs, _ := countMessages(t, P, inputs, func(p *comm.Proc) any {
+		return Allreduce(p, inputs[p.Rank()], Options{Algorithm: SSARRecDouble})
+	})
+	if want := int64(P * 3); msgs != want {
+		t.Fatalf("rec-double P=8: %d messages, want %d", msgs, want)
+	}
+}
+
+func TestMessageComplexitySplitAllgather(t *testing.T) {
+	// Split phase: P·(P−1) direct messages; allgather: P·log2(P).
+	rng := rand.New(rand.NewSource(83))
+	P := 8
+	inputs := patterns[0].gen(rng, 500, 10, P)
+	msgs, _ := countMessages(t, P, inputs, func(p *comm.Proc) any {
+		return Allreduce(p, inputs[p.Rank()], Options{Algorithm: SSARSplitAllgather})
+	})
+	if want := int64(P*(P-1) + P*3); msgs != want {
+		t.Fatalf("split-allgather P=8: %d messages, want %d", msgs, want)
+	}
+}
+
+func TestMessageComplexityRing(t *testing.T) {
+	// Reduce-scatter ring + allgather ring: 2·P·(P−1) messages.
+	rng := rand.New(rand.NewSource(85))
+	P := 8
+	inputs := patterns[0].gen(rng, 500, 10, P)
+	for _, alg := range []Algorithm{DenseRing, RingSparse} {
+		msgs, _ := countMessages(t, P, inputs, func(p *comm.Proc) any {
+			return Allreduce(p, inputs[p.Rank()], Options{Algorithm: alg})
+		})
+		if want := int64(2 * P * (P - 1)); msgs != want {
+			t.Fatalf("%s P=8: %d messages, want %d", alg, msgs, want)
+		}
+	}
+}
+
+func TestMessageComplexityBcastAndBarrier(t *testing.T) {
+	P := 8
+	w := comm.NewWorld(P, testProfile)
+	comm.Run(w, func(p *comm.Proc) any {
+		var x []float64
+		if p.Rank() == 0 {
+			x = []float64{1}
+		}
+		return Bcast(p, x, 0, 8)
+	})
+	if msgs := w.TotalMessages(); msgs != int64(P-1) {
+		t.Fatalf("bcast P=8: %d messages, want %d", msgs, P-1)
+	}
+	w.ResetCounters()
+	comm.Run(w, func(p *comm.Proc) any {
+		p.Barrier()
+		return nil
+	})
+	if msgs := w.TotalMessages(); msgs != int64(P*3) {
+		t.Fatalf("dissemination barrier P=8: %d messages, want %d", msgs, P*3)
+	}
+}
+
+func TestMessageComplexityReduce(t *testing.T) {
+	// Binomial tree: P−1 messages.
+	rng := rand.New(rand.NewSource(87))
+	for _, P := range []int{2, 5, 8} {
+		inputs := patterns[0].gen(rng, 200, 5, P)
+		msgs, _ := countMessages(t, P, inputs, func(p *comm.Proc) any {
+			return Reduce(p, inputs[p.Rank()], 0)
+		})
+		if want := int64(P - 1); msgs != want {
+			t.Fatalf("reduce P=%d: %d messages, want %d", P, msgs, want)
+		}
+	}
+}
+
+func TestCommunicationVolumeSparseVsDense(t *testing.T) {
+	// At 0.1% density the sparse algorithms must move orders of magnitude
+	// fewer bytes than the dense baseline.
+	rng := rand.New(rand.NewSource(89))
+	P, n := 8, 1<<18
+	inputs := patterns[0].gen(rng, n, n/1000, P)
+	_, sparseBytes := countMessages(t, P, inputs, func(p *comm.Proc) any {
+		return Allreduce(p, inputs[p.Rank()], Options{Algorithm: SSARSplitAllgather})
+	})
+	_, denseBytes := countMessages(t, P, inputs, func(p *comm.Proc) any {
+		return Allreduce(p, inputs[p.Rank()], Options{Algorithm: DenseRabenseifner})
+	})
+	if ratio := float64(denseBytes) / float64(sparseBytes); ratio < 20 {
+		t.Fatalf("dense/sparse volume ratio %.1f, want ≥20 at 0.1%% density", ratio)
+	}
+}

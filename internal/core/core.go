@@ -1,0 +1,180 @@
+// Package core implements the paper's primary contribution: sparse
+// collective communication algorithms over sparse streams (§5.3).
+//
+// Three sparse allreduce algorithms are provided, matching the paper:
+//
+//   - SSAR_Recursive_double — recursive doubling over sparse streams, best
+//     when the reduced data is small and latency dominates (§5.3.1).
+//   - SSAR_Split_allgather — a split (reduce-scatter by dimension
+//     partition) phase followed by a sparse concatenating allgather, best
+//     for large data whose result stays sparse (§5.3.2).
+//   - DSAR_Split_allgather — the dynamic variant: the split phase stays
+//     sparse, then each partition switches to a dense representation
+//     (optionally QSGD-quantized, §6) for a dense allgather (§5.3.3).
+//
+// Dense baselines (recursive doubling, Rabenseifner, ring) and sparse/dense
+// allgathers are included, as are nonblocking variants of everything, and
+// an Auto mode implementing the paper's selection guidance.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/density"
+	"repro/internal/quant"
+	"repro/internal/stream"
+)
+
+// Algorithm selects the allreduce implementation.
+type Algorithm int
+
+const (
+	// Auto picks an algorithm from the paper's guidance: estimate the
+	// reduced size E[K] under uniform sparsity; if it exceeds δ use
+	// DSARSplitAllgather, otherwise recursive doubling for small data and
+	// SSARSplitAllgather for large data.
+	Auto Algorithm = iota
+	// SSARRecDouble is static sparse allreduce by recursive doubling.
+	SSARRecDouble
+	// SSARSplitAllgather is static sparse allreduce by dimension split +
+	// sparse allgather.
+	SSARSplitAllgather
+	// DSARSplitAllgather is dynamic sparse allreduce: sparse split phase,
+	// dense (optionally quantized) allgather phase.
+	DSARSplitAllgather
+	// DenseRecDouble is the dense recursive-doubling baseline.
+	DenseRecDouble
+	// DenseRabenseifner is the dense reduce-scatter + allgather baseline
+	// used by MPI libraries for large messages.
+	DenseRabenseifner
+	// DenseRing is the ring allreduce baseline.
+	DenseRing
+	// RingSparse is the sparse counterpart of the ring allreduce shown in
+	// the Figure 3 micro-benchmarks.
+	RingSparse
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "Auto"
+	case SSARRecDouble:
+		return "SSAR_Recursive_double"
+	case SSARSplitAllgather:
+		return "SSAR_Split_allgather"
+	case DSARSplitAllgather:
+		return "DSAR_Split_allgather"
+	case DenseRecDouble:
+		return "Dense_Recursive_double"
+	case DenseRabenseifner:
+		return "Dense_Rabenseifner"
+	case DenseRing:
+		return "Dense_Ring"
+	case RingSparse:
+		return "Ring_sparse"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures an allreduce.
+type Options struct {
+	// Algorithm selects the implementation; Auto applies the paper's
+	// selection heuristic.
+	Algorithm Algorithm
+	// Quant, when non-nil, enables QSGD quantization of the dense allgather
+	// stage of DSARSplitAllgather ("we employ the low-precision data
+	// representation only in the second part of the DSAR Split allgather
+	// algorithm", §6). Ignored by other algorithms.
+	Quant *quant.Config
+	// Seed drives the stochastic quantization; combined with the rank that
+	// owns each partition so encodings are deterministic yet independent.
+	Seed int64
+	// SmallDataBytes is the Auto-mode threshold between the latency-bound
+	// regime (recursive doubling) and the bandwidth-bound regime (split
+	// allgather). Zero means DefaultSmallDataBytes.
+	SmallDataBytes int
+}
+
+// DefaultSmallDataBytes is the Auto-mode small/large message boundary,
+// mirroring MPI's long-message switch (Thakur & Gropp use 64 KiB⋅class
+// thresholds).
+const DefaultSmallDataBytes = 64 << 10
+
+// Allreduce performs a sparse allreduce of v across all ranks and returns
+// the reduced vector (every rank returns an equal vector). v is not
+// modified. The reduction operation is v.Op().
+func Allreduce(p *comm.Proc, v *stream.Vector, opts Options) *stream.Vector {
+	base := p.NextTagBase()
+	return allreduceTagged(p, v, opts, base)
+}
+
+func allreduceTagged(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Vector {
+	switch resolve(p, v, opts, base) {
+	case SSARRecDouble:
+		return ssarRecDouble(p, v, base)
+	case SSARSplitAllgather:
+		return ssarSplitAllgather(p, v, base)
+	case DSARSplitAllgather:
+		return dsarSplitAllgather(p, v, opts, base)
+	case DenseRecDouble:
+		return stream.NewDense(AllreduceDenseRecDouble(p, v.ToDense(), v.Op(), v.ValueBytes(), base), v.Op())
+	case DenseRabenseifner:
+		return stream.NewDense(AllreduceRabenseifner(p, v.ToDense(), v.Op(), v.ValueBytes(), base), v.Op())
+	case DenseRing:
+		return stream.NewDense(AllreduceRing(p, v.ToDense(), v.Op(), v.ValueBytes(), base), v.Op())
+	case RingSparse:
+		return ringSparse(p, v, base)
+	default:
+		panic("core: unresolved algorithm")
+	}
+}
+
+// resolve maps Auto to a concrete algorithm (§5.3: "In practice, allreduce
+// implementations switch between different implementations depending on
+// the message size and the number of processes").
+//
+// Per-rank non-zero counts may differ, but every rank must run the *same*
+// algorithm, so Auto first agrees on the maximum k with a tiny
+// max-allreduce (one 8-byte word, log2(P) rounds) — the k = maxᵢ|Hᵢ| of
+// the paper's analysis — and derives the decision from that shared value.
+func resolve(p *comm.Proc, v *stream.Vector, opts Options, base int) Algorithm {
+	if opts.Algorithm != Auto {
+		return opts.Algorithm
+	}
+	n, P := v.Dim(), p.Size()
+	kmax := int(AllreduceDenseRecDouble(p, []float64{float64(v.NNZ())},
+		stream.OpMax, stream.DefaultValueBytes, base+resolveTagOffset)[0])
+	expectedK := density.ExpectedKUniform(n, kmax, P)
+	if expectedK >= float64(v.Delta()) {
+		return DSARSplitAllgather
+	}
+	small := opts.SmallDataBytes
+	if small == 0 {
+		small = DefaultSmallDataBytes
+	}
+	wire := stream.HeaderBytes + kmax*(stream.IndexBytes+v.ValueBytes())
+	if wire <= small {
+		return SSARRecDouble
+	}
+	return SSARSplitAllgather
+}
+
+// resolveTagOffset reserves the top half of each collective's tag range
+// for the Auto-mode agreement exchange.
+const resolveTagOffset = 1 << 19
+
+// partition returns the dimension range [lo, hi) owned by rank r when the
+// universe [0, n) is split across P ranks ("each node gets responsible of
+// ⌊N/P⌋ items apart of the last one", Appendix A).
+func partition(n, P, r int) (lo, hi int) {
+	block := n / P
+	lo = r * block
+	hi = lo + block
+	if r == P-1 {
+		hi = n
+	}
+	return lo, hi
+}

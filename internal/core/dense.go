@@ -1,0 +1,278 @@
+package core
+
+import (
+	"repro/internal/comm"
+	"repro/internal/stream"
+)
+
+// Dense collectives operate on raw []float64 and implement the classic
+// algorithms MPI libraries select between (Thakur & Gropp; Chan et al.):
+// recursive doubling for small messages, Rabenseifner's reduce-scatter +
+// allgather and the ring for large messages. They are both the paper's
+// baselines ("the baseline will be the MPI allreduce implementation on the
+// fully dense vectors") and building blocks for the DSAR dense stage.
+//
+// All functions take a tag base; public callers should allocate one with
+// p.NextTagBase() (the exported wrappers in this file do so).
+
+// AllreduceDense reduces x element-wise across ranks with recursive
+// doubling and returns the result (x is not modified). Convenience wrapper
+// allocating its own tag range.
+func AllreduceDense(p *comm.Proc, x []float64, op stream.Op) []float64 {
+	return AllreduceDenseRecDouble(p, x, op, stream.DefaultValueBytes, p.NextTagBase())
+}
+
+// AllreduceDenseRecDouble implements dense recursive doubling: log2(P)
+// exchange-and-combine stages (with a pre/post fold when P is not a power
+// of two). Cost: ~log2(P)·(α + N·isize·β).
+func AllreduceDenseRecDouble(p *comm.Proc, x []float64, op stream.Op, valueBytes, base int) []float64 {
+	acc := append([]float64(nil), x...)
+	n := len(acc)
+	rank, P := p.Rank(), p.Size()
+	p2 := largestPow2(P)
+	rem := P - p2
+
+	// Fold phase: ranks [p2, P) send their vectors to [0, rem); the first
+	// rem ranks absorb them, then the first p2 ranks run the power-of-two
+	// algorithm, and finally results are returned to the folded ranks.
+	if rem > 0 {
+		if rank >= p2 {
+			p.Send(rank-p2, base, acc, n*valueBytes)
+			res := p.Recv(rank-p2, base+1).Payload.([]float64)
+			return append([]float64(nil), res...)
+		}
+		if rank < rem {
+			in := p.Recv(rank+p2, base).Payload.([]float64)
+			combineDense(p, acc, in, op)
+		}
+	}
+
+	for stage, dist := 0, 1; dist < p2; stage, dist = stage+1, dist*2 {
+		peer := rank ^ dist
+		m := p.SendRecv(peer, base+2+stage, append([]float64(nil), acc...), n*valueBytes)
+		combineDense(p, acc, m.Payload.([]float64), op)
+	}
+
+	if rem > 0 && rank < rem {
+		p.Send(rank+p2, base+1, append([]float64(nil), acc...), n*valueBytes)
+	}
+	return acc
+}
+
+// AllreduceRabenseifner implements the two-phase large-message algorithm
+// (§5.3.2's dense inspiration): recursive-halving reduce-scatter followed
+// by recursive-doubling allgather. Cost: ~2·log2(P)·α + 2·(P−1)/P·N·isize·β.
+// Requires no divisibility; uses the same partition map as the sparse
+// split algorithms. Non-power-of-two worlds fold as in recursive doubling.
+func AllreduceRabenseifner(p *comm.Proc, x []float64, op stream.Op, valueBytes, base int) []float64 {
+	acc := append([]float64(nil), x...)
+	n := len(acc)
+	rank, P := p.Rank(), p.Size()
+	p2 := largestPow2(P)
+	rem := P - p2
+
+	if rem > 0 {
+		if rank >= p2 {
+			p.Send(rank-p2, base, acc, n*valueBytes)
+			res := p.Recv(rank-p2, base+1).Payload.([]float64)
+			return append([]float64(nil), res...)
+		}
+		if rank < rem {
+			in := p.Recv(rank+p2, base).Payload.([]float64)
+			combineDense(p, acc, in, op)
+		}
+	}
+
+	// Recursive halving reduce-scatter among the first p2 ranks: at each
+	// stage a rank keeps the half of its current range containing its own
+	// final partition and sends the other half to its peer.
+	lo, hi := 0, n
+	for stage, dist := 0, p2/2; dist >= 1; stage, dist = stage+1, dist/2 {
+		peer := rank ^ dist
+		mid := lo + (hi-lo)/2
+		var keepLo, keepHi, sendLo, sendHi int
+		if rank&dist == 0 { // keep lower half
+			keepLo, keepHi, sendLo, sendHi = lo, mid, mid, hi
+		} else {
+			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
+		}
+		out := append([]float64(nil), acc[sendLo:sendHi]...)
+		m := p.SendRecv(peer, base+2+stage, out, (sendHi-sendLo)*valueBytes)
+		in := m.Payload.([]float64)
+		combineDense(p, acc[keepLo:keepHi], in, op)
+		lo, hi = keepLo, keepHi
+	}
+
+	// Recursive doubling allgather of the reduced ranges.
+	type block struct {
+		lo  int
+		val []float64
+	}
+	mine := block{lo, append([]float64(nil), acc[lo:hi]...)}
+	have := []block{mine}
+	size := hi - lo
+	for stage, dist := 0, 1; dist < p2; stage, dist = stage+1, dist*2 {
+		peer := rank ^ dist
+		out := make([]block, len(have))
+		copy(out, have)
+		m := p.SendRecv(peer, base+32+stage, out, size*valueBytes+8*len(have))
+		in := m.Payload.([]block)
+		have = append(have, in...)
+		size *= 2
+	}
+	for _, b := range have {
+		copy(acc[b.lo:b.lo+len(b.val)], b.val)
+	}
+
+	if rem > 0 && rank < rem {
+		p.Send(rank+p2, base+1, append([]float64(nil), acc...), n*valueBytes)
+	}
+	return acc
+}
+
+// AllreduceRing implements the bandwidth-optimal ring: a reduce-scatter
+// ring of P−1 steps followed by an allgather ring of P−1 steps. Cost:
+// 2(P−1)·α + 2·(P−1)/P·N·isize·β — optimal bandwidth, linear latency.
+func AllreduceRing(p *comm.Proc, x []float64, op stream.Op, valueBytes, base int) []float64 {
+	acc := append([]float64(nil), x...)
+	n := len(acc)
+	rank, P := p.Rank(), p.Size()
+	if P == 1 {
+		return acc
+	}
+	next := (rank + 1) % P
+	prev := (rank - 1 + P) % P
+
+	// Reduce-scatter: at step s, send block (rank−s) and receive+combine
+	// block (rank−s−1); after P−1 steps rank owns block (rank+1) fully
+	// reduced.
+	for s := 0; s < P-1; s++ {
+		sendBlk := ((rank-s)%P + P) % P
+		recvBlk := ((rank-s-1)%P + P) % P
+		sLo, sHi := partition(n, P, sendBlk)
+		out := append([]float64(nil), acc[sLo:sHi]...)
+		p.Send(next, base+s, out, (sHi-sLo)*valueBytes)
+		in := p.Recv(prev, base+s).Payload.([]float64)
+		rLo, rHi := partition(n, P, recvBlk)
+		combineDense(p, acc[rLo:rHi], in, op)
+	}
+	// Allgather ring: circulate the reduced blocks.
+	for s := 0; s < P-1; s++ {
+		sendBlk := ((rank+1-s)%P + P) % P
+		recvBlk := ((rank-s)%P + P) % P
+		sLo, sHi := partition(n, P, sendBlk)
+		out := append([]float64(nil), acc[sLo:sHi]...)
+		p.Send(next, base+P+s, out, (sHi-sLo)*valueBytes)
+		in := p.Recv(prev, base+P+s).Payload.([]float64)
+		rLo, _ := partition(n, P, recvBlk)
+		copy(acc[rLo:rLo+len(in)], in)
+	}
+	return acc
+}
+
+// AllgatherDense gathers each rank's block (the blocks may have different
+// lengths) to every rank via recursive doubling, returning the
+// concatenation in rank order. Cost: ~log2(P)·α + (P−1)/P·total·β.
+func AllgatherDense(p *comm.Proc, mine []float64, valueBytes, base int) [][]float64 {
+	rank, P := p.Rank(), p.Size()
+	parts := make([][]float64, P)
+	parts[rank] = append([]float64(nil), mine...)
+	p2 := largestPow2(P)
+	rem := P - p2
+
+	if rem > 0 {
+		if rank >= p2 {
+			p.Send(rank-p2, base, parts[rank], len(mine)*valueBytes)
+			res := p.Recv(rank-p2, base+1).Payload.([][]float64)
+			out := make([][]float64, P)
+			copy(out, res)
+			return out
+		}
+		if rank < rem {
+			m := p.Recv(rank+p2, base)
+			parts[rank+p2] = m.Payload.([]float64)
+		}
+	}
+
+	owned := []int{rank}
+	if rem > 0 && rank < rem {
+		owned = append(owned, rank+p2)
+	}
+	for stage, dist := 0, 1; dist < p2; stage, dist = stage+1, dist*2 {
+		peer := rank ^ dist
+		bytes := 0
+		out := make(map[int][]float64, len(owned))
+		for _, b := range owned {
+			out[b] = parts[b]
+			bytes += len(parts[b]) * valueBytes
+		}
+		m := p.SendRecv(peer, base+2+stage, out, bytes)
+		for b, v := range m.Payload.(map[int][]float64) {
+			parts[b] = v
+			owned = append(owned, b)
+		}
+	}
+
+	if rem > 0 && rank < rem {
+		p.Send(rank+p2, base+1, parts, totalLen(parts)*valueBytes)
+	}
+	return parts
+}
+
+// Bcast broadcasts root's vector to all ranks via a binomial tree,
+// returning the vector on every rank. Cost: ~log2(P)·(α + N·isize·β).
+func Bcast(p *comm.Proc, x []float64, root int, valueBytes int) []float64 {
+	base := p.NextTagBase()
+	rank, P := p.Rank(), p.Size()
+	// Rotate so the root is virtual rank 0.
+	vrank := (rank - root + P) % P
+	var have []float64
+	if vrank == 0 {
+		have = append([]float64(nil), x...)
+	}
+	// Receive from the appropriate ancestor, then forward down the tree.
+	mask := 1
+	for mask < P {
+		mask *= 2
+	}
+	for mask /= 2; mask >= 1; mask /= 2 {
+		if vrank&(mask-1) == 0 { // active at this level
+			if vrank&mask == 0 {
+				dst := vrank | mask
+				if dst < P && have != nil {
+					p.Send((dst+root)%P, base, append([]float64(nil), have...), len(have)*valueBytes)
+				}
+			} else if have == nil {
+				src := vrank &^ mask
+				have = p.Recv((src+root)%P, base).Payload.([]float64)
+			}
+		}
+	}
+	return have
+}
+
+func combineDense(p *comm.Proc, dst, src []float64, op stream.Op) {
+	if len(dst) != len(src) {
+		panic("core: dense combine length mismatch")
+	}
+	for i := range dst {
+		dst[i] = op.Combine(dst[i], src[i])
+	}
+	p.Compute(p.Profile().DenseReduceTime(len(dst)))
+}
+
+func largestPow2(p int) int {
+	v := 1
+	for v*2 <= p {
+		v *= 2
+	}
+	return v
+}
+
+func totalLen(parts [][]float64) int {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	return n
+}

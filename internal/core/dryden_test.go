@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+func runDryden(t *testing.T, P, k int, inputs []*stream.Vector) ([]*stream.Vector, []*stream.Vector) {
+	t.Helper()
+	w := comm.NewWorld(P, testProfile)
+	type pair struct{ res, post *stream.Vector }
+	out := comm.Run(w, func(p *comm.Proc) pair {
+		r, q := DrydenAllreduce(p, inputs[p.Rank()], k)
+		return pair{r, q}
+	})
+	results := make([]*stream.Vector, P)
+	posts := make([]*stream.Vector, P)
+	for i, o := range out {
+		results[i], posts[i] = o.res, o.post
+	}
+	return results, posts
+}
+
+func TestDrydenLosslessWhenKLarge(t *testing.T) {
+	// With k large enough to hold everything, Dryden must equal the exact
+	// allreduce and postpone nothing.
+	rng := rand.New(rand.NewSource(71))
+	P := 8
+	inputs := patterns[0].gen(rng, 400, 10, P)
+	want := refSum(inputs)
+	results, posts := runDryden(t, P, 400*P, inputs)
+	for r, res := range results {
+		got := res.ToDense()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rank %d coord %d: got %g want %g", r, i, got[i], want[i])
+			}
+		}
+		if posts[r].NNZ() != 0 {
+			t.Fatalf("rank %d postponed %d entries with large k", r, posts[r].NNZ())
+		}
+	}
+}
+
+func TestDrydenConservation(t *testing.T) {
+	// Lossy case: every rank's (result restricted to its partition) +
+	// postponed must equal the exact partition sum — no mass is lost.
+	rng := rand.New(rand.NewSource(73))
+	P, n, k := 4, 256, 32
+	inputs := patterns[0].gen(rng, n, 30, P)
+	want := refSum(inputs)
+	results, posts := runDryden(t, P, k, inputs)
+	for r := 0; r < P; r++ {
+		lo, hi := partition(n, P, r)
+		for i := lo; i < hi; i++ {
+			got := results[r].Get(i) + posts[r].Get(i)
+			if math.Abs(got-want[i]) > 1e-12 {
+				t.Fatalf("rank %d coord %d: kept+postponed %g, want %g", r, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestDrydenBoundsResultSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	P, n, k := 8, 4096, 64
+	inputs := patterns[0].gen(rng, n, 200, P) // heavy: 1600 total entries
+	results, _ := runDryden(t, P, k, inputs)
+	for r, res := range results {
+		if res.NNZ() > k {
+			t.Fatalf("rank %d: result has %d entries, cap is k=%d", r, res.NNZ(), k)
+		}
+	}
+	// All ranks must agree on the result.
+	for r := 1; r < P; r++ {
+		if !results[r].Equal(results[0]) {
+			t.Fatalf("rank %d result differs", r)
+		}
+	}
+}
+
+func TestDrydenKeepsLargestMagnitudes(t *testing.T) {
+	// Construct inputs where one coordinate per partition dominates; it
+	// must survive the re-selection.
+	P, n := 4, 64
+	inputs := make([]*stream.Vector, P)
+	for r := 0; r < P; r++ {
+		idx := []int32{int32(16*r) + 1, int32(16*r) + 2, int32(16*r) + 3}
+		val := []float64{100, 0.25, 0.125}
+		inputs[r] = stream.NewSparse(n, idx, val, stream.OpSum)
+	}
+	results, _ := runDryden(t, P, P, inputs) // k=P → 1 per partition
+	for r := 0; r < P; r++ {
+		if results[0].Get(16*r+1) != 100 {
+			t.Fatalf("dominant coordinate %d lost", 16*r+1)
+		}
+	}
+	_ = results
+}
+
+func TestDrydenNonPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	P := 6
+	inputs := patterns[0].gen(rng, 300, 8, P)
+	want := refSum(inputs)
+	results, _ := runDryden(t, P, 300*P, inputs)
+	for r, res := range results {
+		got := res.ToDense()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("P=6 rank %d coord %d: got %g want %g", r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDrydenPerformanceTracksSplitAllgather(t *testing.T) {
+	// §9: "their implementation will provide similar results to our
+	// SSAR Split allgather algorithm" — simulated times within ~3x.
+	rng := rand.New(rand.NewSource(79))
+	P, n, k := 8, 1<<16, 2048
+	inputs := patterns[0].gen(rng, n, k/P, P)
+
+	w := comm.NewWorld(P, simnet.Aries)
+	comm.Run(w, func(p *comm.Proc) any {
+		r, _ := DrydenAllreduce(p, inputs[p.Rank()], k)
+		return r
+	})
+	drydenT := w.MaxTime()
+
+	comm.Run(w, func(p *comm.Proc) any {
+		return Allreduce(p, inputs[p.Rank()], Options{Algorithm: SSARSplitAllgather})
+	})
+	ssarT := w.MaxTime()
+
+	if ratio := drydenT / ssarT; ratio > 3 || ratio < 1.0/3 {
+		t.Fatalf("Dryden %g vs SSAR split-allgather %g: ratio %.2f outside [1/3, 3]", drydenT, ssarT, ratio)
+	}
+}

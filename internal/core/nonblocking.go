@@ -1,0 +1,67 @@
+package core
+
+import (
+	"repro/internal/comm"
+	"repro/internal/stream"
+)
+
+// Request is a handle on a nonblocking collective, in the style of MPI-3
+// nonblocking collectives (§7: "we allow a thread to trigger a collective
+// operation, such as allreduce, in a nonblocking way. This enables the
+// thread to proceed with local computations while the operation is
+// performed in the background").
+//
+// The operation runs on a forked virtual clock; Wait folds its completion
+// time back into the caller's clock as max(local, collective), modeling
+// perfect computation/communication overlap — overlapped local Compute is
+// free up to the collective's duration.
+type Request struct {
+	forked *comm.Proc
+	done   chan struct{}
+	result *stream.Vector
+}
+
+// IAllreduce starts a nonblocking sparse allreduce. The input vector must
+// not be modified until Wait returns. Ranks must issue nonblocking
+// collectives in identical program order (as MPI requires).
+func IAllreduce(p *comm.Proc, v *stream.Vector, opts Options) *Request {
+	base := p.NextTagBase()
+	f := p.Fork()
+	r := &Request{forked: f, done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		r.result = allreduceTagged(f, v, opts, base)
+	}()
+	return r
+}
+
+// ISparseAllgather starts a nonblocking sparse concatenating allgather.
+func ISparseAllgather(p *comm.Proc, mine *stream.Vector) *Request {
+	base := p.NextTagBase()
+	f := p.Fork()
+	r := &Request{forked: f, done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		r.result = sparseAllgatherConcat(f, mine, base)
+	}()
+	return r
+}
+
+// Wait blocks until the collective completes, merges its virtual time into
+// p's clock, and returns the result.
+func (r *Request) Wait(p *comm.Proc) *stream.Vector {
+	<-r.done
+	p.Join(r.forked)
+	return r.result
+}
+
+// Test reports whether the collective has completed without blocking
+// (MPI_Test). It does not merge clocks; call Wait to retrieve the result.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+	"repro/internal/stream"
+)
+
+// Randomized differential test: on arbitrary instances (random dimension,
+// node count, per-rank densities, representation mix), all lossless
+// algorithms must agree bit-for-bit with each other and with the
+// sequential reference. This is the strongest single correctness statement
+// about the collectives, complementing the fixed adversarial patterns.
+func TestQuickAllAlgorithmsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		P := 2 + rng.Intn(7) // 2..8, includes non-powers of two
+		n := 50 + rng.Intn(400)
+		inputs := make([]*stream.Vector, P)
+		for r := range inputs {
+			k := rng.Intn(n/2 + 1)
+			inputs[r] = randSparse(rng, n, k)
+			if rng.Intn(3) == 0 {
+				inputs[r].Densify()
+			}
+		}
+		want := refSum(inputs)
+		for _, alg := range allAlgorithms {
+			w := comm.NewWorld(P, testProfile)
+			results := comm.Run(w, func(p *comm.Proc) *stream.Vector {
+				return Allreduce(p, inputs[p.Rank()], Options{Algorithm: alg})
+			})
+			for _, res := range results {
+				got := res.ToDense()
+				for i := range want {
+					if got[i] != want[i] {
+						t.Logf("seed=%d P=%d n=%d alg=%s coord=%d: got %g want %g",
+							seed, P, n, alg, i, got[i], want[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Randomized timing sanity: simulated completion time is identical across
+// repeated runs of the same instance (determinism of the virtual clock),
+// and strictly positive whenever any communication happens.
+func TestQuickSimulatedTimeDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		P := 2 + rng.Intn(6)
+		n := 100 + rng.Intn(1000)
+		inputs := make([]*stream.Vector, P)
+		for r := range inputs {
+			inputs[r] = randSparse(rng, n, 1+rng.Intn(20))
+		}
+		alg := allAlgorithms[rng.Intn(len(allAlgorithms))]
+		times := make([]float64, 2)
+		for trial := range times {
+			w := comm.NewWorld(P, testProfile)
+			comm.Run(w, func(p *comm.Proc) any {
+				return Allreduce(p, inputs[p.Rank()], Options{Algorithm: alg})
+			})
+			times[trial] = w.MaxTime()
+		}
+		return times[0] == times[1] && times[0] > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/quant"
+	"repro/internal/stream"
+)
+
+// ssarRecDouble implements SSAR_Recursive_double (§5.3.1): log2(P) stages;
+// at stage t, ranks a distance 2^(t−1) apart exchange their accumulated
+// sparse streams and merge. Latency-optimal (log2(P)·α); the bandwidth
+// term grows with fill-in, between log2(P)·k·βs (full overlap) and
+// (P−1)·k·βs (disjoint supports). Non-power-of-two worlds fold the excess
+// ranks onto the first P−2^⌊log2P⌋ ranks (Appendix A).
+func ssarRecDouble(p *comm.Proc, v *stream.Vector, base int) *stream.Vector {
+	acc := v.Clone()
+	rank, P := p.Rank(), p.Size()
+	p2 := largestPow2(P)
+	rem := P - p2
+
+	if rem > 0 {
+		if rank >= p2 {
+			p.Send(rank-p2, base, acc, acc.WireBytes())
+			return p.Recv(rank-p2, base+1).Payload.(*stream.Vector).Clone()
+		}
+		if rank < rem {
+			in := p.Recv(rank+p2, base).Payload.(*stream.Vector)
+			mergeCharged(p, acc, in)
+		}
+	}
+
+	for stage, dist := 0, 1; dist < p2; stage, dist = stage+1, dist*2 {
+		peer := rank ^ dist
+		m := p.SendRecv(peer, base+2+stage, acc.Clone(), acc.WireBytes())
+		mergeCharged(p, acc, m.Payload.(*stream.Vector))
+	}
+
+	if rem > 0 && rank < rem {
+		p.Send(rank+p2, base+1, acc.Clone(), acc.WireBytes())
+	}
+	return acc
+}
+
+// mergeCharged reduces in into acc and charges the modeled compute cost:
+// sparse merges cost γ·SparseComputeFactor per pair touched, dense
+// combines γ per element (§5.1: "summing sparse vectors is computationally
+// more expensive than summing dense vectors").
+func mergeCharged(p *comm.Proc, acc, in *stream.Vector) {
+	prof := p.Profile()
+	if acc.IsDense() || in.IsDense() {
+		p.Compute(prof.DenseReduceTime(acc.Dim()))
+	} else {
+		p.Compute(prof.SparseMergeTime(acc.NNZ() + in.NNZ()))
+	}
+	acc.Add(in)
+}
+
+// splitPhase is the first phase shared by SSAR_Split_allgather and
+// DSAR_Split_allgather (§5.3.2): the dimension space [0, N) is split into
+// P uniform partitions; every rank sends each partition's slice of its
+// input directly to the partition owner ("this direct communication comes
+// at a higher latency cost", hence the (P−1)·α latency term), then reduces
+// the P slices it received for its own partition.
+func splitPhase(p *comm.Proc, v *stream.Vector, base int) *stream.Vector {
+	rank, P := p.Rank(), p.Size()
+	n := v.Dim()
+	for off := 1; off < P; off++ {
+		to := (rank + off) % P
+		lo, hi := partition(n, P, to)
+		piece := v.ExtractRange(lo, hi)
+		p.Send(to, base+rank, piece, piece.WireBytes())
+	}
+	lo, hi := partition(n, P, rank)
+	acc := v.ExtractRange(lo, hi)
+	for off := 1; off < P; off++ {
+		from := (rank - off + P) % P
+		in := p.Recv(from, base+from).Payload.(*stream.Vector)
+		mergeCharged(p, acc, in)
+	}
+	return acc
+}
+
+// ssarSplitAllgather implements SSAR_Split_allgather (§5.3.2): the split
+// phase above followed by a sparse concatenating allgather via recursive
+// doubling (partition contents are disjoint by construction, so merging is
+// concatenation — the "simple (concatenating) sparse allgather").
+func ssarSplitAllgather(p *comm.Proc, v *stream.Vector, base int) *stream.Vector {
+	acc := splitPhase(p, v, base)
+	return sparseAllgatherConcat(p, acc, base+p.Size()+8)
+}
+
+// sparseAllgatherConcat gathers disjoint sparse vectors from all ranks via
+// recursive doubling with concatenation; every rank returns the union.
+// Also used directly for the SCD experiment (§8.2) where nodes contribute
+// disjoint coordinate blocks. Non-power-of-two worlds fold as usual.
+func sparseAllgatherConcat(p *comm.Proc, mine *stream.Vector, base int) *stream.Vector {
+	acc := mine.Clone()
+	rank, P := p.Rank(), p.Size()
+	p2 := largestPow2(P)
+	rem := P - p2
+
+	if rem > 0 {
+		if rank >= p2 {
+			p.Send(rank-p2, base, acc, acc.WireBytes())
+			return p.Recv(rank-p2, base+1).Payload.(*stream.Vector).Clone()
+		}
+		if rank < rem {
+			in := p.Recv(rank+p2, base).Payload.(*stream.Vector)
+			concatCharged(p, acc, in)
+		}
+	}
+
+	for stage, dist := 0, 1; dist < p2; stage, dist = stage+1, dist*2 {
+		peer := rank ^ dist
+		m := p.SendRecv(peer, base+2+stage, acc.Clone(), acc.WireBytes())
+		concatCharged(p, acc, m.Payload.(*stream.Vector))
+	}
+
+	if rem > 0 && rank < rem {
+		p.Send(rank+p2, base+1, acc.Clone(), acc.WireBytes())
+	}
+	return acc
+}
+
+func concatCharged(p *comm.Proc, acc, in *stream.Vector) {
+	prof := p.Profile()
+	if acc.IsDense() || in.IsDense() {
+		p.Compute(prof.DenseReduceTime(acc.Dim()))
+		acc.Add(in)
+		return
+	}
+	p.Compute(prof.SparseMergeTime(acc.NNZ() + in.NNZ()))
+	acc.Concat(in)
+}
+
+// SparseAllgather gathers disjoint sparse contributions from all ranks
+// (public wrapper allocating a tag range).
+func SparseAllgather(p *comm.Proc, mine *stream.Vector) *stream.Vector {
+	return sparseAllgatherConcat(p, mine, p.NextTagBase())
+}
+
+// dsarSplitAllgather implements DSAR_Split_allgather (§5.3.3): the sparse
+// split phase, after which each rank *densifies* its reduced partition
+// ("exploit the fact that every reduced split will become dense") and the
+// partitions are exchanged with a dense recursive-doubling allgather,
+// optionally QSGD-quantized (§6: "we employ the low-precision data
+// representation only in the second part ... where the data becomes
+// dense").
+//
+// Each partition is quantized once, by its owner; every rank decodes the
+// same bytes, so all ranks return bit-identical results — the property
+// that keeps data-parallel SGD replicas consistent.
+func dsarSplitAllgather(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Vector {
+	reduced := splitPhase(p, v, base)
+	rank, P := p.Rank(), p.Size()
+	n := v.Dim()
+	lo, hi := partition(n, P, rank)
+
+	// Densify my partition into a contiguous block.
+	block := make([]float64, hi-lo)
+	if neutral := v.Op().Neutral(); neutral != 0 {
+		for i := range block {
+			block[i] = neutral
+		}
+	}
+	if reduced.IsDense() {
+		copy(block, reduced.ToDense()[lo:hi])
+	} else {
+		idx, val := reduced.Pairs()
+		for i, ix := range idx {
+			block[ix-int32(lo)] = val[i]
+		}
+	}
+	p.Compute(p.Profile().DenseReduceTime(len(block)))
+
+	result := make([]float64, n)
+	if neutral := v.Op().Neutral(); neutral != 0 {
+		for i := range result {
+			result[i] = neutral
+		}
+	}
+
+	agBase := base + P + 8
+	if opts.Quant != nil {
+		// Quantize my block; exchange quantized blocks; decode all.
+		rng := rand.New(rand.NewSource(opts.Seed ^ int64(rank+1)*0x5851F42D4C957F2D))
+		q := quant.Encode(block, *opts.Quant, rng)
+		p.Compute(p.Profile().DenseReduceTime(len(block))) // encode pass
+		gathered := allgatherQuantized(p, q, agBase)
+		for r, qr := range gathered {
+			rLo, _ := partition(n, P, r)
+			dec := qr.Decode()
+			copy(result[rLo:rLo+len(dec)], dec)
+		}
+		p.Compute(p.Profile().DenseReduceTime(n)) // decode pass
+	} else {
+		parts := AllgatherDense(p, block, v.ValueBytes(), agBase)
+		for r, part := range parts {
+			rLo, _ := partition(n, P, r)
+			copy(result[rLo:rLo+len(part)], part)
+		}
+	}
+	res := stream.NewDense(result, v.Op())
+	res.SetValueBytes(v.ValueBytes())
+	return res
+}
+
+// allgatherQuantized is AllgatherDense over quantized blocks, with wire
+// sizes taken from the quantized representation.
+func allgatherQuantized(p *comm.Proc, mine *quant.Quantized, base int) []*quant.Quantized {
+	rank, P := p.Rank(), p.Size()
+	parts := make([]*quant.Quantized, P)
+	parts[rank] = mine
+	p2 := largestPow2(P)
+	rem := P - p2
+
+	if rem > 0 {
+		if rank >= p2 {
+			p.Send(rank-p2, base, mine, mine.WireBytes())
+			res := p.Recv(rank-p2, base+1).Payload.([]*quant.Quantized)
+			out := make([]*quant.Quantized, P)
+			copy(out, res)
+			return out
+		}
+		if rank < rem {
+			parts[rank+p2] = p.Recv(rank+p2, base).Payload.(*quant.Quantized)
+		}
+	}
+
+	owned := []int{rank}
+	if rem > 0 && rank < rem {
+		owned = append(owned, rank+p2)
+	}
+	for stage, dist := 0, 1; dist < p2; stage, dist = stage+1, dist*2 {
+		peer := rank ^ dist
+		bytes := 0
+		out := make(map[int]*quant.Quantized, len(owned))
+		for _, b := range owned {
+			out[b] = parts[b]
+			bytes += parts[b].WireBytes()
+		}
+		m := p.SendRecv(peer, base+2+stage, out, bytes)
+		for b, q := range m.Payload.(map[int]*quant.Quantized) {
+			parts[b] = q
+			owned = append(owned, b)
+		}
+	}
+
+	if rem > 0 && rank < rem {
+		bytes := 0
+		for _, q := range parts {
+			bytes += q.WireBytes()
+		}
+		p.Send(rank+p2, base+1, parts, bytes)
+	}
+	return parts
+}
+
+// ringSparse is the sparse counterpart of the ring allreduce compared in
+// the Figure 3 micro-benchmarks: a ring reduce-scatter over sparse
+// partition slices followed by a ring allgather of the reduced (still
+// sparse) partitions. Bandwidth matches the dense ring scaled by density;
+// latency is 2(P−1)·α.
+func ringSparse(p *comm.Proc, v *stream.Vector, base int) *stream.Vector {
+	rank, P := p.Rank(), p.Size()
+	n := v.Dim()
+	if P == 1 {
+		return v.Clone()
+	}
+	next := (rank + 1) % P
+	prev := (rank - 1 + P) % P
+
+	// Per-block sparse slices of my input.
+	blocks := make([]*stream.Vector, P)
+	for b := 0; b < P; b++ {
+		lo, hi := partition(n, P, b)
+		blocks[b] = v.ExtractRange(lo, hi)
+	}
+
+	// Reduce-scatter ring: circulate and accumulate sparse slices.
+	for s := 0; s < P-1; s++ {
+		sendBlk := ((rank-s)%P + P) % P
+		recvBlk := ((rank-s-1)%P + P) % P
+		out := blocks[sendBlk]
+		blocks[sendBlk] = nil // passed along; no longer needed locally
+		p.Send(next, base+s, out, out.WireBytes())
+		in := p.Recv(prev, base+s).Payload.(*stream.Vector)
+		mergeCharged(p, blocks[recvBlk], in)
+		// mergeCharged mutates via Add; keep the accumulated slice.
+		_ = in
+	}
+
+	ownBlk := (rank + 1) % P
+	acc := blocks[ownBlk]
+
+	// Allgather ring of the reduced sparse blocks.
+	have := map[int]*stream.Vector{ownBlk: acc}
+	cur := ownBlk
+	for s := 0; s < P-1; s++ {
+		out := have[cur]
+		p.Send(next, base+P+s, out, out.WireBytes())
+		recvBlk := ((cur-1)%P + P) % P
+		in := p.Recv(prev, base+P+s).Payload.(*stream.Vector)
+		have[recvBlk] = in
+		cur = recvBlk
+	}
+
+	// Assemble: blocks are disjoint; concatenate in index order.
+	result := stream.Zero(n, v.Op())
+	result.SetValueBytes(v.ValueBytes())
+	for b := 0; b < P; b++ {
+		concatCharged(p, result, have[b])
+	}
+	return result
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/stream"
+)
+
+// The paper's streams work "with single or double precision floating point
+// values" (§5.1). Storage is float64; the modeled wire size (ValueBytes)
+// drives the α–β cost, so a single-precision deployment should see ~half
+// the bandwidth cost and a lower δ threshold.
+
+func TestFloat32WireAccountingHalvesBandwidthCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	P, n, k := 8, 1<<16, 4000
+	mk := func(valueBytes int) []*stream.Vector {
+		r := rand.New(rand.NewSource(91))
+		_ = rng
+		inputs := make([]*stream.Vector, P)
+		for i := range inputs {
+			inputs[i] = randSparse(r, n, k)
+			inputs[i].SetValueBytes(valueBytes)
+		}
+		return inputs
+	}
+	timeFor := func(valueBytes int) float64 {
+		w := comm.NewWorld(P, bandwidthBound)
+		inputs := mk(valueBytes)
+		comm.Run(w, func(p *comm.Proc) any {
+			return Allreduce(p, inputs[p.Rank()], Options{Algorithm: SSARRecDouble})
+		})
+		return w.MaxTime()
+	}
+	t64, t32 := timeFor(8), timeFor(4)
+	// Sparse entries shrink from 12 to 8 bytes → ratio 1.5.
+	if ratio := t64 / t32; ratio < 1.3 || ratio > 1.7 {
+		t.Fatalf("fp64/fp32 sparse time ratio %.2f, want ≈1.5", ratio)
+	}
+}
+
+func TestFloat32DeltaThresholdLower(t *testing.T) {
+	v64 := stream.NewSparse(1200, []int32{1}, []float64{1}, stream.OpSum)
+	v32 := stream.NewSparse(1200, []int32{1}, []float64{1}, stream.OpSum)
+	v32.SetValueBytes(4)
+	// fp32: δ = N/2; fp64: δ = 2N/3.
+	if v32.Delta() >= v64.Delta() {
+		t.Fatalf("fp32 δ (%d) must be below fp64 δ (%d)", v32.Delta(), v64.Delta())
+	}
+}
+
+func TestValueBytesPreservedThroughAllreduce(t *testing.T) {
+	P := 4
+	inputs := make([]*stream.Vector, P)
+	for r := range inputs {
+		inputs[r] = stream.NewSparse(1000, []int32{int32(r)}, []float64{1}, stream.OpSum)
+		inputs[r].SetValueBytes(4)
+	}
+	results := runAllreduce(t, P, inputs, Options{Algorithm: DSARSplitAllgather})
+	for _, res := range results {
+		if res.ValueBytes() != 4 {
+			t.Fatal("ValueBytes lost through DSAR")
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DenseDataset holds fixed-length feature vectors with integer class
+// labels, the shape of the CIFAR-10 and ImageNet image classification
+// tasks.
+type DenseDataset struct {
+	// X holds one row per sample.
+	X [][]float64
+	// Y holds class labels in [0, Classes).
+	Y []int
+	// Classes is the number of target classes.
+	Classes int
+}
+
+// Rows returns the number of samples.
+func (d *DenseDataset) Rows() int { return len(d.X) }
+
+// Dim returns the feature dimension.
+func (d *DenseDataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Shard returns the contiguous row shard for the given rank out of P
+// (views into the parent's storage).
+func (d *DenseDataset) Shard(rank, P int) *DenseDataset {
+	lo := rank * d.Rows() / P
+	hi := (rank + 1) * d.Rows() / P
+	return &DenseDataset{X: d.X[lo:hi], Y: d.Y[lo:hi], Classes: d.Classes}
+}
+
+// Split returns train/validation subsets; frac is the training fraction.
+func (d *DenseDataset) Split(frac float64) (train, val *DenseDataset) {
+	cut := int(frac * float64(d.Rows()))
+	return &DenseDataset{X: d.X[:cut], Y: d.Y[:cut], Classes: d.Classes},
+		&DenseDataset{X: d.X[cut:], Y: d.Y[cut:], Classes: d.Classes}
+}
+
+// DenseConfig parameterizes SyntheticDense.
+type DenseConfig struct {
+	// Rows is the number of samples.
+	Rows int
+	// Dim is the input dimension (e.g. 3072 for CIFAR-shaped inputs).
+	Dim int
+	// Classes is the number of classes (10 for CIFAR-shaped, 1000 for
+	// ImageNet-shaped).
+	Classes int
+	// Sep is the separation between class means in units of the noise
+	// standard deviation; lower values make the task harder.
+	Sep float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// CIFARShape mirrors CIFAR-10's shape (Table 1: 60k samples of 32×32×3,
+// 10 classes) scaled by the given row factor.
+func CIFARShape(scale float64) DenseConfig {
+	return DenseConfig{Rows: int(60000 * scale), Dim: 3072, Classes: 10, Sep: 2.2, Seed: 3}
+}
+
+// ImageNetShape mirrors ImageNet-1K's class count with a reduced input
+// dimension (the experiments study communication of gradients, whose size
+// is set by the model, not the input).
+func ImageNetShape(rows int) DenseConfig {
+	return DenseConfig{Rows: rows, Dim: 3072, Classes: 1000, Sep: 3.5, Seed: 4}
+}
+
+// SyntheticDense generates class-conditional Gaussian blobs: each class
+// has a random mean direction on a low-dimensional manifold embedded in
+// Dim dimensions, plus isotropic noise. Models are expected to reach high
+// train accuracy, and relative convergence between dense and sparsified
+// training is meaningful — which is what Figures 4 and 5 compare.
+func SyntheticDense(cfg DenseConfig) *DenseDataset {
+	if cfg.Rows <= 0 || cfg.Dim <= 0 || cfg.Classes <= 1 {
+		panic(fmt.Sprintf("data: invalid config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	means := make([][]float64, cfg.Classes)
+	for c := range means {
+		means[c] = make([]float64, cfg.Dim)
+		for j := 0; j < cfg.Dim; j++ {
+			means[c][j] = rng.NormFloat64() * cfg.Sep / 2
+		}
+	}
+	d := &DenseDataset{
+		X:       make([][]float64, cfg.Rows),
+		Y:       make([]int, cfg.Rows),
+		Classes: cfg.Classes,
+	}
+	for i := 0; i < cfg.Rows; i++ {
+		c := rng.Intn(cfg.Classes)
+		x := make([]float64, cfg.Dim)
+		for j := range x {
+			x[j] = means[c][j] + rng.NormFloat64()
+		}
+		d.X[i] = x
+		d.Y[i] = c
+	}
+	return d
+}
+
+// SequenceDataset holds variable-length token sequences with class labels,
+// the shape of the ATIS intent classification and ASR acoustic tasks.
+type SequenceDataset struct {
+	// Seqs holds token id sequences.
+	Seqs [][]int
+	// Y holds class labels in [0, Classes).
+	Y []int
+	// Vocab is the token id space size.
+	Vocab int
+	// Classes is the number of target classes.
+	Classes int
+}
+
+// Rows returns the number of sequences.
+func (d *SequenceDataset) Rows() int { return len(d.Seqs) }
+
+// Shard returns the contiguous shard for the given rank out of P.
+func (d *SequenceDataset) Shard(rank, P int) *SequenceDataset {
+	lo := rank * d.Rows() / P
+	hi := (rank + 1) * d.Rows() / P
+	return &SequenceDataset{Seqs: d.Seqs[lo:hi], Y: d.Y[lo:hi], Vocab: d.Vocab, Classes: d.Classes}
+}
+
+// SequenceConfig parameterizes SyntheticSequences.
+type SequenceConfig struct {
+	// Rows is the number of sequences.
+	Rows int
+	// Vocab is the token space size.
+	Vocab int
+	// Classes is the number of intents.
+	Classes int
+	// MinLen and MaxLen bound sequence lengths.
+	MinLen, MaxLen int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// ATISShape mirrors the ATIS corpus shape (Table 1: ~5k sentences, 128
+// intent classes) scaled by the given factor.
+func ATISShape(scale float64) SequenceConfig {
+	return SequenceConfig{
+		Rows: int(4978 * scale), Vocab: 900, Classes: 26,
+		MinLen: 4, MaxLen: 18, Seed: 5,
+	}
+}
+
+// ASRShape mirrors a frame-classification acoustic task at a reduced
+// scale: long sequences over a modest symbol vocabulary.
+func ASRShape(rows int) SequenceConfig {
+	return SequenceConfig{
+		Rows: rows, Vocab: 256, Classes: 48,
+		MinLen: 20, MaxLen: 60, Seed: 6,
+	}
+}
+
+// SyntheticSequences generates an intent-classification task with real
+// sequential structure: each class owns a small set of "keyword" tokens
+// and a class-specific bigram transition bias, so a recurrent model must
+// integrate over the whole sequence to classify reliably.
+func SyntheticSequences(cfg SequenceConfig) *SequenceDataset {
+	if cfg.Rows <= 0 || cfg.Vocab <= cfg.Classes || cfg.MinLen <= 0 || cfg.MaxLen < cfg.MinLen {
+		panic(fmt.Sprintf("data: invalid config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &SequenceDataset{
+		Seqs:    make([][]int, cfg.Rows),
+		Y:       make([]int, cfg.Rows),
+		Vocab:   cfg.Vocab,
+		Classes: cfg.Classes,
+	}
+	// Keywords: class c owns tokens {c, Classes+c, 2·Classes+c} (mod
+	// vocab); the rest of each sequence is shared background noise.
+	for i := 0; i < cfg.Rows; i++ {
+		c := rng.Intn(cfg.Classes)
+		length := cfg.MinLen + rng.Intn(cfg.MaxLen-cfg.MinLen+1)
+		seq := make([]int, length)
+		for t := range seq {
+			if rng.Float64() < 0.35 {
+				seq[t] = (c + cfg.Classes*rng.Intn(3)) % cfg.Vocab
+			} else {
+				seq[t] = rng.Intn(cfg.Vocab)
+			}
+		}
+		d.Seqs[i] = seq
+		d.Y[i] = c
+	}
+	return d
+}

@@ -1,0 +1,103 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteLibSVM writes the dataset in LibSVM text format: one line per
+// sample, "label idx:val idx:val ...", with 1-based indices as the format
+// requires.
+func WriteLibSVM(w io.Writer, d *SparseDataset) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < d.Rows(); i++ {
+		if _, err := fmt.Fprintf(bw, "%g", d.Label[i]); err != nil {
+			return err
+		}
+		idx, val := d.Row(i)
+		for j := range idx {
+			if _, err := fmt.Fprintf(bw, " %d:%g", idx[j]+1, val[j]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLibSVM parses LibSVM text format. dim, when positive, fixes the
+// feature dimension; when zero, the maximum observed index is used.
+// Indices in the file are 1-based; out-of-order indices within a row are
+// sorted; duplicates are rejected.
+func ReadLibSVM(r io.Reader, dim int) (*SparseDataset, error) {
+	d := &SparseDataset{RowStart: []int32{0}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	maxIdx := int32(-1)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		label, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: bad label %q", line, fields[0])
+		}
+		type pair struct {
+			ix int32
+			v  float64
+		}
+		pairs := make([]pair, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("data: line %d: bad feature %q", line, f)
+			}
+			ix, err := strconv.Atoi(f[:colon])
+			if err != nil || ix < 1 {
+				return nil, fmt.Errorf("data: line %d: bad index %q", line, f[:colon])
+			}
+			v, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d: bad value %q", line, f[colon+1:])
+			}
+			pairs = append(pairs, pair{int32(ix - 1), v})
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].ix < pairs[b].ix })
+		for j := 1; j < len(pairs); j++ {
+			if pairs[j].ix == pairs[j-1].ix {
+				return nil, fmt.Errorf("data: line %d: duplicate index %d", line, pairs[j].ix+1)
+			}
+		}
+		for _, p := range pairs {
+			d.Idx = append(d.Idx, p.ix)
+			d.Val = append(d.Val, p.v)
+			if p.ix > maxIdx {
+				maxIdx = p.ix
+			}
+		}
+		d.RowStart = append(d.RowStart, int32(len(d.Idx)))
+		d.Label = append(d.Label, label)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if dim > 0 {
+		if int(maxIdx) >= dim {
+			return nil, fmt.Errorf("data: index %d exceeds declared dimension %d", maxIdx+1, dim)
+		}
+		d.Dim = dim
+	} else {
+		d.Dim = int(maxIdx) + 1
+	}
+	return d, nil
+}

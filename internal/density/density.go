@@ -1,0 +1,91 @@
+// Package density implements the paper's stochastic density analysis
+// (Appendix B): closed forms for the expected number of non-zero entries
+// K = |∪ᵢ Hᵢ| of a reduction result when each node contributes k non-zero
+// indices, plus empirical fill-in measurement used for Figure 1.
+package density
+
+import "math"
+
+// ExpectedKUniform returns E[K] when each of P nodes draws k indices
+// uniformly from [0, N): E[K] = N·(1 − (1 − k/N)^P). This equals the
+// inclusion–exclusion closed form of Appendix B.1 and is "a worst-case
+// scenario in terms of probabilistic growth of the intermediate results".
+func ExpectedKUniform(n, k, p int) float64 {
+	if n <= 0 || k < 0 || p <= 0 {
+		panic("density: invalid parameters")
+	}
+	if k >= n {
+		return float64(n)
+	}
+	q := 1 - float64(k)/float64(n)
+	return float64(n) * (1 - math.Pow(q, float64(p)))
+}
+
+// ExpectedKInclusionExclusion evaluates the paper's explicit alternating
+// binomial sum f(k,N,P) = N·Σᵢ (−1)^{i−1} C(P,i) (k/N)^i. It is
+// mathematically identical to ExpectedKUniform; both are kept so tests can
+// verify the identity (and because the binomial form mirrors the paper's
+// Figure 7 derivation). Accurate for P ≤ ~60 before cancellation dominates.
+func ExpectedKInclusionExclusion(n, k, p int) float64 {
+	if n <= 0 || k < 0 || p <= 0 {
+		panic("density: invalid parameters")
+	}
+	if k >= n {
+		return float64(n)
+	}
+	d := float64(k) / float64(n)
+	sum := 0.0
+	binom := 1.0 // C(P, i), updated incrementally
+	sign := 1.0
+	for i := 1; i <= p; i++ {
+		binom = binom * float64(p-i+1) / float64(i)
+		sum += sign * binom * math.Pow(d, float64(i))
+		sign = -sign
+	}
+	return float64(n) * sum
+}
+
+// UnionBound returns the trivial upper bound min(N, P·k) on K.
+func UnionBound(n, k, p int) float64 {
+	return math.Min(float64(n), float64(p)*float64(k))
+}
+
+// Growth returns the multiplicative growth factor E[K]/k shown in
+// Figure 7: how much larger the reduced result is than one node's
+// contribution.
+func Growth(n, k, p int) float64 {
+	if k == 0 {
+		return 0
+	}
+	return ExpectedKUniform(n, k, p) / float64(k)
+}
+
+// ReducedDensity returns the expected density E[K]/N of the reduced result
+// given per-node density d = k/N, the quantity plotted in Figure 1.
+func ReducedDensity(n int, d float64, p int) float64 {
+	k := int(math.Round(d * float64(n)))
+	return ExpectedKUniform(n, k, p) / float64(n)
+}
+
+// MeasureK returns the exact union size |∪ᵢ Hᵢ| of concrete index sets,
+// used to validate the closed forms empirically and to measure real
+// gradient fill-in for Figure 1.
+func MeasureK(sets [][]int32) int {
+	seen := make(map[int32]struct{})
+	for _, s := range sets {
+		for _, ix := range s {
+			seen[ix] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// SpeedupCap returns the maximum achievable sparse-over-dense allreduce
+// speedup 2/κ from Lemma 5.2, where κ = δ/N. ("By exploiting sparsity
+// alone ... the achievable speedup of a sparse allreduce is at most 2/κ.")
+func SpeedupCap(kappa float64) float64 {
+	if kappa <= 0 || kappa > 1 {
+		panic("density: kappa must be in (0, 1]")
+	}
+	return 2 / kappa
+}

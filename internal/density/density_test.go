@@ -1,0 +1,175 @@
+package density
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedKSingleNode(t *testing.T) {
+	if got := ExpectedKUniform(1000, 50, 1); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("P=1: E[K] = %g, want 50", got)
+	}
+}
+
+func TestExpectedKSaturatesAtN(t *testing.T) {
+	if got := ExpectedKUniform(100, 100, 5); got != 100 {
+		t.Fatalf("k=N: E[K] = %g, want 100", got)
+	}
+	if got := ExpectedKUniform(100, 40, 1000); got > 100 || got < 99 {
+		t.Fatalf("huge P: E[K] = %g, want ≈100", got)
+	}
+}
+
+func TestExpectedKMonotoneInP(t *testing.T) {
+	prev := 0.0
+	for p := 1; p <= 128; p *= 2 {
+		e := ExpectedKUniform(1<<20, 1000, p)
+		if e < prev {
+			t.Fatalf("E[K] decreased at P=%d", p)
+		}
+		prev = e
+	}
+}
+
+func TestClosedFormsAgree(t *testing.T) {
+	for _, tc := range []struct{ n, k, p int }{
+		{512, 8, 2}, {512, 64, 16}, {512, 500, 4},
+		{1 << 16, 100, 32}, {1000, 1, 50},
+	} {
+		a := ExpectedKUniform(tc.n, tc.k, tc.p)
+		b := ExpectedKInclusionExclusion(tc.n, tc.k, tc.p)
+		if math.Abs(a-b) > 1e-6*a+1e-9 {
+			t.Fatalf("n=%d k=%d p=%d: uniform=%g inclusion-exclusion=%g", tc.n, tc.k, tc.p, a, b)
+		}
+	}
+}
+
+func TestQuickClosedFormsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(1<<14)
+		k := rng.Intn(n)
+		p := 1 + rng.Intn(30)
+		a := ExpectedKUniform(n, k, p)
+		b := ExpectedKInclusionExclusion(n, k, p)
+		// The alternating sum cancels catastrophically as P grows; within
+		// its documented domain it agrees to ~1e-4 relative.
+		return math.Abs(a-b) <= 1e-4*math.Max(a, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionBoundDominates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(1<<14)
+		k := rng.Intn(n)
+		p := 1 + rng.Intn(200)
+		return ExpectedKUniform(n, k, p) <= UnionBound(n, k, p)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedKMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, k, p := 2048, 100, 16
+	const trials = 200
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		sets := make([][]int32, p)
+		for i := range sets {
+			seen := make(map[int32]bool, k)
+			for len(sets[i]) < k {
+				ix := int32(rng.Intn(n))
+				if !seen[ix] {
+					seen[ix] = true
+					sets[i] = append(sets[i], ix)
+				}
+			}
+		}
+		sum += float64(MeasureK(sets))
+	}
+	emp := sum / trials
+	want := ExpectedKUniform(n, k, p)
+	if math.Abs(emp-want) > 0.02*want {
+		t.Fatalf("Monte Carlo E[K] = %g, closed form %g", emp, want)
+	}
+}
+
+func TestGrowthFigure7Shape(t *testing.T) {
+	// Figure 7 (N=512): growth ≈ P for small k, and approaches N/k as k→N.
+	n := 512
+	if g := Growth(n, 1, 8); math.Abs(g-8) > 0.1 {
+		t.Fatalf("growth(k=1,P=8) = %g, want ≈8", g)
+	}
+	if g := Growth(n, n, 8); g != 1 {
+		t.Fatalf("growth(k=N) = %g, want 1", g)
+	}
+	// Growth is monotone decreasing in k for fixed P.
+	prev := math.Inf(1)
+	for k := 1; k <= n; k *= 2 {
+		g := Growth(n, k, 16)
+		if g > prev+1e-9 {
+			t.Fatalf("growth increased at k=%d", k)
+		}
+		prev = g
+	}
+}
+
+func TestReducedDensityFigure1Shape(t *testing.T) {
+	// Figure 1: at 5–10% per-node density and large node counts the reduced
+	// vector becomes dense ("reducing across a large number of nodes cans
+	// cause the reduced vector to become dense").
+	n := 270000 // ~ResNet20 parameter count
+	if d := ReducedDensity(n, 0.05, 64); d < 0.9 {
+		t.Fatalf("5%% per node across 64 nodes: reduced density %g, want >0.9", d)
+	}
+	// At very high sparsity (0.1%) and few nodes, the result stays sparse.
+	if d := ReducedDensity(n, 0.001, 4); d > 0.01 {
+		t.Fatalf("0.1%% per node across 4 nodes: reduced density %g, want <0.01", d)
+	}
+}
+
+func TestSpeedupCap(t *testing.T) {
+	// Lemma 5.2 example: κ = 0.5 yields max speedup 4×.
+	if got := SpeedupCap(0.5); got != 4 {
+		t.Fatalf("SpeedupCap(0.5) = %g, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for κ=0")
+		}
+	}()
+	SpeedupCap(0)
+}
+
+func TestMeasureK(t *testing.T) {
+	sets := [][]int32{{1, 2, 3}, {3, 4}, {}, {1}}
+	if got := MeasureK(sets); got != 4 {
+		t.Fatalf("MeasureK = %d, want 4", got)
+	}
+}
+
+func TestPanicsOnInvalid(t *testing.T) {
+	for _, f := range []func(){
+		func() { ExpectedKUniform(0, 1, 1) },
+		func() { ExpectedKUniform(10, -1, 1) },
+		func() { ExpectedKUniform(10, 1, 0) },
+		func() { ExpectedKInclusionExclusion(0, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/simnet"
+	"repro/internal/train"
+)
+
+// DNNSeries is one training curve: a labeled sequence of per-epoch points
+// (loss/accuracy versus simulated time).
+type DNNSeries struct {
+	Label  string
+	P      int
+	Params int
+	Points []train.Point
+}
+
+// DNNScale shrinks the DNN experiments to tractable CPU sizes while
+// preserving their structure (model family, sparsity fractions, node
+// counts are unchanged or scaled as documented in EXPERIMENTS.md).
+type DNNScale struct {
+	Rows   int // dataset rows
+	Epochs int
+	P      int // ranks standing in for the paper's GPU counts
+}
+
+// Fig4aCIFAR reproduces Figure 4a: training accuracy of TopK (k/512 with
+// 4-bit QSGD) versus full dense SGD on the CIFAR-shaped task, using a
+// residual MLP in place of ResNet-110. Returns dense, k=8/512 and k=16/512
+// curves.
+func Fig4aCIFAR(sc DNNScale, seed int64) []DNNSeries {
+	if sc.Rows == 0 {
+		sc = DNNScale{Rows: 2000, Epochs: 8, P: 8}
+	}
+	ds := data.SyntheticDense(data.DenseConfig{Rows: sc.Rows, Dim: 64, Classes: 10, Sep: 2.2, Seed: seed})
+	mkTask := func(rank int) train.Task {
+		return &train.MLPTask{
+			Net:   nn.ResidualMLP(seed+77, 64, 96, 3, 10, 1),
+			Shard: ds.Shard(rank, sc.P),
+		}
+	}
+	base := train.Config{
+		LR: 0.05, BatchPerNode: 32, Epochs: sc.Epochs,
+		Device: simnet.GPUP100, EvalSamples: 256, Seed: seed,
+	}
+	var series []DNNSeries
+	dense := base
+	dense.Method = train.MethodDense
+	dense.Momentum = 0.9
+	series = append(series, runDNN("dense 32-bit", sc.P, simnet.Aries, dense, mkTask))
+
+	for _, k := range []int{8, 16} {
+		topk := base
+		topk.Method = train.MethodTopK
+		topk.LR = base.LR / float64(sc.P)
+		topk.Bucket, topk.K = 512, k
+		topk.QuantBits = 4
+		topk.Algorithm = core.Auto
+		series = append(series, runDNN(label("topk %d/512 + 4-bit", k), sc.P, simnet.Aries, topk, mkTask))
+	}
+	return series
+}
+
+// Fig4bATIS reproduces Figure 4b: LSTM training accuracy on the
+// ATIS-shaped intent task, dense versus TopK k=2/512 (no quantization).
+func Fig4bATIS(sc DNNScale, seed int64) []DNNSeries {
+	if sc.Rows == 0 {
+		sc = DNNScale{Rows: 1200, Epochs: 8, P: 4}
+	}
+	cfg := data.ATISShape(1)
+	cfg.Rows = sc.Rows
+	ds := data.SyntheticSequences(cfg)
+	mkTask := func(rank int) train.Task {
+		return &train.LSTMTask{
+			Model: nn.NewLSTMClassifier(seed+5, cfg.Vocab, 24, 48, cfg.Classes),
+			Shard: ds.Shard(rank, sc.P),
+		}
+	}
+	base := train.Config{
+		LR: 0.5, BatchPerNode: 16, Epochs: sc.Epochs,
+		Device: simnet.GPUP100, EvalSamples: 200, Seed: seed,
+	}
+	var series []DNNSeries
+	dense := base
+	dense.Method = train.MethodDense
+	series = append(series, runDNN("dense 32-bit", sc.P, simnet.Aries, dense, mkTask))
+
+	topk := base
+	topk.Method = train.MethodTopK
+	topk.LR = base.LR / float64(sc.P)
+	topk.Bucket, topk.K = 512, 2
+	topk.Algorithm = core.Auto
+	series = append(series, runDNN("topk 2/512", sc.P, simnet.Aries, topk, mkTask))
+	return series
+}
+
+// Fig5Wide reproduces Figure 5: top-1/top-5 train error of a 4×-wide
+// residual network under TopK k=1/512 versus the dense baseline on the
+// ImageNet-shaped task (1000 classes).
+func Fig5Wide(sc DNNScale, seed int64) []DNNSeries {
+	if sc.Rows == 0 {
+		sc = DNNScale{Rows: 4000, Epochs: 6, P: 8}
+	}
+	ds := data.SyntheticDense(data.ImageNetShape(sc.Rows))
+	widthFactor := 4
+	mkTask := func(rank int) train.Task {
+		return &train.MLPTask{
+			// 4× width multiplies trunk parameters ~16×; the huge classifier
+			// head (width×1000) dominates, as the paper observes for wide
+			// ResNets ("this speedup is due almost entirely to ... the last
+			// fully-connected layer").
+			Net:   nn.ResidualMLP(seed+11, ds.Dim(), 32, 2, 1000, widthFactor),
+			Shard: ds.Shard(rank, sc.P),
+		}
+	}
+	base := train.Config{
+		LR: 0.02, BatchPerNode: 8, Epochs: sc.Epochs,
+		Device: simnet.GPUP100, EvalSamples: 256, Seed: seed,
+	}
+	var series []DNNSeries
+	dense := base
+	dense.Method = train.MethodDense
+	dense.Momentum = 0.9
+	series = append(series, runDNN("dense 32-bit", sc.P, simnet.Aries, dense, mkTask))
+
+	topk := base
+	topk.Method = train.MethodTopK
+	topk.LR = 2 * base.LR / float64(sc.P)
+	topk.Bucket, topk.K = 512, 1
+	topk.Algorithm = core.Auto
+	series = append(series, runDNN("topk 1/512", sc.P, simnet.Aries, topk, mkTask))
+	return series
+}
+
+// Fig6ASR reproduces Figure 6: the ASR production workload. The baseline
+// is BMUF at the smallest node count; TopK k=4/512 runs at 2×, 4×, and 8×
+// that scale (standing in for the paper's 32/64/128 GPUs vs the 16-GPU
+// baseline), on an InfiniBand cluster of V100-rate devices.
+func Fig6ASR(sc DNNScale, seed int64) []DNNSeries {
+	if sc.Rows == 0 {
+		sc = DNNScale{Rows: 3200, Epochs: 12, P: 4}
+	}
+	cfg := data.ASRShape(sc.Rows)
+	ds := data.SyntheticSequences(cfg)
+	mk := func(P int) func(rank int) train.Task {
+		return func(rank int) train.Task {
+			return &train.LSTMTask{
+				Model: nn.NewLSTMClassifier(seed+23, cfg.Vocab, 24, 48, cfg.Classes),
+				Shard: ds.Shard(rank, P),
+			}
+		}
+	}
+	var series []DNNSeries
+
+	// Effective (not peak) V100 throughput for small-batch LSTM training:
+	// recurrent steps serialize, so utilization is a few percent of peak.
+	// Using the effective rate keeps the modeled compute/communication
+	// ratio realistic for this workload.
+	lstmDevice := simnet.Device{Name: "V100-lstm-eff", FlopsPerSec: 6e11}
+
+	// Strong scaling, as in the paper: "we keep a fixed global batch size
+	// of 512 samples, which is the same as for sequential training". At
+	// our reduced dataset scale the global batch is 256.
+	const globalBatch = 256
+
+	// BMUF baseline at the smallest scale (the paper: "training on 4
+	// nodes, 16 GPUs in total ... employing a carefully-tuned instance of
+	// block-momentum SGD"; higher node counts diverged for it).
+	bmuf := train.Config{
+		Method: train.MethodBMUF, LR: 0.5, Momentum: 0.9,
+		BatchPerNode: globalBatch / sc.P, Epochs: sc.Epochs,
+		BMUFBlockSteps: 8, BMUFMomentum: 0.5,
+		Device: lstmDevice, EvalSamples: 200, Seed: seed,
+	}
+	series = append(series, runDNN("BMUF baseline", sc.P, simnet.InfiniBandFDR, bmuf, mk(sc.P)))
+
+	for _, mult := range []int{2, 4, 8} {
+		P := sc.P * mult
+		// The paper transmits k=4/512; at our reduced parameter count that
+		// leaves too few coordinates per step, so we keep the same *selected
+		// fraction of the update mass* with k=8/512 and a sum-scaled LR.
+		topk := train.Config{
+			Method: train.MethodTopK, LR: 2.0 / float64(P),
+			BatchPerNode: max(1, globalBatch/P), Epochs: sc.Epochs,
+			Bucket: 512, K: 8, Algorithm: core.Auto,
+			Device: lstmDevice, EvalSamples: 200, Seed: seed,
+		}
+		series = append(series, runDNN(label("SparCML topk 4/512, %dx GPUs", mult*2), P, simnet.InfiniBandFDR, topk, mk(P)))
+	}
+	return series
+}
+
+// Fig6bScalability distills Figure 6b from Fig6ASR output: simulated time
+// to complete the run versus node count, normalized to the smallest TopK
+// configuration.
+type ScalabilityPoint struct {
+	Label   string
+	P       int
+	Time    float64
+	Speedup float64
+}
+
+// Scalability computes end-of-run time speedups relative to the first
+// TopK series.
+func Scalability(series []DNNSeries) []ScalabilityPoint {
+	var out []ScalabilityPoint
+	var ref float64
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		t := s.Points[len(s.Points)-1].Time
+		if ref == 0 {
+			ref = t
+		}
+		out = append(out, ScalabilityPoint{Label: s.Label, P: s.P, Time: t, Speedup: ref / t})
+	}
+	return out
+}
+
+func runDNN(name string, P int, profile simnet.Profile, cfg train.Config, mk func(rank int) train.Task) DNNSeries {
+	w := comm.NewWorld(P, profile)
+	results := comm.Run(w, func(p *comm.Proc) []train.Point {
+		return train.Run(p, mk(p.Rank()), cfg)
+	})
+	params := 0
+	if t := mk(0); t != nil {
+		params = len(t.Params())
+	}
+	return DNNSeries{Label: name, P: P, Params: params, Points: results[0]}
+}
+
+func label(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,155 @@
+// Package experiments contains the runners that regenerate every table and
+// figure of the paper's evaluation (§8). Each runner returns structured
+// rows; cmd/ tools print them and the root benchmark harness wraps them in
+// testing.B targets. DESIGN.md §3 maps experiment ids to these functions.
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+// Fig3Algorithms are the six algorithms compared in the Figure 3
+// micro-benchmarks.
+var Fig3Algorithms = []core.Algorithm{
+	core.SSARRecDouble,
+	core.SSARSplitAllgather,
+	core.DSARSplitAllgather,
+	core.DenseRabenseifner,
+	core.DenseRing,
+	core.RingSparse,
+}
+
+// MicrobenchConfig parameterizes one micro-benchmark cell: a sparse
+// allreduce of dimension N at per-node density d across P nodes.
+type MicrobenchConfig struct {
+	// N is the vector dimension (the paper uses 16M; default sweeps use
+	// 2^20 to keep memory modest — shapes are unchanged, see DESIGN.md).
+	N int
+	// Density is the per-node non-zero fraction.
+	Density float64
+	// P is the node count.
+	P int
+	// Profile is the simulated network.
+	Profile simnet.Profile
+	// Gens × Runs repeated measurements (the paper uses 5×10).
+	Gens, Runs int
+	// Seed drives data generation.
+	Seed int64
+}
+
+// MicrobenchRow is one (algorithm, configuration) measurement.
+type MicrobenchRow struct {
+	Algorithm core.Algorithm
+	N, P      int
+	Density   float64
+	// Median, Q25, Q75 are simulated reduction times in seconds.
+	Median, Q25, Q75 float64
+	// ResultNNZ is the reduced result's non-zero count (fill-in).
+	ResultNNZ int
+	// ResultDense reports whether the result ended in dense representation.
+	ResultDense bool
+}
+
+// uniformInputs draws k = d·N indices uniformly at random per node with
+// random values, the §8.1 synthetic workload.
+func uniformInputs(rng *rand.Rand, n int, density float64, P int) []*stream.Vector {
+	k := int(density * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	out := make([]*stream.Vector, P)
+	for r := range out {
+		idx := sampleDistinct(rng, n, k)
+		val := make([]float64, k)
+		for i := range val {
+			val[i] = rng.NormFloat64()
+		}
+		out[r] = stream.NewSparse(n, idx, val, stream.OpSum)
+	}
+	return out
+}
+
+// sampleDistinct draws k distinct sorted indices from [0, n). It uses a
+// dense permutation-free rejection sampler appropriate for k ≪ n and a
+// Floyd sampler otherwise.
+func sampleDistinct(rng *rand.Rand, n, k int) []int32 {
+	if k > n {
+		k = n
+	}
+	seen := make(map[int32]struct{}, k)
+	out := make([]int32, 0, k)
+	for len(out) < k {
+		ix := int32(rng.Intn(n))
+		if _, dup := seen[ix]; dup {
+			continue
+		}
+		seen[ix] = struct{}{}
+		out = append(out, ix)
+	}
+	return out
+}
+
+// RunMicrobench measures one configuration for one algorithm.
+func RunMicrobench(cfg MicrobenchConfig, alg core.Algorithm) MicrobenchRow {
+	if cfg.Gens <= 0 {
+		cfg.Gens = 2
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 3
+	}
+	var sample report.Sample
+	row := MicrobenchRow{Algorithm: alg, N: cfg.N, P: cfg.P, Density: cfg.Density}
+	for g := 0; g < cfg.Gens; g++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(g)*7907))
+		inputs := uniformInputs(rng, cfg.N, cfg.Density, cfg.P)
+		for r := 0; r < cfg.Runs; r++ {
+			w := comm.NewWorld(cfg.P, cfg.Profile)
+			results := comm.Run(w, func(p *comm.Proc) *stream.Vector {
+				return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: alg})
+			})
+			sample.Add(w.MaxTime())
+			row.ResultNNZ = results[0].NNZ()
+			row.ResultDense = results[0].IsDense()
+		}
+	}
+	row.Median = sample.Median()
+	row.Q25, row.Q75 = sample.IQR()
+	return row
+}
+
+// Fig3NodeSweep reproduces the left panel of Figure 3: reduction time
+// versus node count at fixed density (paper: Piz Daint, N=16M, d=0.781%).
+func Fig3NodeSweep(n int, density float64, nodes []int, profile simnet.Profile, gens, runs int) []MicrobenchRow {
+	var rows []MicrobenchRow
+	for _, P := range nodes {
+		for _, alg := range Fig3Algorithms {
+			rows = append(rows, RunMicrobench(MicrobenchConfig{
+				N: n, Density: density, P: P, Profile: profile,
+				Gens: gens, Runs: runs, Seed: int64(P) * 104729,
+			}, alg))
+		}
+	}
+	return rows
+}
+
+// Fig3DensitySweep reproduces the right panel of Figure 3: reduction time
+// versus per-node density at fixed node count (paper: Greina GigE, N=16M,
+// P=8).
+func Fig3DensitySweep(n, P int, densities []float64, profile simnet.Profile, gens, runs int) []MicrobenchRow {
+	var rows []MicrobenchRow
+	for _, d := range densities {
+		for _, alg := range Fig3Algorithms {
+			rows = append(rows, RunMicrobench(MicrobenchConfig{
+				N: n, Density: d, P: P, Profile: profile,
+				Gens: gens, Runs: runs, Seed: int64(d*1e6) + 17,
+			}, alg))
+		}
+	}
+	return rows
+}

@@ -1,0 +1,184 @@
+package mlopt
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+// SCDConfig configures distributed stochastic block coordinate descent
+// (§8.2: "MPI-OPT's SCD implementation, which follows the distributed
+// random block coordinate descent algorithm of [Wright]"). The model
+// dimension is partitioned across ranks; each iteration every rank updates
+// CoordsPerIter random coordinates from its own slice and the updates are
+// exchanged with an allgather — sparse (SparCML) or dense (baseline).
+type SCDConfig struct {
+	// Loss is the training objective (the paper runs logistic regression).
+	Loss Loss
+	// LR is the coordinate step size.
+	LR float64
+	// CoordsPerIter is the number of coordinates each node contributes per
+	// iteration (the paper uses 100).
+	CoordsPerIter int
+	// ItersPerEpoch defines one "dataset pass" worth of iterations.
+	ItersPerEpoch int
+	// Epochs is the number of passes.
+	Epochs int
+	// Sparse selects the SparCML sparse allgather; false selects the dense
+	// allgather baseline (each node ships its entire model slice).
+	Sparse bool
+	// Device models per-node compute speed; zero value means CPUXeon.
+	Device simnet.Device
+	// Seed drives coordinate sampling.
+	Seed int64
+}
+
+// TrainSCD runs distributed block coordinate descent on this rank's data
+// shard and returns per-epoch statistics. Margins m_i = w·x_i are cached
+// per local row and updated incrementally from the gathered coordinate
+// deltas via a column index, so each iteration costs O(touched entries)
+// rather than O(nnz).
+func TrainSCD(p *comm.Proc, shard *data.SparseDataset, cfg SCDConfig) []EpochStats {
+	if cfg.Device.FlopsPerSec == 0 {
+		cfg.Device = simnet.CPUXeon
+	}
+	if cfg.CoordsPerIter <= 0 {
+		cfg.CoordsPerIter = 100
+	}
+	rank, P := p.Rank(), p.Size()
+	dim := shard.Dim
+	w := make([]float64, dim)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(rank+1)*7919))
+
+	// Column index over the local shard: feature → (row, value) list.
+	type colEntry struct {
+		row int32
+		val float64
+	}
+	cols := make(map[int32][]colEntry)
+	for i := 0; i < shard.Rows(); i++ {
+		idx, val := shard.Row(i)
+		for j, ix := range idx {
+			cols[ix] = append(cols[ix], colEntry{int32(i), val[j]})
+		}
+	}
+	// Margin cache (w=0 ⇒ margins start at 0).
+	marg := make([]float64, shard.Rows())
+
+	lo, hi := ownedRange(dim, P, rank)
+	stats := make([]EpochStats, 0, cfg.Epochs)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := p.Now()
+		commTime := 0.0
+		for iter := 0; iter < cfg.ItersPerEpoch; iter++ {
+			// Pick distinct coordinates from my slice.
+			picked := pickCoords(rng, lo, hi, cfg.CoordsPerIter)
+			delta := make([]float64, len(picked))
+			touched := 0
+			for c, j := range picked {
+				// Coordinate gradient over the local shard.
+				g := 0.0
+				for _, e := range cols[j] {
+					y := shard.Label[e.row]
+					g += cfg.Loss.DMargin(y*marg[e.row]) * y * e.val
+				}
+				touched += len(cols[j])
+				if shard.Rows() > 0 {
+					g /= float64(shard.Rows())
+				}
+				delta[c] = -cfg.LR * g
+			}
+			p.Compute(cfg.Device.ComputeTime(float64(touched) * 4))
+
+			// Exchange the coordinate updates.
+			commStart := p.Now()
+			var gathered *stream.Vector
+			if cfg.Sparse {
+				mine := stream.NewSparse(dim, picked, delta, stream.OpSum)
+				gathered = core.SparseAllgather(p, mine)
+			} else {
+				// Dense baseline: ship the entire slice with the deltas
+				// applied, as a dense allgather of model slices.
+				slice := make([]float64, hi-lo)
+				copy(slice, w[lo:hi])
+				for c, j := range picked {
+					slice[j-int32(lo)] += delta[c]
+				}
+				parts := core.AllgatherDense(p, slice, stream.DefaultValueBytes, p.NextTagBase())
+				full := make([]float64, 0, dim)
+				for _, part := range parts {
+					full = append(full, part...)
+				}
+				diff := make([]float64, dim)
+				for i := range full {
+					diff[i] = full[i] - w[i]
+				}
+				gathered = stream.FromDense(diff, stream.OpSum)
+			}
+			commTime += p.Now() - commStart
+
+			// Apply updates and refresh the margin cache incrementally.
+			applyDeltas := func(ix int32, d float64) {
+				if d == 0 {
+					return
+				}
+				w[ix] += d
+				for _, e := range cols[ix] {
+					marg[e.row] += d * e.val
+				}
+			}
+			if gathered.IsDense() {
+				for i, d := range gathered.ToDense() {
+					applyDeltas(int32(i), d)
+				}
+			} else {
+				gi, gv := gathered.Pairs()
+				for c, ix := range gi {
+					applyDeltas(ix, gv[c])
+				}
+			}
+			p.Compute(cfg.Device.ComputeTime(float64(gathered.NNZ()) * 2))
+		}
+		loss, acc := globalEval(p, w, shard, cfg.Loss)
+		stats = append(stats, EpochStats{
+			Epoch:    epoch,
+			Time:     p.Now() - epochStart,
+			CommTime: commTime,
+			Loss:     loss,
+			Accuracy: acc,
+		})
+	}
+	return stats
+}
+
+// ownedRange is the coordinate slice owned by a rank.
+func ownedRange(dim, P, rank int) (int, int) {
+	lo := rank * dim / P
+	hi := (rank + 1) * dim / P
+	return lo, hi
+}
+
+// pickCoords samples k distinct coordinates from [lo, hi), sorted.
+func pickCoords(rng *rand.Rand, lo, hi, k int) []int32 {
+	if k > hi-lo {
+		k = hi - lo
+	}
+	seen := make(map[int32]bool, k)
+	out := make([]int32, 0, k)
+	for len(out) < k {
+		j := int32(lo + rng.Intn(hi-lo))
+		if seen[j] {
+			continue
+		}
+		seen[j] = true
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -1,0 +1,281 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LSTMClassifier is a single-layer LSTM sequence classifier with a learned
+// token embedding and a softmax head over the final hidden state — the
+// shape of the encoder used for the ATIS natural-language-understanding
+// and ASR experiments (§8.3, §8.4), at reduced dimension.
+//
+// Parameters live in one flat buffer, laid out as:
+//
+//	embedding  Vocab×Embed
+//	Wx         4·Hidden×Embed   (gate order: input, forget, cell, output)
+//	Wh         4·Hidden×Hidden
+//	b          4·Hidden
+//	Wout       Classes×Hidden
+//	bout       Classes
+type LSTMClassifier struct {
+	Vocab, Embed, Hidden, Classes int
+
+	params []float64
+	grads  []float64
+
+	offE, offWx, offWh, offB, offWout, offBout, total int
+}
+
+// NewLSTMClassifier builds and deterministically initializes the model.
+// The forget-gate bias starts at 1, the standard trick that keeps memory
+// open early in training.
+func NewLSTMClassifier(seed int64, vocab, embed, hidden, classes int) *LSTMClassifier {
+	if vocab <= 0 || embed <= 0 || hidden <= 0 || classes <= 1 {
+		panic("nn: invalid LSTM configuration")
+	}
+	m := &LSTMClassifier{Vocab: vocab, Embed: embed, Hidden: hidden, Classes: classes}
+	m.offE = 0
+	m.offWx = m.offE + vocab*embed
+	m.offWh = m.offWx + 4*hidden*embed
+	m.offB = m.offWh + 4*hidden*hidden
+	m.offWout = m.offB + 4*hidden
+	m.offBout = m.offWout + classes*hidden
+	m.total = m.offBout + classes
+	m.params = make([]float64, m.total)
+	m.grads = make([]float64, m.total)
+
+	rng := rand.New(rand.NewSource(seed))
+	scaleE := 0.1
+	for i := m.offE; i < m.offWx; i++ {
+		m.params[i] = rng.NormFloat64() * scaleE
+	}
+	scaleX := 1 / math.Sqrt(float64(embed))
+	for i := m.offWx; i < m.offWh; i++ {
+		m.params[i] = rng.NormFloat64() * scaleX
+	}
+	scaleH := 1 / math.Sqrt(float64(hidden))
+	for i := m.offWh; i < m.offB; i++ {
+		m.params[i] = rng.NormFloat64() * scaleH
+	}
+	for j := 0; j < hidden; j++ {
+		m.params[m.offB+hidden+j] = 1 // forget-gate bias
+	}
+	for i := m.offWout; i < m.offBout; i++ {
+		m.params[i] = rng.NormFloat64() * scaleH
+	}
+	return m
+}
+
+// Params returns the flat parameter buffer.
+func (m *LSTMClassifier) Params() []float64 { return m.params }
+
+// Grads returns the flat gradient buffer.
+func (m *LSTMClassifier) Grads() []float64 { return m.grads }
+
+// NumParams returns the total parameter count.
+func (m *LSTMClassifier) NumParams() int { return m.total }
+
+// ZeroGrads clears the gradient buffer.
+func (m *LSTMClassifier) ZeroGrads() {
+	for i := range m.grads {
+		m.grads[i] = 0
+	}
+}
+
+// FlopsPerToken estimates multiply-add work per token for forward+backward.
+func (m *LSTMClassifier) FlopsPerToken() float64 {
+	return 6 * float64(4*m.Hidden*(m.Embed+m.Hidden))
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// cache holds per-timestep activations for backprop through time.
+type lstmCache struct {
+	x          [][]float64 // embedded inputs
+	i, f, g, o [][]float64
+	c, h       [][]float64 // c[t], h[t] AFTER step t; index 0 is t=0 state
+	tanhC      [][]float64
+}
+
+// forward runs one sequence and returns the logits and the BPTT cache.
+func (m *LSTMClassifier) forward(seq []int) ([]float64, *lstmCache) {
+	H, E := m.Hidden, m.Embed
+	emb := m.params[m.offE:m.offWx]
+	wx := m.params[m.offWx:m.offWh]
+	wh := m.params[m.offWh:m.offB]
+	b := m.params[m.offB:m.offWout]
+
+	T := len(seq)
+	cc := &lstmCache{}
+	h := make([]float64, H)
+	c := make([]float64, H)
+	for t := 0; t < T; t++ {
+		tok := seq[t]
+		if tok < 0 || tok >= m.Vocab {
+			panic("nn: token out of vocabulary")
+		}
+		x := emb[tok*E : (tok+1)*E]
+		z := make([]float64, 4*H)
+		for r := 0; r < 4*H; r++ {
+			sum := b[r]
+			rowX := wx[r*E : (r+1)*E]
+			for j := 0; j < E; j++ {
+				sum += rowX[j] * x[j]
+			}
+			rowH := wh[r*H : (r+1)*H]
+			for j := 0; j < H; j++ {
+				sum += rowH[j] * h[j]
+			}
+			z[r] = sum
+		}
+		it := make([]float64, H)
+		ft := make([]float64, H)
+		gt := make([]float64, H)
+		ot := make([]float64, H)
+		cNew := make([]float64, H)
+		hNew := make([]float64, H)
+		tc := make([]float64, H)
+		for j := 0; j < H; j++ {
+			it[j] = sigmoid(z[j])
+			ft[j] = sigmoid(z[H+j])
+			gt[j] = math.Tanh(z[2*H+j])
+			ot[j] = sigmoid(z[3*H+j])
+			cNew[j] = ft[j]*c[j] + it[j]*gt[j]
+			tc[j] = math.Tanh(cNew[j])
+			hNew[j] = ot[j] * tc[j]
+		}
+		cc.x = append(cc.x, append([]float64(nil), x...))
+		cc.i = append(cc.i, it)
+		cc.f = append(cc.f, ft)
+		cc.g = append(cc.g, gt)
+		cc.o = append(cc.o, ot)
+		cc.c = append(cc.c, append([]float64(nil), c...)) // c_{t-1}
+		cc.tanhC = append(cc.tanhC, tc)
+		cc.h = append(cc.h, append([]float64(nil), h...)) // h_{t-1}
+		h, c = hNew, cNew
+	}
+
+	// Head: logits = Wout·h_T + bout.
+	wout := m.params[m.offWout:m.offBout]
+	bout := m.params[m.offBout:]
+	logits := make([]float64, m.Classes)
+	for k := 0; k < m.Classes; k++ {
+		sum := bout[k]
+		row := wout[k*H : (k+1)*H]
+		for j := 0; j < H; j++ {
+			sum += row[j] * h[j]
+		}
+		logits[k] = sum
+	}
+	// Stash final h in the cache for the head's backward pass.
+	cc.h = append(cc.h, h)
+	cc.c = append(cc.c, c)
+	return logits, cc
+}
+
+// backward runs BPTT for one sequence given dL/dLogits, accumulating into
+// the flat gradient buffer.
+func (m *LSTMClassifier) backward(seq []int, cc *lstmCache, dLogits []float64) {
+	H, E := m.Hidden, m.Embed
+	wx := m.params[m.offWx:m.offWh]
+	wh := m.params[m.offWh:m.offB]
+	wout := m.params[m.offWout:m.offBout]
+
+	gE := m.grads[m.offE:m.offWx]
+	gWx := m.grads[m.offWx:m.offWh]
+	gWh := m.grads[m.offWh:m.offB]
+	gB := m.grads[m.offB:m.offWout]
+	gWout := m.grads[m.offWout:m.offBout]
+	gBout := m.grads[m.offBout:]
+
+	T := len(seq)
+	hT := cc.h[T] // final hidden state
+
+	dh := make([]float64, H)
+	for k, d := range dLogits {
+		gBout[k] += d
+		row := wout[k*H : (k+1)*H]
+		grow := gWout[k*H : (k+1)*H]
+		for j := 0; j < H; j++ {
+			grow[j] += d * hT[j]
+			dh[j] += d * row[j]
+		}
+	}
+	dc := make([]float64, H)
+
+	for t := T - 1; t >= 0; t-- {
+		it, ft, gt, ot := cc.i[t], cc.f[t], cc.g[t], cc.o[t]
+		cPrev, tc := cc.c[t], cc.tanhC[t]
+		hPrev, x := cc.h[t], cc.x[t]
+
+		dz := make([]float64, 4*H)
+		for j := 0; j < H; j++ {
+			dcj := dc[j] + dh[j]*ot[j]*(1-tc[j]*tc[j])
+			doj := dh[j] * tc[j]
+			dij := dcj * gt[j]
+			dfj := dcj * cPrev[j]
+			dgj := dcj * it[j]
+			dz[j] = dij * it[j] * (1 - it[j])
+			dz[H+j] = dfj * ft[j] * (1 - ft[j])
+			dz[2*H+j] = dgj * (1 - gt[j]*gt[j])
+			dz[3*H+j] = doj * ot[j] * (1 - ot[j])
+			dc[j] = dcj * ft[j] // carried to t−1
+		}
+
+		// Parameter gradients and input gradients.
+		dhPrev := make([]float64, H)
+		dx := make([]float64, E)
+		for r := 0; r < 4*H; r++ {
+			d := dz[r]
+			if d == 0 {
+				continue
+			}
+			gB[r] += d
+			rowX := wx[r*E : (r+1)*E]
+			growX := gWx[r*E : (r+1)*E]
+			for j := 0; j < E; j++ {
+				growX[j] += d * x[j]
+				dx[j] += d * rowX[j]
+			}
+			rowH := wh[r*H : (r+1)*H]
+			growH := gWh[r*H : (r+1)*H]
+			for j := 0; j < H; j++ {
+				growH[j] += d * hPrev[j]
+				dhPrev[j] += d * rowH[j]
+			}
+		}
+		tok := seq[t]
+		gtok := gE[tok*E : (tok+1)*E]
+		for j := 0; j < E; j++ {
+			gtok[j] += dx[j]
+		}
+		dh = dhPrev
+	}
+}
+
+// Step runs forward+backward over a batch of sequences, accumulating the
+// batch-averaged gradient, and returns the mean loss and top-1 correct
+// count.
+func (m *LSTMClassifier) Step(seqs [][]int, labels []int) (loss float64, correct int) {
+	logits := make([][]float64, len(seqs))
+	caches := make([]*lstmCache, len(seqs))
+	for s, seq := range seqs {
+		logits[s], caches[s] = m.forward(seq)
+	}
+	loss, dLogits, correct := SoftmaxCE(logits, labels)
+	for s, seq := range seqs {
+		m.backward(seq, caches[s], dLogits[s])
+	}
+	return loss, correct
+}
+
+// Eval runs forward only, returning mean loss and top-1 correct count.
+func (m *LSTMClassifier) Eval(seqs [][]int, labels []int) (loss float64, correct int) {
+	logits := make([][]float64, len(seqs))
+	for s, seq := range seqs {
+		logits[s], _ = m.forward(seq)
+	}
+	loss, _, correct = SoftmaxCE(logits, labels)
+	return loss, correct
+}

@@ -1,0 +1,147 @@
+package quant
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// OneBit implements 1-bit SGD quantization (Seide et al. 2014), the
+// earliest of the quantization lineage the paper builds on (§9: "Seide et
+// al. was among the first to propose quantization to reduce the bandwidth
+// and latency costs of training deep networks"). Each bucket stores one
+// sign bit per entry plus two float32 reconstruction levels — the mean of
+// the positive entries and the mean of the negative entries — so decoding
+// is unbiased *per sign class*; the per-coordinate quantization error is
+// returned for the caller's error-feedback residual, which is what makes
+// 1-bit SGD converge.
+type OneBit struct {
+	n      int
+	bucket int
+	pos    []float32 // per-bucket mean of positive entries
+	neg    []float32 // per-bucket mean of negative entries (≤ 0)
+	bits   []byte    // 1 = positive class
+}
+
+// EncodeOneBit quantizes v with the given bucket size and returns the
+// encoding along with the per-coordinate error (v − decode), which callers
+// add to their error-feedback residual.
+func EncodeOneBit(v []float64, bucket int) (*OneBit, []float64) {
+	if bucket <= 0 {
+		panic("quant: bucket must be positive")
+	}
+	nb := (len(v) + bucket - 1) / bucket
+	q := &OneBit{
+		n:      len(v),
+		bucket: bucket,
+		pos:    make([]float32, nb),
+		neg:    make([]float32, nb),
+		bits:   make([]byte, (len(v)+7)/8),
+	}
+	for b := 0; b < nb; b++ {
+		lo, hi := b*bucket, (b+1)*bucket
+		if hi > len(v) {
+			hi = len(v)
+		}
+		var posSum, negSum float64
+		var posN, negN int
+		for i := lo; i < hi; i++ {
+			if v[i] >= 0 {
+				posSum += v[i]
+				posN++
+			} else {
+				negSum += v[i]
+				negN++
+			}
+		}
+		if posN > 0 {
+			q.pos[b] = float32(posSum / float64(posN))
+		}
+		if negN > 0 {
+			q.neg[b] = float32(negSum / float64(negN))
+		}
+		for i := lo; i < hi; i++ {
+			if v[i] >= 0 {
+				q.bits[i/8] |= 1 << (i % 8)
+			}
+		}
+	}
+	err := make([]float64, len(v))
+	dec := q.Decode()
+	for i := range v {
+		err[i] = v[i] - dec[i]
+	}
+	return q, err
+}
+
+// Dim returns the vector dimension.
+func (q *OneBit) Dim() int { return q.n }
+
+// Decode reconstructs the quantized vector.
+func (q *OneBit) Decode() []float64 {
+	out := make([]float64, q.n)
+	for i := range out {
+		b := i / q.bucket
+		if q.bits[i/8]&(1<<(i%8)) != 0 {
+			out[i] = float64(q.pos[b])
+		} else {
+			out[i] = float64(q.neg[b])
+		}
+	}
+	return out
+}
+
+// WireBytes returns the transmitted size: one bit per entry plus two
+// float32 levels per bucket plus a 5-byte header.
+func (q *OneBit) WireBytes() int {
+	return 5 + len(q.bits) + 8*len(q.pos)
+}
+
+// CompressionRatio returns dense float64 bytes over quantized bytes
+// (~64× for large buckets).
+func (q *OneBit) CompressionRatio() float64 {
+	return float64(8*q.n) / float64(q.WireBytes())
+}
+
+// Marshal serializes the encoding.
+func (q *OneBit) Marshal() []byte {
+	buf := make([]byte, 0, 9+8*len(q.pos)+len(q.bits))
+	var hdr [9]byte
+	hdr[0] = 1
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(q.bucket))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(q.n))
+	buf = append(buf, hdr[:]...)
+	for i := range q.pos {
+		var b [8]byte
+		binary.LittleEndian.PutUint32(b[:4], math.Float32bits(q.pos[i]))
+		binary.LittleEndian.PutUint32(b[4:], math.Float32bits(q.neg[i]))
+		buf = append(buf, b[:]...)
+	}
+	return append(buf, q.bits...)
+}
+
+// UnmarshalOneBit reverses Marshal.
+func UnmarshalOneBit(buf []byte) (*OneBit, error) {
+	if len(buf) < 9 || buf[0] != 1 {
+		return nil, fmt.Errorf("quant: not a one-bit payload")
+	}
+	bucket := int(binary.LittleEndian.Uint32(buf[1:]))
+	n := int(binary.LittleEndian.Uint32(buf[5:]))
+	if bucket <= 0 || n < 0 {
+		return nil, fmt.Errorf("quant: corrupt one-bit header")
+	}
+	nb := (n + bucket - 1) / bucket
+	want := 9 + 8*nb + (n+7)/8
+	if len(buf) != want {
+		return nil, fmt.Errorf("quant: one-bit payload is %d bytes, want %d", len(buf), want)
+	}
+	q := &OneBit{n: n, bucket: bucket, pos: make([]float32, nb), neg: make([]float32, nb)}
+	off := 9
+	for i := 0; i < nb; i++ {
+		q.pos[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		q.neg[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4:]))
+		off += 8
+	}
+	q.bits = append([]byte(nil), buf[off:]...)
+	return q, nil
+}

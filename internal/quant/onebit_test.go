@@ -1,0 +1,121 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOneBitDecodePreservesSignClassMeans(t *testing.T) {
+	v := []float64{3, 1, -2, -4, 2, 0}
+	q, errv := EncodeOneBit(v, 6)
+	dec := q.Decode()
+	// Positive entries decode to the positive mean (3+1+2+0)/4 = 1.5;
+	// negatives to (−2−4)/2 = −3.
+	for i, x := range v {
+		want := 1.5
+		if x < 0 {
+			want = -3
+		}
+		if math.Abs(dec[i]-want) > 1e-6 {
+			t.Fatalf("coord %d: decode %g, want %g", i, dec[i], want)
+		}
+		if math.Abs(errv[i]-(x-dec[i])) > 1e-12 {
+			t.Fatalf("coord %d: error term wrong", i)
+		}
+	}
+}
+
+func TestOneBitErrorSumsPreserved(t *testing.T) {
+	// Within one bucket, decode preserves the total sum of positives and
+	// of negatives, so the error terms sum to ~0 per sign class — the
+	// property that makes 1-bit SGD with feedback unbiased in aggregate.
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float64, 512)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	_, errv := EncodeOneBit(v, 512)
+	var posErr, negErr float64
+	for i, x := range v {
+		if x >= 0 {
+			posErr += errv[i]
+		} else {
+			negErr += errv[i]
+		}
+	}
+	if math.Abs(posErr) > 1e-4 || math.Abs(negErr) > 1e-4 {
+		t.Fatalf("per-class error sums not ~0: %g, %g", posErr, negErr)
+	}
+}
+
+func TestOneBitCompressionRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := make([]float64, 1<<16)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	q, _ := EncodeOneBit(v, 1024)
+	if r := q.CompressionRatio(); r < 55 || r > 64 {
+		t.Fatalf("compression ratio %g, want ~60", r)
+	}
+}
+
+func TestOneBitMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := make([]float64, 1000) // non-multiple of bucket
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	q, _ := EncodeOneBit(v, 128)
+	q2, err := UnmarshalOneBit(q.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := q.Decode(), q2.Decode()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("coord %d: %g != %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUnmarshalOneBitRejectsCorrupt(t *testing.T) {
+	if _, err := UnmarshalOneBit([]byte{1, 2}); err == nil {
+		t.Fatal("expected error on short buffer")
+	}
+	q, _ := EncodeOneBit(make([]float64, 64), 16)
+	buf := q.Marshal()
+	if _, err := UnmarshalOneBit(buf[:len(buf)-1]); err == nil {
+		t.Fatal("expected error on truncation")
+	}
+	buf[0] = 7
+	if _, err := UnmarshalOneBit(buf); err == nil {
+		t.Fatal("expected error on wrong flag")
+	}
+}
+
+// Property: decode + error always reconstructs the input exactly.
+func TestQuickOneBitLossless(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		bucket := 1 + rng.Intn(256)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		q, errv := EncodeOneBit(v, bucket)
+		dec := q.Decode()
+		for i := range v {
+			if math.Abs(dec[i]+errv[i]-v[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

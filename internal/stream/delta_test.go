@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeltaRoundTrip(t *testing.T) {
+	v := NewSparse(1<<20, []int32{0, 1, 1000, 1048575}, []float64{1, -2, 3.5, 4}, OpSum)
+	got, err := DecodeDelta(v.EncodeDelta(), 1<<20, OpSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Fatal("delta round trip changed the vector")
+	}
+}
+
+func TestQuickDeltaRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(1<<16)
+		v := randVector(rng, n, rng.Float64()*0.1, OpSum)
+		v.Sparsify()
+		got, err := DecodeDelta(v.EncodeDelta(), n, OpSum)
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireBytesDeltaMatchesEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		v := randVector(rng, 1+rng.Intn(1<<18), 0.01, OpSum)
+		v.Sparsify()
+		if got, want := v.WireBytesDelta(), len(v.EncodeDelta()); got != want {
+			t.Fatalf("WireBytesDelta = %d, encoded length = %d", got, want)
+		}
+	}
+}
+
+func TestDeltaCompressesClusteredIndices(t *testing.T) {
+	// Adjacent indices: gaps of 1 take 1 byte vs 4 fixed → ~25% savings on
+	// the index stream.
+	n := 1 << 20
+	k := 10000
+	idx := make([]int32, k)
+	val := make([]float64, k)
+	for i := range idx {
+		idx[i] = int32(i) // fully clustered
+		val[i] = 1
+	}
+	v := NewSparse(n, idx, val, OpSum)
+	fixed := v.WireBytes()
+	delta := v.WireBytesDelta()
+	// Fixed: 12 bytes/entry. Delta: 9 bytes/entry (1-byte gap + 8 value).
+	if ratio := float64(fixed) / float64(delta); ratio < 1.3 {
+		t.Fatalf("clustered compression ratio %.2f, want ≥1.3", ratio)
+	}
+}
+
+func TestDeltaNearFixedForSpreadIndices(t *testing.T) {
+	// Uniformly spread indices over 2^20 need ~3-byte varints: still a
+	// saving over 4-byte fixed but bounded.
+	rng := rand.New(rand.NewSource(4))
+	v := randSparseExact(rng, 1<<20, 5000)
+	fixed := v.WireBytes()
+	delta := v.WireBytesDelta()
+	if delta >= fixed {
+		t.Fatalf("delta (%d) should not exceed fixed (%d) here", delta, fixed)
+	}
+	if float64(fixed)/float64(delta) > 1.5 {
+		t.Fatalf("spread indices should not compress more than ~1.5x, got %.2f", float64(fixed)/float64(delta))
+	}
+}
+
+func TestDecodeDeltaRejectsCorrupt(t *testing.T) {
+	v := NewSparse(100, []int32{5, 10}, []float64{1, 2}, OpSum)
+	buf := v.EncodeDelta()
+	if _, err := DecodeDelta(buf[:len(buf)-3], 100, OpSum); err == nil {
+		t.Fatal("expected error on truncated values")
+	}
+	if _, err := DecodeDelta([]byte{9, 0, 0, 0, 0}, 100, OpSum); err == nil {
+		t.Fatal("expected error on wrong flag")
+	}
+	// Index beyond the universe.
+	big := NewSparse(1000, []int32{999}, []float64{1}, OpSum)
+	if _, err := DecodeDelta(big.EncodeDelta(), 10, OpSum); err == nil {
+		t.Fatal("expected error on out-of-range index")
+	}
+}
+
+func TestEncodeDeltaPanicsOnDense(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	v := NewDense([]float64{1, 2}, OpSum)
+	v.EncodeDelta()
+}
+
+func BenchmarkEncodeDelta(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := randSparseExact(rng, 1<<20, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.EncodeDelta()
+	}
+}
+
+func BenchmarkEncodeFixed(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := randSparseExact(rng, 1<<20, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Encode()
+	}
+}

@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire format (little endian):
+//
+//	byte 0       format flag: 0 = sparse, 1 = dense
+//	bytes 1..4   uint32 nnz (sparse) or unused (dense)
+//	sparse:      nnz × (uint32 index, float64 value)
+//	dense:       N × float64 value
+//
+// The modeled wire size (WireBytes) may differ from the encoded length when
+// ValueBytes is 4: storage stays float64 but the cost model charges 4 bytes
+// per value, mirroring a single-precision deployment.
+
+const (
+	flagSparse byte = 0
+	flagDense  byte = 1
+)
+
+var errShortBuffer = errors.New("stream: short buffer")
+
+// Encode serializes the vector. The universe size and operation are not
+// part of the wire format; Decode requires them (collectives know both).
+func (v *Vector) Encode() []byte {
+	if v.dns != nil {
+		buf := make([]byte, HeaderBytes+8*v.n)
+		buf[0] = flagDense
+		for i, x := range v.dns {
+			binary.LittleEndian.PutUint64(buf[HeaderBytes+8*i:], math.Float64bits(x))
+		}
+		return buf
+	}
+	buf := make([]byte, HeaderBytes+12*len(v.idx))
+	buf[0] = flagSparse
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(v.idx)))
+	off := HeaderBytes
+	for i, ix := range v.idx {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(ix))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(v.val[i]))
+		off += 12
+	}
+	return buf
+}
+
+// Decode deserializes a vector of dimension n for operation op from buf.
+func Decode(buf []byte, n int, op Op) (*Vector, error) {
+	if len(buf) < HeaderBytes {
+		return nil, errShortBuffer
+	}
+	v := Zero(n, op)
+	switch buf[0] {
+	case flagDense:
+		if len(buf) != HeaderBytes+8*n {
+			return nil, fmt.Errorf("stream: dense payload is %d bytes, want %d", len(buf), HeaderBytes+8*n)
+		}
+		v.dns = make([]float64, n)
+		for i := range v.dns {
+			v.dns[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[HeaderBytes+8*i:]))
+		}
+		return v, nil
+	case flagSparse:
+		nnz := int(binary.LittleEndian.Uint32(buf[1:]))
+		if len(buf) != HeaderBytes+12*nnz {
+			return nil, fmt.Errorf("stream: sparse payload is %d bytes, want %d", len(buf), HeaderBytes+12*nnz)
+		}
+		v.idx = make([]int32, nnz)
+		v.val = make([]float64, nnz)
+		off := HeaderBytes
+		var prev int32 = -1
+		for i := 0; i < nnz; i++ {
+			ix := int32(binary.LittleEndian.Uint32(buf[off:]))
+			if ix <= prev || int(ix) >= n {
+				return nil, fmt.Errorf("stream: corrupt index %d at position %d", ix, i)
+			}
+			prev = ix
+			v.idx[i] = ix
+			v.val[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+			off += 12
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("stream: unknown format flag %d", buf[0])
+	}
+}

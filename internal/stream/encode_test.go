@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeSparse(t *testing.T) {
+	v := NewSparse(1000, []int32{3, 500, 999}, []float64{1.5, -2.25, 1e-9}, OpSum)
+	buf := v.Encode()
+	if len(buf) != HeaderBytes+3*12 {
+		t.Fatalf("encoded length = %d, want %d", len(buf), HeaderBytes+3*12)
+	}
+	got, err := Decode(buf, 1000, OpSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Fatal("round trip changed the vector")
+	}
+}
+
+func TestEncodeDecodeDense(t *testing.T) {
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i) * 0.5
+	}
+	v := NewDense(vals, OpSum)
+	got, err := Decode(v.Encode(), 64, OpSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsDense() || !got.Equal(v) {
+		t.Fatal("dense round trip failed")
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad flag":     {9, 0, 0, 0, 0},
+		"short sparse": {flagSparse, 2, 0, 0, 0, 1},
+		"short dense":  {flagDense, 0, 0, 0, 0, 1, 2},
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf, 8, OpSum); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDecodeRejectsUnsortedIndices(t *testing.T) {
+	a := NewSparse(100, []int32{5}, []float64{1}, OpSum)
+	b := NewSparse(100, []int32{3}, []float64{1}, OpSum)
+	buf := a.Encode()
+	// Splice b's pair after a's to create out-of-order indices.
+	buf = append(buf, b.Encode()[HeaderBytes:]...)
+	buf[1] = 2 // nnz = 2
+	if _, err := Decode(buf, 100, OpSum); err == nil {
+		t.Fatal("expected error on unsorted indices")
+	}
+}
+
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(256)
+		v := randVector(rng, n, rng.Float64(), OpSum)
+		got, err := Decode(v.Encode(), n, OpSum)
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

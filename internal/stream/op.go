@@ -1,0 +1,80 @@
+// Package stream implements SparCML's "sparse streams" (paper §5.1): a
+// vector representation that starts sparse (sorted index–value pairs) and
+// automatically switches to a dense array once the number of non-zero
+// entries crosses the efficiency threshold δ. Streams support coordinate-wise
+// reduction under any associative operation with a neutral element, merge-
+// based summation, disjoint concatenation, range extraction for
+// partition-based collectives, and wire (de)serialization with exact byte
+// accounting for the α–β cost model.
+package stream
+
+import "math"
+
+// Op identifies a coordinate-wise associative reduction operation with a
+// neutral element, as required by the paper ("arbitrary coordinate-wise
+// associative reduction operations for which a neutral-element can be
+// defined", §5.2).
+type Op int
+
+const (
+	// OpSum is element-wise addition; neutral element 0.
+	OpSum Op = iota
+	// OpMax is element-wise maximum; neutral element -Inf.
+	OpMax
+	// OpMin is element-wise minimum; neutral element +Inf.
+	OpMin
+	// OpProd is element-wise product over the *present* entries; neutral
+	// element 1. Note that unlike OpSum, absent coordinates are treated as
+	// the neutral element 1, matching MPI's treatment of sparse reductions
+	// that ignore neutral elements (Träff, 2010).
+	OpProd
+)
+
+// Neutral returns the operation's neutral element: combining any value x
+// with Neutral() yields x.
+func (op Op) Neutral() float64 {
+	switch op {
+	case OpSum:
+		return 0
+	case OpMax:
+		return math.Inf(-1)
+	case OpMin:
+		return math.Inf(1)
+	case OpProd:
+		return 1
+	default:
+		panic("stream: unknown Op")
+	}
+}
+
+// Combine applies the binary reduction to two values.
+func (op Op) Combine(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	case OpProd:
+		return a * b
+	default:
+		panic("stream: unknown Op")
+	}
+}
+
+// String returns the MPI-style name of the operation.
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "SUM"
+	case OpMax:
+		return "MAX"
+	case OpMin:
+		return "MIN"
+	case OpProd:
+		return "PROD"
+	default:
+		return "UNKNOWN"
+	}
+}

@@ -1,0 +1,268 @@
+package stream
+
+import "fmt"
+
+// Add reduces other into v coordinate-wise under v's operation, mutating v
+// and possibly switching it to the dense representation. This implements
+// the "efficient summation" cases of §5.1:
+//
+//   - sparse + sparse: if the upper bound |H1|+|H2| on the union exceeds δ,
+//     v is densified first (the paper avoids computing the exact union size
+//     because that is as costly as the merge itself); otherwise a sorted
+//     two-way merge produces the result in O(|H1|+|H2|).
+//   - dense + sparse: the sparse side's pairs are folded into the dense
+//     array in place.
+//   - dense + dense: element-wise loop over the arrays, reusing v's storage.
+func (v *Vector) Add(other *Vector) {
+	if v.n != other.n {
+		panic(fmt.Sprintf("stream: dimension mismatch %d vs %d", v.n, other.n))
+	}
+	if v.op != other.op {
+		panic("stream: operation mismatch")
+	}
+	switch {
+	case v.dns == nil && other.dns == nil:
+		if len(v.idx)+len(other.idx) > v.delta {
+			v.Densify()
+			v.addSparseIntoDense(other)
+			return
+		}
+		v.mergeSparse(other)
+	case v.dns != nil && other.dns == nil:
+		v.addSparseIntoDense(other)
+	case v.dns == nil && other.dns != nil:
+		// Iterate over v's sparse pairs, setting positions in a copy of the
+		// dense input; then adopt the dense result.
+		dns := append([]float64(nil), other.dns...)
+		for i, ix := range v.idx {
+			dns[ix] = v.op.Combine(dns[ix], v.val[i])
+		}
+		v.dns = dns
+		v.idx, v.val = nil, nil
+	default:
+		for i, x := range other.dns {
+			v.dns[i] = v.op.Combine(v.dns[i], x)
+		}
+	}
+}
+
+func (v *Vector) addSparseIntoDense(other *Vector) {
+	for i, ix := range other.idx {
+		v.dns[ix] = v.op.Combine(v.dns[ix], other.val[i])
+	}
+}
+
+// mergeSparse performs the sorted two-way merge of two sparse vectors.
+func (v *Vector) mergeSparse(other *Vector) {
+	a, av := v.idx, v.val
+	b, bv := other.idx, other.val
+	idx := make([]int32, 0, len(a)+len(b))
+	val := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			idx = append(idx, a[i])
+			val = append(val, av[i])
+			i++
+		case a[i] > b[j]:
+			idx = append(idx, b[j])
+			val = append(val, bv[j])
+			j++
+		default:
+			combined := v.op.Combine(av[i], bv[j])
+			// Cancellation can re-create the neutral element; drop it to
+			// keep the representation canonical.
+			if combined != v.op.Neutral() {
+				idx = append(idx, a[i])
+				val = append(val, combined)
+			}
+			i++
+			j++
+		}
+	}
+	idx = append(idx, a[i:]...)
+	val = append(val, av[i:]...)
+	idx = append(idx, b[j:]...)
+	val = append(val, bv[j:]...)
+	v.idx, v.val = idx, val
+}
+
+// AddHash is an alternative reduction used only for the merge-strategy
+// ablation (DESIGN.md §4.2): instead of a sorted merge it accumulates into
+// a hash map and re-sorts. Semantically identical to Add for sparse+sparse
+// inputs; falls back to Add otherwise.
+func (v *Vector) AddHash(other *Vector) {
+	if v.dns != nil || other.dns != nil {
+		v.Add(other)
+		return
+	}
+	if v.n != other.n || v.op != other.op {
+		panic("stream: mismatched vectors")
+	}
+	m := make(map[int32]float64, len(v.idx)+len(other.idx))
+	for i, ix := range v.idx {
+		m[ix] = v.val[i]
+	}
+	for i, ix := range other.idx {
+		if old, ok := m[ix]; ok {
+			m[ix] = v.op.Combine(old, other.val[i])
+		} else {
+			m[ix] = other.val[i]
+		}
+	}
+	neutral := v.op.Neutral()
+	idx := make([]int32, 0, len(m))
+	for ix, x := range m {
+		if x != neutral {
+			idx = append(idx, ix)
+		}
+	}
+	sortInt32(idx)
+	val := make([]float64, len(idx))
+	for i, ix := range idx {
+		val[i] = m[ix]
+	}
+	v.idx, v.val = idx, val
+	v.maybeDensify()
+}
+
+func sortInt32(a []int32) {
+	// Insertion sort for tiny inputs, pdq-style fallback via sort.Slice.
+	if len(a) <= 32 {
+		for i := 1; i < len(a); i++ {
+			for j := i; j > 0 && a[j] < a[j-1]; j-- {
+				a[j], a[j-1] = a[j-1], a[j]
+			}
+		}
+		return
+	}
+	quickSortInt32(a)
+}
+
+func quickSortInt32(a []int32) {
+	for len(a) > 32 {
+		p := partitionInt32(a)
+		if p < len(a)-p {
+			quickSortInt32(a[:p])
+			a = a[p+1:]
+		} else {
+			quickSortInt32(a[p+1:])
+			a = a[:p]
+		}
+	}
+	sortInt32(a)
+}
+
+func partitionInt32(a []int32) int {
+	mid := len(a) / 2
+	if a[mid] < a[0] {
+		a[mid], a[0] = a[0], a[mid]
+	}
+	if a[len(a)-1] < a[0] {
+		a[len(a)-1], a[0] = a[0], a[len(a)-1]
+	}
+	if a[len(a)-1] < a[mid] {
+		a[len(a)-1], a[mid] = a[mid], a[len(a)-1]
+	}
+	pivot := a[mid]
+	a[mid], a[len(a)-2] = a[len(a)-2], a[mid]
+	i := 0
+	for j := 0; j < len(a)-2; j++ {
+		if a[j] < pivot {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[len(a)-2] = a[len(a)-2], a[i]
+	return i
+}
+
+// Concat merges two vectors whose index sets are guaranteed disjoint (the
+// partition-by-dimension case of §5.1, where the sum is a simple
+// concatenation). Panics if an overlap is detected during the merge. Both
+// inputs must be sparse.
+func (v *Vector) Concat(other *Vector) {
+	if v.dns != nil || other.dns != nil {
+		panic("stream: Concat requires sparse inputs")
+	}
+	if v.n != other.n || v.op != other.op {
+		panic("stream: mismatched vectors")
+	}
+	if len(v.idx)+len(other.idx) > v.delta {
+		v.Densify()
+		v.addSparseIntoDense(other)
+		return
+	}
+	// Fast path: strictly ordered ranges concatenate without a merge.
+	if len(v.idx) == 0 || len(other.idx) == 0 ||
+		v.idx[len(v.idx)-1] < other.idx[0] {
+		v.idx = append(v.idx, other.idx...)
+		v.val = append(v.val, other.val...)
+		return
+	}
+	if other.idx[len(other.idx)-1] < v.idx[0] {
+		v.idx = append(append([]int32(nil), other.idx...), v.idx...)
+		v.val = append(append([]float64(nil), other.val...), v.val...)
+		return
+	}
+	// Interleaved but disjoint: merge, panicking on equality.
+	before := len(v.idx) + len(other.idx)
+	v.mergeSparse(other)
+	if len(v.idx) != before {
+		panic("stream: Concat inputs overlap")
+	}
+}
+
+// ExtractRange returns a new sparse vector over the same universe holding
+// only the coordinates in [lo, hi). Indices stay global. Used by the split
+// phase of the SSAR/DSAR split-allgather algorithms (§5.3.2).
+func (v *Vector) ExtractRange(lo, hi int) *Vector {
+	if lo < 0 || hi > v.n || lo > hi {
+		panic("stream: bad range")
+	}
+	out := Zero(v.n, v.op)
+	out.valueBytes = v.valueBytes
+	out.delta = v.delta
+	if v.dns != nil {
+		neutral := v.op.Neutral()
+		for i := lo; i < hi; i++ {
+			if v.dns[i] != neutral {
+				out.idx = append(out.idx, int32(i))
+				out.val = append(out.val, v.dns[i])
+			}
+		}
+		return out
+	}
+	loPos := searchInt32(v.idx, int32(lo))
+	hiPos := searchInt32(v.idx, int32(hi))
+	out.idx = append(out.idx, v.idx[loPos:hiPos]...)
+	out.val = append(out.val, v.val[loPos:hiPos]...)
+	return out
+}
+
+func searchInt32(a []int32, x int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Scale multiplies every present entry by s. Only meaningful for OpSum.
+func (v *Vector) Scale(s float64) {
+	if v.dns != nil {
+		for i := range v.dns {
+			v.dns[i] *= s
+		}
+		return
+	}
+	for i := range v.val {
+		v.val[i] *= s
+	}
+}

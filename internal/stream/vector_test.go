@@ -1,0 +1,199 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDelta(t *testing.T) {
+	// δ = N·isize/(c+isize): with float64 values and 4-byte indices the
+	// sparse format pays 12 bytes/entry vs 8 bytes/slot dense → δ = 2N/3.
+	if got := Delta(1200, 8); got != 800 {
+		t.Fatalf("Delta(1200,8) = %d, want 800", got)
+	}
+	// With float32 values the sparse entry costs 8 bytes vs 4 dense → δ = N/2.
+	if got := Delta(1000, 4); got != 500 {
+		t.Fatalf("Delta(1000,4) = %d, want 500", got)
+	}
+	if got := Delta(0, 8); got != 0 {
+		t.Fatalf("Delta(0,8) = %d, want 0", got)
+	}
+}
+
+func TestNewSparseSortsAndValidates(t *testing.T) {
+	v := NewSparse(10, []int32{7, 2, 5}, []float64{7, 2, 5}, OpSum)
+	idx, val := v.Pairs()
+	want := []int32{2, 5, 7}
+	for i := range want {
+		if idx[i] != want[i] || val[i] != float64(want[i]) {
+			t.Fatalf("pair %d = (%d,%g), want (%d,%d)", i, idx[i], val[i], want[i], want[i])
+		}
+	}
+}
+
+func TestNewSparseDropsNeutral(t *testing.T) {
+	v := NewSparse(10, []int32{1, 2, 3}, []float64{0, 4, 0}, OpSum)
+	if v.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1", v.NNZ())
+	}
+	if v.Get(2) != 4 {
+		t.Fatalf("Get(2) = %g, want 4", v.Get(2))
+	}
+}
+
+func TestNewSparsePanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate index")
+		}
+	}()
+	NewSparse(10, []int32{3, 3}, []float64{1, 2}, OpSum)
+}
+
+func TestNewSparsePanicsOnOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	NewSparse(10, []int32{10}, []float64{1}, OpSum)
+}
+
+func TestAutoDensifyOnConstruction(t *testing.T) {
+	n := 12
+	// δ = 8 for n=12; 9 entries must densify.
+	idx := make([]int32, 9)
+	val := make([]float64, 9)
+	for i := range idx {
+		idx[i] = int32(i)
+		val[i] = 1
+	}
+	v := NewSparse(n, idx, val, OpSum)
+	if !v.IsDense() {
+		t.Fatalf("vector with nnz=9 > δ=%d should be dense", v.Delta())
+	}
+	if v.NNZ() != 9 {
+		t.Fatalf("NNZ = %d, want 9", v.NNZ())
+	}
+}
+
+func TestFromDenseChoosesRepresentation(t *testing.T) {
+	sparseIn := make([]float64, 100)
+	sparseIn[3] = 1
+	sparseIn[97] = -2
+	v := FromDense(sparseIn, OpSum)
+	if v.IsDense() {
+		t.Fatal("2/100 non-zeros should stay sparse")
+	}
+	denseIn := make([]float64, 100)
+	for i := range denseIn {
+		denseIn[i] = float64(i + 1)
+	}
+	w := FromDense(denseIn, OpSum)
+	if !w.IsDense() {
+		t.Fatal("fully dense input should be dense")
+	}
+}
+
+func TestGetAndToDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		dense := make([]float64, n)
+		for i := range dense {
+			if rng.Float64() < 0.3 {
+				dense[i] = rng.NormFloat64()
+			}
+		}
+		v := FromDense(dense, OpSum)
+		got := v.ToDense()
+		for i := range dense {
+			if got[i] != dense[i] || v.Get(i) != dense[i] {
+				t.Fatalf("trial %d: coordinate %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestNeutralElementsForMinMax(t *testing.T) {
+	v := NewSparse(8, []int32{2}, []float64{5}, OpMax)
+	if got := v.Get(0); !math.IsInf(got, -1) {
+		t.Fatalf("OpMax absent coordinate = %g, want -Inf", got)
+	}
+	w := NewSparse(8, []int32{2}, []float64{5}, OpMin)
+	if got := w.Get(0); !math.IsInf(got, 1) {
+		t.Fatalf("OpMin absent coordinate = %g, want +Inf", got)
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	v := NewSparse(100, []int32{1, 2, 3}, []float64{1, 2, 3}, OpSum)
+	if got := v.WireBytes(); got != HeaderBytes+3*12 {
+		t.Fatalf("sparse WireBytes = %d, want %d", got, HeaderBytes+3*12)
+	}
+	v.Densify()
+	if got := v.WireBytes(); got != HeaderBytes+100*8 {
+		t.Fatalf("dense WireBytes = %d, want %d", got, HeaderBytes+100*8)
+	}
+	v.SetValueBytes(4)
+	if got := v.WireBytes(); got != HeaderBytes+100*4 {
+		t.Fatalf("fp32 dense WireBytes = %d, want %d", got, HeaderBytes+100*4)
+	}
+}
+
+func TestSparsifyDensifyRoundTrip(t *testing.T) {
+	v := NewSparse(50, []int32{10, 20}, []float64{1.5, -2.5}, OpSum)
+	orig := v.Clone()
+	v.Densify()
+	v.Sparsify()
+	if !v.Equal(orig) {
+		t.Fatal("densify→sparsify changed the vector")
+	}
+	if v.IsDense() {
+		t.Fatal("Sparsify left the vector dense")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	v := NewSparse(10, []int32{1}, []float64{1}, OpSum)
+	c := v.Clone()
+	c.Add(NewSparse(10, []int32{1}, []float64{5}, OpSum))
+	if v.Get(1) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+// Property: FromDense∘ToDense is the identity on arbitrary vectors.
+func TestQuickDenseRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, x := range raw {
+			if math.IsNaN(x) {
+				raw[i] = 0 // NaN breaks == comparison by design; exclude.
+			}
+		}
+		v := FromDense(raw, OpSum)
+		got := v.ToDense()
+		for i := range raw {
+			if got[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetDeltaTriggersSwitch(t *testing.T) {
+	v := NewSparse(1000, []int32{1, 2, 3, 4}, []float64{1, 2, 3, 4}, OpSum)
+	v.SetDelta(3)
+	if !v.IsDense() {
+		t.Fatal("lowering δ below nnz must densify")
+	}
+}

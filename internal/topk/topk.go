@@ -1,0 +1,245 @@
+// Package topk implements the gradient sparsification used by Top-K SGD
+// (paper §2.2, §8.3, §8.4): selecting the k largest-magnitude components of
+// a gradient vector, either globally or per bucket of consecutive
+// coordinates (the paper selects e.g. k=4 out of every 512 consecutive
+// entries), together with the error-feedback residual accumulator of
+// Algorithm 1/2.
+package topk
+
+import (
+	"math"
+
+	"repro/internal/stream"
+)
+
+// Select returns the indices of the k largest-magnitude entries of v, in
+// ascending index order. Ties are broken toward lower indices, making the
+// selection deterministic. If k >= len(v) all indices are returned.
+func Select(v []float64, k int) []int32 {
+	if k < 0 {
+		panic("topk: negative k")
+	}
+	if k >= len(v) {
+		out := make([]int32, len(v))
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	if k == 0 {
+		return nil
+	}
+	// Min-heap of size k over (|value|, -index) so the smallest retained
+	// magnitude sits at the root; ties prefer keeping the lower index.
+	h := make([]heapItem, 0, k)
+	for i, x := range v {
+		m := math.Abs(x)
+		if len(h) < k {
+			h = append(h, heapItem{m, int32(i)})
+			siftUp(h, len(h)-1)
+			continue
+		}
+		if less(heapItem{m, int32(i)}, h[0]) {
+			continue
+		}
+		h[0] = heapItem{m, int32(i)}
+		siftDown(h, 0)
+	}
+	out := make([]int32, len(h))
+	for i, it := range h {
+		out[i] = it.idx
+	}
+	sortIdx(out)
+	return out
+}
+
+type heapItem struct {
+	mag float64
+	idx int32
+}
+
+// less orders items by magnitude, breaking ties by preferring higher index
+// as "smaller" so that lower indices survive eviction.
+func less(a, b heapItem) bool {
+	if a.mag != b.mag {
+		return a.mag < b.mag
+	}
+	return a.idx > b.idx
+}
+
+func siftUp(h []heapItem, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []heapItem, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && less(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && less(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+func sortIdx(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+		if i >= 64 {
+			// Fall back for large k: shell sort pass covers the rest.
+			shellSort(a)
+			return
+		}
+	}
+}
+
+func shellSort(a []int32) {
+	for gap := len(a) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(a); i++ {
+			for j := i; j >= gap && a[j] < a[j-gap]; j -= gap {
+				a[j], a[j-gap] = a[j-gap], a[j]
+			}
+		}
+	}
+}
+
+// Sparsify returns a sparse stream holding the k largest-magnitude entries
+// of v (global selection).
+func Sparsify(v []float64, k int) *stream.Vector {
+	idx := Select(v, k)
+	val := make([]float64, len(idx))
+	for i, ix := range idx {
+		val[i] = v[ix]
+	}
+	return stream.NewSparse(len(v), idx, val, stream.OpSum)
+}
+
+// SparsifyBuckets splits v into buckets of `bucket` consecutive coordinates
+// and keeps the k largest-magnitude entries of each bucket (the per-bucket
+// TopK of §8.3: "we select k = 8 and 16 entries from every bucket of 512
+// consecutive elements"). The final short bucket keeps min(k, len) entries.
+func SparsifyBuckets(v []float64, bucket, k int) *stream.Vector {
+	if bucket <= 0 {
+		panic("topk: bucket must be positive")
+	}
+	idx := make([]int32, 0, (len(v)/bucket+1)*k)
+	val := make([]float64, 0, cap(idx))
+	for lo := 0; lo < len(v); lo += bucket {
+		hi := lo + bucket
+		if hi > len(v) {
+			hi = len(v)
+		}
+		for _, rel := range Select(v[lo:hi], k) {
+			ix := int32(lo) + rel
+			idx = append(idx, ix)
+			val = append(val, v[ix])
+		}
+	}
+	return stream.NewSparse(len(v), idx, val, stream.OpSum)
+}
+
+// Residual is the error-feedback accumulator of Algorithm 1/2: components
+// not selected for transmission accumulate locally and are re-added to the
+// next gradient ("The value of the components which are not chosen is
+// accumulated, and added to the gradient vector of the next iteration").
+type Residual struct {
+	acc []float64
+}
+
+// NewResidual creates a zeroed accumulator of dimension n.
+func NewResidual(n int) *Residual {
+	return &Residual{acc: make([]float64, n)}
+}
+
+// Dim returns the accumulator dimension.
+func (r *Residual) Dim() int { return len(r.acc) }
+
+// Accumulate adds grad (scaled by lr) into the residual and returns the
+// accumulator acc_t = eps_{t-1} + lr·grad. The returned slice is the
+// internal buffer; callers must not retain it across calls.
+func (r *Residual) Accumulate(grad []float64, lr float64) []float64 {
+	if len(grad) != len(r.acc) {
+		panic("topk: gradient dimension mismatch")
+	}
+	for i, g := range grad {
+		r.acc[i] += lr * g
+	}
+	return r.acc
+}
+
+// Extract selects the per-bucket TopK of the accumulator, removes the
+// selected entries from the residual (eps_t = acc_t − TopK(acc_t)), and
+// returns them as a sparse stream. bucket<=0 selects globally.
+func (r *Residual) Extract(bucket, k int) *stream.Vector {
+	var out *stream.Vector
+	if bucket <= 0 {
+		out = Sparsify(r.acc, k)
+	} else {
+		out = SparsifyBuckets(r.acc, bucket, k)
+	}
+	idx, _ := out.Pairs()
+	for _, ix := range idx {
+		r.acc[ix] = 0
+	}
+	return out
+}
+
+// ExtractSpan is Extract restricted to the coordinate range [lo, hi) — one
+// layer's slice of the flat parameter buffer. Used for layer-wise gradient
+// exchange (§8.3). The returned stream is over the full dimension with
+// global indices; selected entries are removed from the residual.
+func (r *Residual) ExtractSpan(lo, hi, bucket, k int) *stream.Vector {
+	if lo < 0 || hi > len(r.acc) || lo > hi {
+		panic("topk: bad span")
+	}
+	sub := r.acc[lo:hi]
+	var local *stream.Vector
+	if bucket <= 0 {
+		local = Sparsify(sub, k)
+	} else {
+		local = SparsifyBuckets(sub, bucket, k)
+	}
+	// Tiny spans can trip the automatic dense switch; the pair view is
+	// needed regardless of representation.
+	local.Sparsify()
+	idx, val := local.Pairs()
+	global := make([]int32, len(idx))
+	for i, ix := range idx {
+		global[i] = ix + int32(lo)
+		r.acc[global[i]] = 0
+	}
+	return stream.NewSparse(len(r.acc), global, append([]float64(nil), val...), stream.OpSum)
+}
+
+// Norm returns the L2 norm of the residual, used to track error-feedback
+// magnitude in convergence experiments.
+func (r *Residual) Norm() float64 {
+	s := 0.0
+	for _, x := range r.acc {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Reset zeroes the accumulator.
+func (r *Residual) Reset() {
+	for i := range r.acc {
+		r.acc[i] = 0
+	}
+}

@@ -1,0 +1,218 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectBasic(t *testing.T) {
+	v := []float64{0.1, -5, 2, 0, 4.5, -4.6}
+	got := Select(v, 3)
+	want := []int32{1, 4, 5} // magnitudes 5, 4.5, 4.6
+	if len(got) != len(want) {
+		t.Fatalf("Select = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Select = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectKLargerThanLen(t *testing.T) {
+	got := Select([]float64{1, 2}, 10)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Select = %v, want [0 1]", got)
+	}
+}
+
+func TestSelectZeroK(t *testing.T) {
+	if got := Select([]float64{1, 2, 3}, 0); len(got) != 0 {
+		t.Fatalf("Select(k=0) = %v, want empty", got)
+	}
+}
+
+func TestSelectTieBreaksTowardLowerIndex(t *testing.T) {
+	v := []float64{1, -1, 1, 1}
+	got := Select(v, 2)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("tie break wrong: %v, want [0 1]", got)
+	}
+}
+
+// Property: the selected set contains the k largest magnitudes — every
+// selected magnitude >= every unselected magnitude.
+func TestQuickSelectIsTopK(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		k := rng.Intn(n + 1)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		sel := Select(v, k)
+		if len(sel) != min(k, n) {
+			return false
+		}
+		chosen := make(map[int32]bool, len(sel))
+		minChosen := math.Inf(1)
+		for _, ix := range sel {
+			chosen[ix] = true
+			if m := math.Abs(v[ix]); m < minChosen {
+				minChosen = m
+			}
+		}
+		for i, x := range v {
+			if !chosen[int32(i)] && math.Abs(x) > minChosen {
+				return false
+			}
+		}
+		// Indices must come back sorted.
+		return sort.SliceIsSorted(sel, func(i, j int) bool { return sel[i] < sel[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparsifyValues(t *testing.T) {
+	v := []float64{0, -3, 1, 7}
+	s := Sparsify(v, 2)
+	if s.NNZ() != 2 || s.Get(1) != -3 || s.Get(3) != 7 {
+		t.Fatalf("Sparsify wrong: %v", s)
+	}
+}
+
+func TestSparsifyBucketsSelectsPerBucket(t *testing.T) {
+	// Two buckets of 4; one huge value in bucket 0 should not starve
+	// bucket 1's selection.
+	v := []float64{100, 99, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	s := SparsifyBuckets(v, 4, 2)
+	if s.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4", s.NNZ())
+	}
+	for _, ix := range []int{0, 1, 6, 7} {
+		if s.Get(ix) != v[ix] {
+			t.Fatalf("coordinate %d missing from per-bucket selection", ix)
+		}
+	}
+}
+
+func TestSparsifyBucketsShortTail(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5} // bucket=4 → tail bucket has 1 element
+	s := SparsifyBuckets(v, 4, 2)
+	if s.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 (2 from first bucket + 1 tail)", s.NNZ())
+	}
+	if s.Get(4) != 5 {
+		t.Fatal("tail bucket entry missing")
+	}
+}
+
+func TestResidualErrorFeedbackInvariant(t *testing.T) {
+	// Invariant of Algorithm 1: sent + residual == accumulated, at every
+	// step, for every coordinate.
+	rng := rand.New(rand.NewSource(5))
+	n := 64
+	r := NewResidual(n)
+	total := make([]float64, n) // sum of all lr·grad so far
+	sent := make([]float64, n)  // sum of all transmitted entries
+	for step := 0; step < 20; step++ {
+		grad := make([]float64, n)
+		for i := range grad {
+			grad[i] = math.Round(rng.NormFloat64()*16) / 16
+		}
+		lr := 0.5
+		r.Accumulate(grad, lr)
+		for i, g := range grad {
+			total[i] += lr * g
+		}
+		out := r.Extract(16, 2)
+		idx, val := out.Pairs()
+		for i, ix := range idx {
+			sent[ix] += val[i]
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(total[i]-(sent[i]+r.acc[i])) > 1e-12 {
+				t.Fatalf("step %d coord %d: total=%g sent+res=%g", step, i, total[i], sent[i]+r.acc[i])
+			}
+		}
+	}
+}
+
+func TestResidualExtractZeroesSelected(t *testing.T) {
+	r := NewResidual(8)
+	r.Accumulate([]float64{5, 0, 0, 1, 0, 0, 0, 2}, 1)
+	out := r.Extract(0, 2)
+	if out.Get(0) != 5 || out.Get(7) != 2 {
+		t.Fatalf("extract wrong: %v", out)
+	}
+	if r.acc[0] != 0 || r.acc[7] != 0 {
+		t.Fatal("selected entries must be zeroed in the residual")
+	}
+	if r.acc[3] != 1 {
+		t.Fatal("unselected entry must remain in the residual")
+	}
+}
+
+func TestResidualNormAndReset(t *testing.T) {
+	r := NewResidual(4)
+	r.Accumulate([]float64{3, 4, 0, 0}, 1)
+	if got := r.Norm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm = %g, want 5", got)
+	}
+	r.Reset()
+	if r.Norm() != 0 {
+		t.Fatal("Reset did not zero the residual")
+	}
+}
+
+func TestSelectLargeKUsesShellSortPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	v := make([]float64, 1000)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	sel := Select(v, 300)
+	if !sort.SliceIsSorted(sel, func(i, j int) bool { return sel[i] < sel[j] }) {
+		t.Fatal("large-k selection not sorted")
+	}
+	if len(sel) != 300 {
+		t.Fatalf("len = %d, want 300", len(sel))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkSelect1MTop1Percent(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float64, 1<<20)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Select(v, len(v)/100)
+	}
+}
+
+func BenchmarkSparsifyBuckets512(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float64, 1<<20)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SparsifyBuckets(v, 512, 4)
+	}
+}

@@ -1,0 +1,252 @@
+// Package sparcml is the public API of the SparCML reproduction: sparse
+// collective communication for machine learning (Renggli et al., SC'19).
+//
+// A World hosts P ranks as goroutines; each rank's program receives a Comm
+// handle and exchanges sparse vectors with MPI-style collectives whose
+// implementations exploit sparsity (SSAR/DSAR algorithms, §5.3 of the
+// paper), optionally with QSGD low-precision compression of dense stages
+// (§6) and nonblocking semantics (§7).
+//
+// Quick start:
+//
+//	world := sparcml.NewWorld(8, sparcml.Aries)
+//	results := sparcml.Run(world, func(c *sparcml.Comm) []float64 {
+//	    v := sparcml.NewSparse(1<<20, myIdx, myVal)
+//	    sum := c.Allreduce(v, sparcml.Options{})
+//	    return sum.ToDense()
+//	})
+//
+// All collectives move real data and simultaneously advance a virtual
+// latency–bandwidth clock, so world.SimTime() reports the communication
+// time the operation would take on the selected network (Cray Aries,
+// InfiniBand FDR, Gigabit Ethernet, or a Spark-like software stack).
+package sparcml
+
+import (
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/quant"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+// Vector is a sparse stream: a vector over [0, N) stored as sorted
+// index–value pairs that automatically switches to a dense array when it
+// fills in past the δ threshold. See stream.Vector for the full method
+// set (Add, Concat, ExtractRange, Encode, ...).
+type Vector = stream.Vector
+
+// Op is a coordinate-wise reduction operation with a neutral element.
+type Op = stream.Op
+
+// Reduction operations.
+const (
+	OpSum  = stream.OpSum
+	OpMax  = stream.OpMax
+	OpMin  = stream.OpMin
+	OpProd = stream.OpProd
+)
+
+// Algorithm selects an allreduce implementation.
+type Algorithm = core.Algorithm
+
+// Allreduce algorithms (§5.3), dense baselines, and Auto selection.
+const (
+	Auto               = core.Auto
+	SSARRecDouble      = core.SSARRecDouble
+	SSARSplitAllgather = core.SSARSplitAllgather
+	DSARSplitAllgather = core.DSARSplitAllgather
+	DenseRecDouble     = core.DenseRecDouble
+	DenseRabenseifner  = core.DenseRabenseifner
+	DenseRing          = core.DenseRing
+	RingSparse         = core.RingSparse
+)
+
+// Options configures an allreduce; see core.Options.
+type Options = core.Options
+
+// QuantConfig configures QSGD stochastic quantization; see quant.Config.
+type QuantConfig = quant.Config
+
+// Quantization norms.
+const (
+	NormMax = quant.NormMax
+	NormL2  = quant.NormL2
+)
+
+// Profile describes a network in the α–β cost model.
+type Profile = simnet.Profile
+
+// Built-in network profiles.
+var (
+	// Aries models Piz Daint's Cray Aries interconnect.
+	Aries = simnet.Aries
+	// InfiniBandFDR models an FDR InfiniBand fabric.
+	InfiniBandFDR = simnet.InfiniBandFDR
+	// GigE models Gigabit Ethernet.
+	GigE = simnet.GigE
+	// SparkLike models a JVM dataflow communication layer.
+	SparkLike = simnet.SparkLike
+)
+
+// NewSparse builds a sparse vector of dimension n from index–value pairs
+// under summation. Indices must be unique and in [0, n); they need not be
+// sorted.
+func NewSparse(n int, idx []int32, val []float64) *Vector {
+	return stream.NewSparse(n, idx, val, stream.OpSum)
+}
+
+// NewSparseOp is NewSparse with an explicit reduction operation.
+func NewSparseOp(n int, idx []int32, val []float64, op Op) *Vector {
+	return stream.NewSparse(n, idx, val, op)
+}
+
+// NewDense builds a dense vector under summation.
+func NewDense(values []float64) *Vector {
+	return stream.NewDense(values, stream.OpSum)
+}
+
+// FromDense builds a vector from a dense slice, choosing the sparse
+// representation when beneficial.
+func FromDense(values []float64) *Vector {
+	return stream.FromDense(values, stream.OpSum)
+}
+
+// World is a group of P communicating ranks over a simulated network.
+type World struct {
+	inner *comm.World
+}
+
+// NewWorld creates a world of p ranks on the given network profile.
+func NewWorld(p int, profile Profile) *World {
+	return &World{inner: comm.NewWorld(p, profile)}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.inner.Size() }
+
+// SimTime returns the maximum simulated completion time across ranks for
+// the most recent Run.
+func (w *World) SimTime() float64 { return w.inner.MaxTime() }
+
+// SimTimes returns each rank's simulated completion time for the most
+// recent Run.
+func (w *World) SimTimes() []float64 { return w.inner.Times() }
+
+// Comm is one rank's communicator handle.
+type Comm struct {
+	proc *comm.Proc
+}
+
+// Run executes f concurrently on every rank of the world and returns the
+// per-rank results in rank order. It may be called repeatedly; each call
+// starts fresh virtual clocks, so SimTime after a call reports that call's
+// simulated duration.
+func Run[R any](w *World, f func(*Comm) R) []R {
+	return comm.Run(w.inner, func(p *comm.Proc) R {
+		return f(&Comm{proc: p})
+	})
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.proc.Rank() }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.proc.Size() }
+
+// Now returns this rank's current virtual time in seconds.
+func (c *Comm) Now() float64 { return c.proc.Now() }
+
+// Compute advances this rank's virtual clock by a modeled local
+// computation of the given duration.
+func (c *Comm) Compute(seconds float64) { c.proc.Compute(seconds) }
+
+// Allreduce performs a sparse allreduce of v across all ranks and returns
+// the reduction (identical on every rank). v is not modified.
+func (c *Comm) Allreduce(v *Vector, opts Options) *Vector {
+	return core.Allreduce(c.proc, v, opts)
+}
+
+// IAllreduce starts a nonblocking allreduce; the input must not be
+// modified until Wait. Ranks must issue nonblocking operations in
+// identical program order.
+func (c *Comm) IAllreduce(v *Vector, opts Options) *Request {
+	return &Request{inner: core.IAllreduce(c.proc, v, opts), c: c}
+}
+
+// AllgatherSparse gathers disjoint sparse contributions from all ranks
+// into their union (identical on every rank).
+func (c *Comm) AllgatherSparse(mine *Vector) *Vector {
+	return core.SparseAllgather(c.proc, mine)
+}
+
+// IAllgatherSparse is the nonblocking variant of AllgatherSparse.
+func (c *Comm) IAllgatherSparse(mine *Vector) *Request {
+	return &Request{inner: core.ISparseAllgather(c.proc, mine), c: c}
+}
+
+// AllreduceDense reduces a raw dense slice (recursive doubling), returning
+// the sum on every rank — a convenience for scalars and small metadata.
+func (c *Comm) AllreduceDense(x []float64) []float64 {
+	return core.AllreduceDense(c.proc, x, stream.OpSum)
+}
+
+// Bcast broadcasts root's slice to every rank.
+func (c *Comm) Bcast(x []float64, root int) []float64 {
+	return core.Bcast(c.proc, x, root, stream.DefaultValueBytes)
+}
+
+// Barrier synchronizes all ranks.
+func (c *Comm) Barrier() { c.proc.Barrier() }
+
+// Reduce combines every rank's vector at the root (binomial tree);
+// non-root ranks return nil.
+func (c *Comm) Reduce(v *Vector, root int) *Vector {
+	return core.Reduce(c.proc, v, root)
+}
+
+// ReduceScatter partitions the dimension space uniformly across ranks and
+// returns this rank's fully reduced partition.
+func (c *Comm) ReduceScatter(v *Vector) *Vector {
+	return core.ReduceScatterSparse(c.proc, v)
+}
+
+// Gather collects disjoint sparse contributions at the root; non-root
+// ranks return nil.
+func (c *Comm) Gather(mine *Vector, root int) *Vector {
+	return core.GatherSparse(c.proc, mine, root)
+}
+
+// Scatter splits the root's vector by the uniform dimension partition and
+// returns each rank's slice. Non-root ranks pass v == nil and must supply
+// n and op.
+func (c *Comm) Scatter(v *Vector, root, n int, op Op) *Vector {
+	return core.ScatterRanges(c.proc, v, root, n, op)
+}
+
+// Alltoall sends pieces[r] to rank r and returns the pieces received,
+// indexed by source.
+func (c *Comm) Alltoall(pieces []*Vector) []*Vector {
+	return core.AlltoallSparse(c.proc, pieces)
+}
+
+// DrydenAllreduce runs the Dryden et al. (2016) lossy sparse allreduce
+// baseline: the result keeps at most k entries; the locally postponed
+// remainder is returned for the caller's error-feedback residual.
+func (c *Comm) DrydenAllreduce(v *Vector, k int) (result, postponed *Vector) {
+	return core.DrydenAllreduce(c.proc, v, k)
+}
+
+// Request is a handle on a nonblocking collective.
+type Request struct {
+	inner *core.Request
+	c     *Comm
+}
+
+// Wait blocks until the operation completes, folds its virtual time into
+// the caller (modeling computation/communication overlap), and returns
+// the result.
+func (r *Request) Wait() *Vector { return r.inner.Wait(r.c.proc) }
+
+// Test reports whether the operation has completed, without blocking.
+func (r *Request) Test() bool { return r.inner.Test() }

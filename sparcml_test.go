@@ -1,0 +1,182 @@
+package sparcml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeAllreduce(t *testing.T) {
+	w := NewWorld(4, Aries)
+	results := Run(w, func(c *Comm) *Vector {
+		v := NewSparse(100, []int32{int32(c.Rank()), 50}, []float64{1, 2})
+		return c.Allreduce(v, Options{})
+	})
+	for r, res := range results {
+		if res.Get(50) != 8 {
+			t.Fatalf("rank %d: shared coordinate = %g, want 8", r, res.Get(50))
+		}
+		for i := 0; i < 4; i++ {
+			if res.Get(i) != 1 {
+				t.Fatalf("rank %d: coordinate %d = %g, want 1", r, i, res.Get(i))
+			}
+		}
+	}
+	if w.SimTime() <= 0 {
+		t.Fatal("simulated time must be positive")
+	}
+	if len(w.SimTimes()) != 4 {
+		t.Fatal("SimTimes length")
+	}
+}
+
+func TestFacadeNonblockingAndBarrier(t *testing.T) {
+	w := NewWorld(2, GigE)
+	Run(w, func(c *Comm) any {
+		v := NewSparse(10, []int32{int32(c.Rank())}, []float64{1})
+		req := c.IAllreduce(v, Options{Algorithm: SSARRecDouble})
+		c.Compute(1e-6)
+		res := req.Wait()
+		if res.NNZ() != 2 {
+			panic("wrong nonblocking result")
+		}
+		if !req.Test() {
+			panic("Test after Wait must be true")
+		}
+		c.Barrier()
+		return nil
+	})
+}
+
+func TestFacadeAllgatherAndBcast(t *testing.T) {
+	w := NewWorld(3, InfiniBandFDR)
+	results := Run(w, func(c *Comm) [2]float64 {
+		mine := NewSparse(30, []int32{int32(10 * c.Rank())}, []float64{float64(c.Rank() + 1)})
+		union := c.AllgatherSparse(mine)
+		bc := c.Bcast([]float64{42}, 1)
+		return [2]float64{union.Get(20), bc[0]}
+	})
+	for r, got := range results {
+		if got[0] != 3 || got[1] != 42 {
+			t.Fatalf("rank %d: got %v", r, got)
+		}
+	}
+}
+
+func TestFacadeQuantizedOptions(t *testing.T) {
+	w := NewWorld(4, Aries)
+	results := Run(w, func(c *Comm) *Vector {
+		vals := make([]float64, 1024)
+		for i := range vals {
+			vals[i] = math.Sin(float64(i + c.Rank()))
+		}
+		v := FromDense(vals)
+		return c.Allreduce(v, Options{
+			Algorithm: DSARSplitAllgather,
+			Quant:     &QuantConfig{Bits: 4, Bucket: 256, Norm: NormMax},
+		})
+	})
+	for r := 1; r < len(results); r++ {
+		if !results[r].Equal(results[0]) {
+			t.Fatal("quantized results must be identical across ranks")
+		}
+	}
+}
+
+func TestFacadeDenseHelpers(t *testing.T) {
+	w := NewWorld(2, Aries)
+	out := Run(w, func(c *Comm) float64 {
+		return c.AllreduceDense([]float64{float64(c.Rank() + 1)})[0]
+	})
+	if out[0] != 3 || out[1] != 3 {
+		t.Fatalf("got %v, want [3 3]", out)
+	}
+}
+
+func TestFacadeVectorConstructors(t *testing.T) {
+	v := NewDense([]float64{1, 0, 2})
+	if !v.IsDense() || v.NNZ() != 2 {
+		t.Fatal("NewDense wrong")
+	}
+	s := FromDense([]float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 1})
+	if s.IsDense() {
+		t.Fatal("FromDense should pick sparse for 10% density")
+	}
+	m := NewSparseOp(5, []int32{1}, []float64{3}, OpMax)
+	if m.Op() != OpMax {
+		t.Fatal("NewSparseOp op lost")
+	}
+}
+
+func TestFacadeRootedCollectives(t *testing.T) {
+	w := NewWorld(4, Aries)
+	results := Run(w, func(c *Comm) *Vector {
+		v := NewSparse(40, []int32{int32(c.Rank())}, []float64{1})
+		red := c.Reduce(v, 2)
+		if c.Rank() != 2 && red != nil {
+			panic("non-root got a reduction")
+		}
+		mine := NewSparse(40, []int32{int32(10 * c.Rank())}, []float64{float64(c.Rank() + 1)})
+		g := c.Gather(mine, 0)
+		if c.Rank() == 0 {
+			if g.NNZ() != 4 {
+				panic("gather wrong")
+			}
+			return g
+		}
+		return red
+	})
+	if results[2] == nil || results[2].NNZ() != 4 {
+		t.Fatal("root reduction missing or wrong")
+	}
+}
+
+func TestFacadeScatterAlltoallReduceScatter(t *testing.T) {
+	w := NewWorld(4, Aries)
+	Run(w, func(c *Comm) any {
+		// Scatter from root 0.
+		var full *Vector
+		if c.Rank() == 0 {
+			full = NewSparse(40, []int32{5, 15, 25, 35}, []float64{5, 15, 25, 35})
+		}
+		piece := c.Scatter(full, 0, 40, OpSum)
+		if piece.NNZ() != 1 {
+			panic("scatter piece wrong")
+		}
+		// Alltoall identity payloads.
+		pieces := make([]*Vector, 4)
+		for i := range pieces {
+			pieces[i] = NewSparse(8, []int32{int32(c.Rank())}, []float64{1})
+		}
+		got := c.Alltoall(pieces)
+		for src, g := range got {
+			if g.Get(src) != 1 {
+				panic("alltoall wrong")
+			}
+		}
+		// ReduceScatter of a shared vector.
+		v := NewSparse(40, []int32{0, 10, 20, 30}, []float64{1, 1, 1, 1})
+		mine := c.ReduceScatter(v)
+		lo := c.Rank() * 10
+		if mine.Get(lo) != 4 {
+			panic("reduce-scatter wrong")
+		}
+		return nil
+	})
+}
+
+func TestFacadeDrydenAllreduce(t *testing.T) {
+	w := NewWorld(4, Aries)
+	results := Run(w, func(c *Comm) *Vector {
+		v := NewSparse(64, []int32{int32(c.Rank() * 16)}, []float64{float64(c.Rank() + 1)})
+		res, post := c.DrydenAllreduce(v, 64)
+		if post.NNZ() != 0 {
+			panic("nothing should be postponed with large k")
+		}
+		return res
+	})
+	for _, res := range results {
+		if res.NNZ() != 4 {
+			t.Fatal("Dryden result wrong")
+		}
+	}
+}
