@@ -98,6 +98,67 @@ func BenchmarkFig3PerAlgorithm(b *testing.B) {
 	}
 }
 
+// --- Hierarchical (two-level topology) -------------------------------------
+
+// BenchmarkHierVsFlat measures the issue's acceptance scenario: a sparse
+// allreduce at N=2^20, d=0.01% on P=32 ranks, once with flat
+// SSAR_Split_allgather on a world priced entirely by the Aries inter-node
+// profile and once with SSAR_Hierarchical on a two-level topology (4
+// ranks/node, NVLink-like intra + Aries inter). The simulated time of the
+// hierarchical variant must come out lower.
+func BenchmarkHierVsFlat(b *testing.B) {
+	const n, P, rpn = 1 << 20, 32, 4
+	rng := rand.New(rand.NewSource(13))
+	nf := float64(n)
+	inputs := make([]*stream.Vector, P)
+	for r := range inputs {
+		k := int(1e-4 * nf)
+		idx := make([]int32, 0, k)
+		seen := map[int32]bool{}
+		val := make([]float64, 0, k)
+		for len(idx) < k {
+			ix := int32(rng.Intn(n))
+			if !seen[ix] {
+				seen[ix] = true
+				idx = append(idx, ix)
+				val = append(val, rng.NormFloat64())
+			}
+		}
+		inputs[r] = stream.NewSparse(n, idx, val, stream.OpSum)
+	}
+	topo := simnet.Topology{RanksPerNode: rpn, Intra: simnet.NVLinkLike, Inter: simnet.Aries}
+	b.Run("flat-inter", func(b *testing.B) {
+		w := comm.NewWorld(P, simnet.Aries)
+		for i := 0; i < b.N; i++ {
+			comm.Run(w, func(p *comm.Proc) any {
+				return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: core.SSARSplitAllgather})
+			})
+		}
+		b.ReportMetric(w.MaxTime()*1e6, "simµs/op")
+	})
+	b.Run("hier-topo", func(b *testing.B) {
+		w := comm.NewWorldTopo(P, topo)
+		for i := 0; i < b.N; i++ {
+			comm.Run(w, func(p *comm.Proc) any {
+				return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: core.HierSSAR})
+			})
+		}
+		b.ReportMetric(w.MaxTime()*1e6, "simµs/op")
+	})
+}
+
+// BenchmarkHierSweep runs the reduced hierarchical crossover sweep (the
+// cmd/sparbench -sweep hier scenario at test scale).
+func BenchmarkHierSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.HierNodeSweep(1<<16, 1e-3, []int{8, 16, 32}, 4,
+			simnet.NVLinkLike, simnet.Aries, 1, 1)
+		if len(rows) != 3 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
 // --- Figure 4 -------------------------------------------------------------
 
 // BenchmarkFig4aCIFARTopK runs the CIFAR-shaped comparison (dense vs TopK

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -23,19 +25,31 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("density: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/-help: usage already printed, exit 0
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("density", flag.ContinueOnError)
 	var (
-		fig       = flag.Int("fig", 1, "figure to regenerate: 1 or 7")
-		n         = flag.Int("n", 270000, "model dimension for Figure 1 (~ResNet20 parameter count)")
-		empirical = flag.Bool("empirical", false, "also measure real TopK gradient fill-in (slower)")
-		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		fig       = fs.Int("fig", 1, "figure to regenerate: 1 or 7")
+		n         = fs.Int("n", 270000, "model dimension for Figure 1 (~ResNet20 parameter count)")
+		empirical = fs.Bool("empirical", false, "also measure real TopK gradient fill-in (slower)")
+		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	switch *fig {
 	case 1:
 		nodes := report.Pow2Range(2, 256)
 		densities := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25}
-		fmt.Printf("# Figure 1: reduced-result density (%%) vs node count and per-node density; N=%d\n", *n)
+		fmt.Fprintf(stdout, "# Figure 1: reduced-result density (%%) vs node count and per-node density; N=%d\n", *n)
 		var rows []experiments.Fig1Row
 		if *empirical {
 			rows = experiments.Fig1Empirical(nodes[:6], densities, 1) // empirical capped at P=64
@@ -55,9 +69,9 @@ func main() {
 				emp,
 			)
 		}
-		emit(tb, *csv)
+		return tb.Emit(stdout, *csv)
 	case 7:
-		fmt.Println("# Figure 7: expected size growth of the reduced result, uniform distribution, N=512")
+		fmt.Fprintln(stdout, "# Figure 7: expected size growth of the reduced result, uniform distribution, N=512")
 		ks := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 		ps := report.Pow2Range(2, 64)
 		rows := experiments.Fig7Table(ks, ps)
@@ -70,18 +84,8 @@ func main() {
 				fmt.Sprintf("%.2f", r.Growth),
 			)
 		}
-		emit(tb, *csv)
+		return tb.Emit(stdout, *csv)
 	default:
-		log.Fatalf("unknown figure %d (want 1 or 7)", *fig)
+		return fmt.Errorf("unknown figure %d (want 1 or 7)", *fig)
 	}
-}
-
-func emit(tb *report.Table, csv bool) {
-	if csv {
-		if err := tb.WriteCSV(os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-		return
-	}
-	tb.Fprint(os.Stdout)
 }

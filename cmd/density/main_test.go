@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig7(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-fig", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 7") || !strings.Contains(buf.String(), "E[K]") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestRunFig1Analytic(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-fig", "1", "-n", "5000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 1") || !strings.Contains(buf.String(), "analytic%") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-fig", "3"}, &buf); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+}

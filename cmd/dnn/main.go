@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -24,41 +26,53 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dnn: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/-help: usage already printed, exit 0
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dnn", flag.ContinueOnError)
 	var (
-		task   = flag.String("task", "cifar", "experiment: cifar | atis | wide | asr")
-		rows   = flag.Int("rows", 0, "dataset rows (0 = task default)")
-		epochs = flag.Int("epochs", 0, "training epochs (0 = task default)")
-		p      = flag.Int("p", 0, "base rank count (0 = task default)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		task   = fs.String("task", "cifar", "experiment: cifar | atis | wide | asr")
+		rows   = fs.Int("rows", 0, "dataset rows (0 = task default)")
+		epochs = fs.Int("epochs", 0, "training epochs (0 = task default)")
+		p      = fs.Int("p", 0, "base rank count (0 = task default)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	sc := experiments.DNNScale{Rows: *rows, Epochs: *epochs, P: *p}
 	if sc.Rows != 0 && (sc.Epochs == 0 || sc.P == 0) {
-		log.Fatal("-rows, -epochs and -p must be set together (or all left default)")
+		return fmt.Errorf("-rows, -epochs and -p must be set together (or all left default)")
 	}
 
 	var series []experiments.DNNSeries
 	switch *task {
 	case "cifar":
-		fmt.Println("# Figure 4a: train accuracy, sparsified+quantized vs dense SGD (CIFAR-shaped, residual MLP for ResNet-110)")
+		fmt.Fprintln(stdout, "# Figure 4a: train accuracy, sparsified+quantized vs dense SGD (CIFAR-shaped, residual MLP for ResNet-110)")
 		series = experiments.Fig4aCIFAR(sc, *seed)
 	case "atis":
-		fmt.Println("# Figure 4b: train accuracy, LSTM on ATIS-shaped data, topk 2/512 vs dense")
+		fmt.Fprintln(stdout, "# Figure 4b: train accuracy, LSTM on ATIS-shaped data, topk 2/512 vs dense")
 		series = experiments.Fig4bATIS(sc, *seed)
 	case "wide":
-		fmt.Println("# Figure 5: top-1/top-5 train accuracy, 4x-wide residual net, topk 1/512 vs dense (ImageNet-shaped)")
+		fmt.Fprintln(stdout, "# Figure 5: top-1/top-5 train accuracy, 4x-wide residual net, topk 1/512 vs dense (ImageNet-shaped)")
 		series = experiments.Fig5Wide(sc, *seed)
 	case "asr":
-		fmt.Println("# Figure 6a: CE loss vs simulated time, ASR-shaped LSTM; BMUF baseline vs SparCML topk at 2x/4x/8x GPUs")
+		fmt.Fprintln(stdout, "# Figure 6a: CE loss vs simulated time, ASR-shaped LSTM; BMUF baseline vs SparCML topk at 2x/4x/8x GPUs")
 		series = experiments.Fig6ASR(sc, *seed)
 	default:
-		log.Fatalf("unknown task %q", *task)
+		return fmt.Errorf("unknown task %q", *task)
 	}
 
 	for _, s := range series {
-		fmt.Printf("\n== %s (P=%d, %d params)\n", s.Label, s.P, s.Params)
+		fmt.Fprintf(stdout, "\n== %s (P=%d, %d params)\n", s.Label, s.P, s.Params)
 		tb := report.NewTable("epoch", "sim-time", "comm-time", "loss", "top1", "top5", "bytes-sent")
 		for _, pt := range s.Points {
 			tb.AddRowRaw(
@@ -71,25 +85,18 @@ func main() {
 				report.FormatBytes(pt.BytesSent),
 			)
 		}
-		emit(tb, *csv)
+		if err := tb.Emit(stdout, *csv); err != nil {
+			return err
+		}
 	}
 
 	if *task == "asr" {
-		fmt.Println("\n# Figure 6b: scalability (end-of-run speedup vs the smallest SparCML configuration)")
+		fmt.Fprintln(stdout, "\n# Figure 6b: scalability (end-of-run speedup vs the smallest SparCML configuration)")
 		tb := report.NewTable("configuration", "P", "sim-time", "speedup")
 		for _, pt := range experiments.Scalability(series[1:]) {
 			tb.AddRowRaw(pt.Label, fmt.Sprint(pt.P), report.FormatSeconds(pt.Time), fmt.Sprintf("%.2f", pt.Speedup))
 		}
-		emit(tb, *csv)
+		return tb.Emit(stdout, *csv)
 	}
-}
-
-func emit(tb *report.Table, csv bool) {
-	if csv {
-		if err := tb.WriteCSV(os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-		return
-	}
-	tb.Fprint(os.Stdout)
+	return nil
 }

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCIFARTiny(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-task", "cifar", "-rows", "80", "-epochs", "1", "-p", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 4a") || !strings.Contains(out, "top1") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunInconsistentScaleFlags(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-task", "cifar", "-rows", "80"}, &buf); err == nil {
+		t.Fatal("partial scale flags must error")
+	}
+}
+
+func TestRunUnknownTask(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-task", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown task must error")
+	}
+}

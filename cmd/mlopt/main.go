@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -23,19 +25,31 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mlopt: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/-help: usage already printed, exit 0
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mlopt", flag.ContinueOnError)
 	var (
-		exp    = flag.String("exp", "table2", "experiment: table2 | scd | spark")
-		scale  = flag.Float64("scale", 0.02, "dataset scale relative to the paper's (rows and dimension)")
-		epochs = flag.Int("epochs", 3, "epochs per configuration")
-		seed   = flag.Int64("seed", 1, "random seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		exp    = fs.String("exp", "table2", "experiment: table2 | scd | spark")
+		scale  = fs.Float64("scale", 0.02, "dataset scale relative to the paper's (rows and dimension)")
+		epochs = fs.Int("epochs", 3, "epochs per configuration")
+		seed   = fs.Int64("seed", 1, "random seed")
+		csv    = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	switch *exp {
 	case "table2":
-		fmt.Printf("# Table 2: distributed optimization using MPI-OPT (dataset scale %.3f)\n", *scale)
-		fmt.Println("# per-epoch simulated times; communication part in brackets, as in the paper")
+		fmt.Fprintf(stdout, "# Table 2: distributed optimization using MPI-OPT (dataset scale %.3f)\n", *scale)
+		fmt.Fprintln(stdout, "# per-epoch simulated times; communication part in brackets, as in the paper")
 		tb := report.NewTable("system", "dataset", "model", "nodes", "baseline", "algorithm", "algo-time", "speedup", "comm-speedup", "final-acc")
 		for _, tc := range experiments.DefaultTable2Cases(*scale) {
 			row := experiments.RunTable2Case(tc, *epochs, *seed)
@@ -49,37 +63,33 @@ func main() {
 				fmt.Sprintf("%.3f", row.FinalAccuracy),
 			)
 		}
-		emit(tb, *csv)
+		return tb.Emit(stdout, *csv)
 	case "scd":
-		fmt.Printf("# §8.2 SCD: sparse vs dense allgather, URL-shaped data, 8 nodes, 100 coords/node/iter (scale %.3f)\n", *scale)
+		fmt.Fprintf(stdout, "# §8.2 SCD: sparse vs dense allgather, URL-shaped data, 8 nodes, 100 coords/node/iter (scale %.3f)\n", *scale)
 		res := experiments.RunSCDExperiment(*scale, *epochs, *seed)
 		tb := report.NewTable("variant", "epoch-time", "comm-time")
 		tb.AddRowRaw("dense allgather", report.FormatSeconds(res.DenseEpochTime), report.FormatSeconds(res.DenseCommTime))
 		tb.AddRowRaw("sparse allgather", report.FormatSeconds(res.SparseEpochTime), report.FormatSeconds(res.SparseCommTime))
-		emit(tb, *csv)
-		fmt.Printf("\noverall speedup %.2fx (paper: 1.8x); communication speedup %.2fx (paper: 5.3x); final accuracy %.3f\n",
+		if err := tb.Emit(stdout, *csv); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\noverall speedup %.2fx (paper: 1.8x); communication speedup %.2fx (paper: 5.3x); final accuracy %.3f\n",
 			res.Speedup, res.CommSpeedup, res.FinalAccuracy)
+		return nil
 	case "spark":
-		fmt.Printf("# §8.2 Spark comparison: URL-shaped SGD, 8 nodes (scale %.3f)\n", *scale)
+		fmt.Fprintf(stdout, "# §8.2 Spark comparison: URL-shaped SGD, 8 nodes (scale %.3f)\n", *scale)
 		res := experiments.RunSparkComparison(*scale, *epochs, *seed)
 		tb := report.NewTable("layer", "epoch-time", "comm-time")
 		tb.AddRowRaw("Spark-like (dense)", report.FormatSeconds(res.SparkEpoch), report.FormatSeconds(res.SparkComm))
 		tb.AddRowRaw("dense MPI", report.FormatSeconds(res.DenseEpoch), report.FormatSeconds(res.DenseComm))
 		tb.AddRowRaw("SparCML sparse", report.FormatSeconds(res.SparseEpoch), report.FormatSeconds(res.SparseComm))
-		emit(tb, *csv)
-		fmt.Printf("\ncomm speedup vs Spark-like: dense MPI %.1fx (paper on GigE: 12x), SparCML %.1fx (paper: up to 185x on Daint)\n",
-			res.DenseVsSparkComm, res.SparseVsSparkComm)
-	default:
-		log.Fatalf("unknown experiment %q", *exp)
-	}
-}
-
-func emit(tb *report.Table, csv bool) {
-	if csv {
-		if err := tb.WriteCSV(os.Stdout); err != nil {
-			log.Fatal(err)
+		if err := tb.Emit(stdout, *csv); err != nil {
+			return err
 		}
-		return
+		fmt.Fprintf(stdout, "\ncomm speedup vs Spark-like: dense MPI %.1fx (paper on GigE: 12x), SparCML %.1fx (paper: up to 185x on Daint)\n",
+			res.DenseVsSparkComm, res.SparseVsSparkComm)
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
 	}
-	tb.Fprint(os.Stdout)
 }

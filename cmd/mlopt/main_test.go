@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSCDTiny(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-exp", "scd", "-scale", "0.002", "-epochs", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sparse allgather") || !strings.Contains(out, "speedup") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunSparkTiny(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-exp", "spark", "-scale", "0.002", "-epochs", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SparCML sparse") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-exp", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}

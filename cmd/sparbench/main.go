@@ -1,18 +1,22 @@
 // Command sparbench regenerates the Figure 3 micro-benchmarks: sparse
 // allreduce time versus node count (left panel; paper: Piz Daint, N=16M,
 // d=0.781%) and versus per-node density (right panel; paper: Greina GigE,
-// N=16M, P=8), for all six algorithms.
+// N=16M, P=8), for all six algorithms — plus the hierarchical extension:
+// flat SSAR versus topology-aware HierSSAR on a two-level machine.
 //
 // Usage:
 //
 //	sparbench -sweep nodes   [-n 1048576] [-density 0.00781] [-maxp 64] [-profile aries]
 //	sparbench -sweep density [-n 1048576] [-p 8] [-profile gige]
+//	sparbench -sweep hier    [-n 1048576] [-density 0.0001] [-maxp 64] [-rpn 4] [-intra nvlink] [-profile aries]
 //	sparbench -csv  # machine-readable output
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -28,41 +32,107 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sparbench: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/-help: usage already printed, exit 0
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sparbench", flag.ContinueOnError)
 	var (
-		sweep    = flag.String("sweep", "nodes", "sweep to run: nodes | density")
-		n        = flag.Int("n", 1<<20, "vector dimension N (paper uses 16M; 2^20 default keeps memory modest)")
-		densityF = flag.Float64("density", 0.00781, "per-node density d for the nodes sweep")
-		maxP     = flag.Int("maxp", 64, "largest node count for the nodes sweep")
-		p        = flag.Int("p", 8, "node count for the density sweep")
-		profile  = flag.String("profile", "", "network profile: aries | ib-fdr | gige | spark (default: aries for nodes, gige for density)")
-		gens     = flag.Int("gens", 2, "data generations per cell (paper: 5)")
-		runs     = flag.Int("runs", 3, "runs per generation (paper: 10)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		trace    = flag.Bool("trace", false, "dump a message timeline of one SSAR_Recursive_double allreduce and exit")
+		sweep    = fs.String("sweep", "nodes", "sweep to run: nodes | density | hier")
+		n        = fs.Int("n", 1<<20, "vector dimension N (paper uses 16M; 2^20 default keeps memory modest)")
+		densityF = fs.Float64("density", 0.00781, "per-node density d for the nodes sweep")
+		maxP     = fs.Int("maxp", 64, "largest node count for the nodes sweep")
+		p        = fs.Int("p", 8, "node count for the density sweep")
+		rpn      = fs.Int("rpn", 4, "ranks per node for the hier sweep")
+		intra    = fs.String("intra", "nvlink", "intra-node profile for the hier sweep")
+		profile  = fs.String("profile", "", "network profile: aries | ib-fdr | gige | spark | nvlink (default: aries for nodes/hier, gige for density)")
+		gens     = fs.Int("gens", 2, "data generations per cell (paper: 5)")
+		runs     = fs.Int("runs", 3, "runs per generation (paper: 10)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		trace    = fs.Bool("trace", false, "dump a message timeline of one SSAR_Recursive_double allreduce and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *trace {
-		dumpTrace(*n, *densityF, *p, mustProfile(*profile, "aries"))
-		return
+		prof, err := profileOrDefault(*profile, "aries")
+		if err != nil {
+			return err
+		}
+		return dumpTrace(stdout, *n, *densityF, *p, prof)
+	}
+
+	if *sweep == "hier" {
+		if *rpn < 1 {
+			return fmt.Errorf("-rpn must be >= 1, got %d", *rpn)
+		}
+		interProf, err := profileOrDefault(*profile, "aries")
+		if err != nil {
+			return err
+		}
+		intraProf, err := profileOrDefault(*intra, "nvlink")
+		if err != nil {
+			return err
+		}
+		// The hier sweep defaults to a latency-bound density; an explicit
+		// -density flag wins.
+		d := *densityF
+		if !flagPassed(fs, "density") {
+			d = 1e-4
+		}
+		// Start at two nodes: single-node shapes (P ≤ rpn) carry no
+		// hierarchy and are skipped by the sweep anyway.
+		ranks := report.Pow2Range(2*(*rpn), *maxP)
+		if len(ranks) == 0 {
+			return fmt.Errorf("-maxp %d yields no multi-node shapes (need at least %d ranks for 2 nodes of %d)",
+				*maxP, 2*(*rpn), *rpn)
+		}
+		fmt.Fprintf(stdout, "# hierarchical crossover: flat SSAR_Split_allgather on %s vs SSAR_Hierarchical on %d×%s/%s nodes; N=%d d=%.4f%%\n",
+			interProf.Name, *rpn, intraProf.Name, interProf.Name, *n, d*100)
+		rows := experiments.HierNodeSweep(*n, d, ranks, *rpn, intraProf, interProf, *gens, *runs)
+		tb := report.NewTable("P", "ranks/node", "flat-median", "hier-median", "speedup", "flat-msgs", "hier-msgs")
+		for _, r := range rows {
+			tb.AddRowRaw(
+				fmt.Sprint(r.P),
+				fmt.Sprint(r.RanksPerNode),
+				report.FormatSeconds(r.FlatMedian),
+				report.FormatSeconds(r.HierMedian),
+				fmt.Sprintf("%.2f", r.Speedup),
+				fmt.Sprint(r.FlatMsgs),
+				fmt.Sprint(r.HierMsgs),
+			)
+		}
+		return tb.Emit(stdout, *csv)
 	}
 
 	var rows []experiments.MicrobenchRow
 	switch *sweep {
 	case "nodes":
-		prof := mustProfile(*profile, "aries")
+		prof, err := profileOrDefault(*profile, "aries")
+		if err != nil {
+			return err
+		}
 		nodes := report.Pow2Range(2, *maxP)
-		fmt.Printf("# Figure 3 (left): reduction time vs node count; N=%d d=%.4f%% profile=%s\n",
+		fmt.Fprintf(stdout, "# Figure 3 (left): reduction time vs node count; N=%d d=%.4f%% profile=%s\n",
 			*n, *densityF*100, prof.Name)
 		rows = experiments.Fig3NodeSweep(*n, *densityF, nodes, prof, *gens, *runs)
 	case "density":
-		prof := mustProfile(*profile, "gige")
+		prof, err := profileOrDefault(*profile, "gige")
+		if err != nil {
+			return err
+		}
 		densities := []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25}
-		fmt.Printf("# Figure 3 (right): reduction time vs density; N=%d P=%d profile=%s\n",
+		fmt.Fprintf(stdout, "# Figure 3 (right): reduction time vs density; N=%d P=%d profile=%s\n",
 			*n, *p, prof.Name)
 		rows = experiments.Fig3DensitySweep(*n, *p, densities, prof, *gens, *runs)
 	default:
-		log.Fatalf("unknown sweep %q", *sweep)
+		return fmt.Errorf("unknown sweep %q", *sweep)
 	}
 
 	tb := report.NewTable("algorithm", "P", "density%", "median", "q25", "q75", "result_nnz", "dense?")
@@ -78,21 +148,25 @@ func main() {
 			fmt.Sprint(r.ResultDense),
 		)
 	}
-	if *csv {
-		if err := tb.WriteCSV(os.Stdout); err != nil {
-			log.Fatal(err)
+	return tb.Emit(stdout, *csv)
+}
+
+func flagPassed(fs *flag.FlagSet, name string) bool {
+	passed := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
 		}
-		return
-	}
-	tb.Fprint(os.Stdout)
+	})
+	return passed
 }
 
 // dumpTrace runs one recursive-doubling sparse allreduce with tracing
 // enabled and prints the virtual-time message timeline (the Figure 2
 // schedule, observable directly).
-func dumpTrace(n int, density float64, P int, prof simnet.Profile) {
-	w := comm.NewWorld(P, prof)
-	tr := w.EnableTrace()
+func dumpTrace(w io.Writer, n int, density float64, P int, prof simnet.Profile) error {
+	world := comm.NewWorld(P, prof)
+	tr := world.EnableTrace()
 	rng := rand.New(rand.NewSource(1))
 	k := int(density * float64(n))
 	if k < 1 {
@@ -113,24 +187,21 @@ func dumpTrace(n int, density float64, P int, prof simnet.Profile) {
 		}
 		inputs[r] = stream.NewSparse(n, idx, val, stream.OpSum)
 	}
-	comm.Run(w, func(p *comm.Proc) any {
+	comm.Run(world, func(p *comm.Proc) any {
 		return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: core.SSARRecDouble})
 	})
-	fmt.Printf("# SSAR_Recursive_double message timeline: N=%d d=%.4f%% P=%d profile=%s\n",
+	fmt.Fprintf(w, "# SSAR_Recursive_double message timeline: N=%d d=%.4f%% P=%d profile=%s\n",
 		n, density*100, P, prof.Name)
-	tr.Dump(os.Stdout)
+	tr.Dump(w)
 	counts, bytes := tr.Rounds()
-	fmt.Printf("\n# rounds: %d; per-round messages %v\n", len(counts), counts)
-	fmt.Printf("# per-round bytes %v (geometric growth under low overlap)\n", bytes)
+	fmt.Fprintf(w, "\n# rounds: %d; per-round messages %v\n", len(counts), counts)
+	fmt.Fprintf(w, "# per-round bytes %v (geometric growth under low overlap)\n", bytes)
+	return nil
 }
 
-func mustProfile(name, fallback string) simnet.Profile {
+func profileOrDefault(name, fallback string) (simnet.Profile, error) {
 	if name == "" {
 		name = fallback
 	}
-	prof, err := simnet.ProfileByName(name)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return prof
+	return simnet.ProfileByName(name)
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunNodesSweepTiny(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-sweep", "nodes", "-n", "4096", "-maxp", "4", "-gens", "1", "-runs", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SSAR_Recursive_double") || !strings.Contains(out, "Figure 3") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunHierSweepTiny(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-sweep", "hier", "-n", "16384", "-maxp", "8", "-rpn", "4", "-gens", "1", "-runs", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "hierarchical crossover") || !strings.Contains(out, "speedup") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunTraceTiny(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-trace", "-n", "1024", "-p", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "message timeline") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestRunCSVAndErrors(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-sweep", "density", "-n", "1024", "-p", "2", "-gens", "1", "-runs", "1", "-csv"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "algorithm,P") {
+		t.Fatalf("want CSV header, got:\n%s", buf.String())
+	}
+	if err := run([]string{"-sweep", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown sweep must error")
+	}
+	if err := run([]string{"-sweep", "nodes", "-profile", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown profile must error")
+	}
+	// Regression: -rpn 0 used to hang in Pow2Range(0, maxp).
+	if err := run([]string{"-sweep", "hier", "-rpn", "0"}, &buf); err == nil {
+		t.Fatal("rpn < 1 must error")
+	}
+}

@@ -8,20 +8,24 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"os"
 
 	sparcml "repro"
 )
 
-const (
-	P = 8
-	N = 1 << 16
-)
+func main() {
+	if err := run(os.Stdout, 8, 1<<16); err != nil {
+		fmt.Fprintln(os.Stderr, "lowprecision:", err)
+		os.Exit(1)
+	}
+}
 
-func rankInput(rank int) *sparcml.Vector {
+func rankInput(rank, n int) *sparcml.Vector {
 	rng := rand.New(rand.NewSource(int64(rank + 1)))
-	vals := make([]float64, N)
+	vals := make([]float64, n)
 	// Dense-ish gradients: the regime where DSAR + quantization applies.
 	for i := range vals {
 		if rng.Float64() < 0.3 {
@@ -31,40 +35,44 @@ func rankInput(rank int) *sparcml.Vector {
 	return sparcml.FromDense(vals)
 }
 
-func main() {
+// run compares full-precision DSAR against 8/4/2-bit QSGD on P ranks with
+// vectors of dimension n, then overlaps a nonblocking allreduce with local
+// compute.
+func run(out io.Writer, P, n int) error {
 	world := sparcml.NewWorld(P, sparcml.GigE)
 
 	// Full-precision reference.
 	ref := sparcml.Run(world, func(c *sparcml.Comm) []float64 {
-		return c.Allreduce(rankInput(c.Rank()), sparcml.Options{Algorithm: sparcml.DSARSplitAllgather}).ToDense()
+		return c.Allreduce(rankInput(c.Rank(), n), sparcml.Options{Algorithm: sparcml.DSARSplitAllgather}).ToDense()
 	})[0]
 	fullTime := world.SimTime()
-	fmt.Printf("DSAR_Split_allgather, N=%d, P=%d on GigE\n", N, P)
-	fmt.Printf("%-14s  %10s  %10s  %s\n", "precision", "sim-time", "speedup", "relative L2 error")
-	fmt.Printf("%-14s  %9.2fms  %9.2fx  %s\n", "64-bit", fullTime*1e3, 1.0, "0 (reference)")
+	fmt.Fprintf(out, "DSAR_Split_allgather, N=%d, P=%d on GigE\n", n, P)
+	fmt.Fprintf(out, "%-14s  %10s  %10s  %s\n", "precision", "sim-time", "speedup", "relative L2 error")
+	fmt.Fprintf(out, "%-14s  %9.2fms  %9.2fx  %s\n", "64-bit", fullTime*1e3, 1.0, "0 (reference)")
 
 	for _, bits := range []int{8, 4, 2} {
 		got := sparcml.Run(world, func(c *sparcml.Comm) []float64 {
-			return c.Allreduce(rankInput(c.Rank()), sparcml.Options{
+			return c.Allreduce(rankInput(c.Rank(), n), sparcml.Options{
 				Algorithm: sparcml.DSARSplitAllgather,
 				Quant:     &sparcml.QuantConfig{Bits: bits, Bucket: 256, Norm: sparcml.NormMax},
 				Seed:      int64(bits),
 			}).ToDense()
 		})[0]
 		elapsed := world.SimTime()
-		fmt.Printf("%-14s  %9.2fms  %9.2fx  %.4f\n",
+		fmt.Fprintf(out, "%-14s  %9.2fms  %9.2fx  %.4f\n",
 			fmt.Sprintf("%d-bit QSGD", bits), elapsed*1e3, fullTime/elapsed, relErr(got, ref))
 	}
 
 	// Nonblocking: overlap an allreduce with 2ms of local compute.
 	sparcml.Run(world, func(c *sparcml.Comm) any {
-		req := c.IAllreduce(rankInput(c.Rank()), sparcml.Options{Algorithm: sparcml.DSARSplitAllgather})
+		req := c.IAllreduce(rankInput(c.Rank(), n), sparcml.Options{Algorithm: sparcml.DSARSplitAllgather})
 		c.Compute(2e-3) // overlapped local work
 		req.Wait()
 		return nil
 	})
-	fmt.Printf("\nnonblocking allreduce overlapped with 2ms compute: %.2fms total (collective alone: %.2fms)\n",
+	fmt.Fprintf(out, "\nnonblocking allreduce overlapped with 2ms compute: %.2fms total (collective alone: %.2fms)\n",
 		world.SimTime()*1e3, fullTime*1e3)
+	return nil
 }
 
 func relErr(got, want []float64) float64 {

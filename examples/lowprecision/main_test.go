@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTiny(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 4, 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"64-bit", "4-bit QSGD", "nonblocking allreduce"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -10,52 +10,76 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 
 	sparcml "repro"
 )
 
 func main() {
-	const (
-		P = 8       // ranks
-		N = 1 << 20 // vector dimension
-		k = 1000    // non-zeros per rank (~0.1% density)
-	)
+	if err := run(os.Stdout, 8, 1<<20, 1000); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
 
+// rankInput draws a rank's sparse contribution: k distinct indices in
+// [0, n) with Gaussian values, deterministic per rank.
+func rankInput(rank, n, k int) *sparcml.Vector {
+	rng := rand.New(rand.NewSource(int64(rank + 1)))
+	idx := make([]int32, 0, k)
+	val := make([]float64, 0, k)
+	seen := map[int32]bool{}
+	for len(idx) < k {
+		ix := int32(rng.Intn(n))
+		if !seen[ix] {
+			seen[ix] = true
+			idx = append(idx, ix)
+			val = append(val, rng.NormFloat64())
+		}
+	}
+	return sparcml.NewSparse(n, idx, val)
+}
+
+// run reduces P sparse vectors of dimension n with k non-zeros each, then
+// contrasts against the dense MPI baseline.
+func run(out io.Writer, P, n, k int) error {
 	world := sparcml.NewWorld(P, sparcml.Aries)
 	results := sparcml.Run(world, func(c *sparcml.Comm) *sparcml.Vector {
-		rng := rand.New(rand.NewSource(int64(c.Rank() + 1)))
-		idx := make([]int32, 0, k)
-		val := make([]float64, 0, k)
-		seen := map[int32]bool{}
-		for len(idx) < k {
-			ix := int32(rng.Intn(N))
-			if !seen[ix] {
-				seen[ix] = true
-				idx = append(idx, ix)
-				val = append(val, rng.NormFloat64())
-			}
-		}
-		v := sparcml.NewSparse(N, idx, val)
-		return c.Allreduce(v, sparcml.Options{}) // Auto algorithm selection
+		return c.Allreduce(rankInput(c.Rank(), n, k), sparcml.Options{}) // Auto algorithm selection
 	})
 	sparseTime := world.SimTime()
 
-	fmt.Printf("reduced %d sparse vectors of dimension %d\n", P, N)
-	fmt.Printf("result: nnz=%d density=%.3f%% dense-representation=%v\n",
+	fmt.Fprintf(out, "reduced %d sparse vectors of dimension %d\n", P, n)
+	fmt.Fprintf(out, "result: nnz=%d density=%.3f%% dense-representation=%v\n",
 		results[0].NNZ(), 100*results[0].Density(), results[0].IsDense())
-	fmt.Printf("simulated time on Cray Aries (sparse, auto):  %.1fµs\n", sparseTime*1e6)
+	fmt.Fprintf(out, "simulated time on Cray Aries (sparse, auto):  %.1fµs\n", sparseTime*1e6)
 
 	// The same reduction through the dense MPI baseline, for contrast.
 	sparcml.Run(world, func(c *sparcml.Comm) *sparcml.Vector {
 		rng := rand.New(rand.NewSource(int64(c.Rank() + 1)))
-		dense := make([]float64, N)
+		dense := make([]float64, n)
 		for i := 0; i < k; i++ {
-			dense[rng.Intn(N)] = rng.NormFloat64()
+			dense[rng.Intn(n)] = rng.NormFloat64()
 		}
 		return c.Allreduce(sparcml.NewDense(dense), sparcml.Options{Algorithm: sparcml.DenseRabenseifner})
 	})
 	denseTime := world.SimTime()
-	fmt.Printf("simulated time on Cray Aries (dense baseline): %.1fµs\n", denseTime*1e6)
-	fmt.Printf("sparse speedup: %.1fx\n", denseTime/sparseTime)
+	fmt.Fprintf(out, "simulated time on Cray Aries (dense baseline): %.1fµs\n", denseTime*1e6)
+	fmt.Fprintf(out, "sparse speedup: %.1fx\n", denseTime/sparseTime)
+
+	// The same sparse reduction on a two-level topology (4 ranks per
+	// node, NVLink-like intra + Aries inter): Auto routes through the
+	// hierarchical algorithm.
+	if P >= 8 {
+		topo := sparcml.NewWorldTopo(P, sparcml.Topology{
+			RanksPerNode: 4, Intra: sparcml.NVLinkLike, Inter: sparcml.Aries,
+		})
+		sparcml.Run(topo, func(c *sparcml.Comm) *sparcml.Vector {
+			return c.Allreduce(rankInput(c.Rank(), n, k), sparcml.Options{})
+		})
+		fmt.Fprintf(out, "simulated time on 4-GPU nodes (hierarchical): %.1fµs\n", topo.SimTime()*1e6)
+	}
+	return nil
 }

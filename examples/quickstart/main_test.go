@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTiny(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 8, 1<<14, 50); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"reduced 8 sparse vectors", "sparse speedup", "hierarchical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

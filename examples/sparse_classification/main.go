@@ -9,6 +9,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -18,33 +20,41 @@ import (
 )
 
 func main() {
-	const P = 8
+	if err := run(os.Stdout, 8, 4000, 100000, 3); err != nil {
+		fmt.Fprintln(os.Stderr, "sparse_classification:", err)
+		os.Exit(1)
+	}
+}
+
+// run trains logistic regression on P ranks over a rows×dim URL-shaped
+// sparse dataset for the given number of epochs, dense vs sparse comms.
+func run(out io.Writer, P, rows, dim, epochs int) error {
 	ds := data.SyntheticSparse(data.SparseConfig{
-		Rows: 4000, Dim: 100000, NNZPerRow: 80,
+		Rows: rows, Dim: dim, NNZPerRow: 80,
 		HotFraction: 0.02, ClusterBias: 0.7, NoiseRate: 0.02, Seed: 1,
 	})
-	fmt.Printf("dataset: %d samples, %d features, density %.4f%% (URL-shaped)\n",
+	fmt.Fprintf(out, "dataset: %d samples, %d features, density %.4f%% (URL-shaped)\n",
 		ds.Rows(), ds.Dim, 100*ds.Density())
 
-	run := func(mode mlopt.CommMode, name string) []mlopt.EpochStats {
+	runOne := func(mode mlopt.CommMode, name string) []mlopt.EpochStats {
 		w := comm.NewWorld(P, simnet.GigE)
 		results := comm.Run(w, func(p *comm.Proc) []mlopt.EpochStats {
 			return mlopt.TrainSGD(p, ds.Shard(p.Rank(), P), mlopt.SGDConfig{
-				Loss: mlopt.Logistic, LR: 1.0, BatchPerNode: 100, Epochs: 3,
+				Loss: mlopt.Logistic, LR: 1.0, BatchPerNode: 100, Epochs: epochs,
 				Mode: mode, Algorithm: core.SSARSplitAllgather, Seed: 7,
 			})
 		})
 		stats := results[0]
-		fmt.Printf("\n%s:\n", name)
+		fmt.Fprintf(out, "\n%s:\n", name)
 		for _, e := range stats {
-			fmt.Printf("  epoch %d: time %8.2fms (comm %8.2fms)  loss %.4f  acc %.3f\n",
+			fmt.Fprintf(out, "  epoch %d: time %8.2fms (comm %8.2fms)  loss %.4f  acc %.3f\n",
 				e.Epoch, e.Time*1e3, e.CommTime*1e3, e.Loss, e.Accuracy)
 		}
 		return stats
 	}
 
-	dense := run(mlopt.CommDense, "dense MPI baseline (Rabenseifner allreduce)")
-	sparse := run(mlopt.CommSparse, "SparCML (SSAR_Split_allgather)")
+	dense := runOne(mlopt.CommDense, "dense MPI baseline (Rabenseifner allreduce)")
+	sparse := runOne(mlopt.CommSparse, "SparCML (SSAR_Split_allgather)")
 
 	var dT, dC, sT, sC float64
 	for i := range dense {
@@ -53,6 +63,7 @@ func main() {
 		sT += sparse[i].Time
 		sC += sparse[i].CommTime
 	}
-	fmt.Printf("\nend-to-end speedup %.2fx, communication speedup %.2fx (cf. Table 2: up to 20x/26x on GigE)\n",
+	fmt.Fprintf(out, "\nend-to-end speedup %.2fx, communication speedup %.2fx (cf. Table 2: up to 20x/26x on GigE)\n",
 		dT/sT, dC/sC)
+	return nil
 }

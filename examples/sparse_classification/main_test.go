@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTiny(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 4, 400, 5000, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dense MPI baseline", "SparCML (SSAR_Split_allgather)", "communication speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -9,6 +9,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -19,8 +21,16 @@ import (
 )
 
 func main() {
-	const P = 8
-	ds := data.SyntheticDense(data.DenseConfig{Rows: 2000, Dim: 64, Classes: 10, Sep: 2.2, Seed: 3})
+	if err := run(os.Stdout, 8, 2000, 8); err != nil {
+		fmt.Fprintln(os.Stderr, "topk_sgd:", err)
+		os.Exit(1)
+	}
+}
+
+// run trains on P ranks over `rows` samples for `epochs` epochs with the
+// three methods.
+func run(out io.Writer, P, rows, epochs int) error {
+	ds := data.SyntheticDense(data.DenseConfig{Rows: rows, Dim: 64, Classes: 10, Sep: 2.2, Seed: 3})
 
 	mkTask := func(rank int) train.Task {
 		return &train.MLPTask{
@@ -29,37 +39,38 @@ func main() {
 		}
 	}
 
-	run := func(name string, cfg train.Config) {
+	runOne := func(name string, cfg train.Config) {
 		w := comm.NewWorld(P, simnet.Aries)
 		results := comm.Run(w, func(p *comm.Proc) []train.Point {
 			return train.Run(p, mkTask(p.Rank()), cfg)
 		})
 		last := results[0][len(results[0])-1]
-		fmt.Printf("%-28s final top-1 %.3f  loss %.4f  comm %8.2fms  gradient payload %s\n",
+		fmt.Fprintf(out, "%-28s final top-1 %.3f  loss %.4f  comm %8.2fms  gradient payload %s\n",
 			name, last.Top1, last.Loss, last.CommTime*1e3, formatBytes(last.BytesSent))
 	}
 
 	base := train.Config{
-		LR: 0.05, BatchPerNode: 32, Epochs: 8,
+		LR: 0.05, BatchPerNode: 32, Epochs: epochs,
 		Device: simnet.GPUP100, EvalSamples: 256, Seed: 9,
 	}
 
 	dense := base
 	dense.Method = train.MethodDense
 	dense.Momentum = 0.9
-	run("dense 32-bit SGD", dense)
+	runOne("dense 32-bit SGD", dense)
 
 	topk := base
 	topk.Method = train.MethodTopK
-	topk.LR = base.LR / P // Algorithm 1 applies the summed update
+	topk.LR = base.LR / float64(P) // Algorithm 1 applies the summed update
 	topk.Bucket, topk.K = 512, 8
 	topk.Algorithm = core.Auto
-	run("TopK 8/512 + error feedback", topk)
+	runOne("TopK 8/512 + error feedback", topk)
 
 	quantized := topk
 	quantized.QuantBits = 4
 	quantized.Algorithm = core.DSARSplitAllgather
-	run("TopK 8/512 + 4-bit QSGD", quantized)
+	runOne("TopK 8/512 + 4-bit QSGD", quantized)
+	return nil
 }
 
 func formatBytes(b int64) string {

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTiny(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 2, 128, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dense 32-bit SGD", "TopK 8/512 + error feedback", "TopK 8/512 + 4-bit QSGD"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

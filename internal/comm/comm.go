@@ -40,6 +40,7 @@ type Message struct {
 type World struct {
 	p       int
 	profile simnet.Profile
+	topo    *simnet.Topology // nil for flat (single-level) worlds
 	boxes   []*mailbox
 	times   []float64 // final virtual clock per rank, filled by Run
 
@@ -80,11 +81,42 @@ func NewWorld(p int, profile simnet.Profile) *World {
 	return w
 }
 
+// NewWorldTopo creates a world of p ranks on a two-level topology:
+// consecutive groups of topo.RanksPerNode ranks share a node, intra-node
+// messages are priced by topo.Intra and inter-node messages by topo.Inter.
+// The world's default profile (returned by Profile, used for local compute
+// costs) is the inter-node profile.
+func NewWorldTopo(p int, topo simnet.Topology) *World {
+	if err := topo.Validate(); err != nil {
+		panic(err.Error())
+	}
+	w := NewWorld(p, topo.Inter)
+	w.topo = &topo
+	return w
+}
+
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.p }
 
-// Profile returns the world's network profile.
+// Profile returns the world's network profile (the inter-node profile for
+// topology worlds).
 func (w *World) Profile() simnet.Profile { return w.profile }
+
+// Topology returns the world's two-level topology, if one was configured.
+func (w *World) Topology() (simnet.Topology, bool) {
+	if w.topo == nil {
+		return simnet.Topology{}, false
+	}
+	return *w.topo, true
+}
+
+// profileFor returns the profile pricing a message from src to dst.
+func (w *World) profileFor(src, dst int) simnet.Profile {
+	if w.topo != nil {
+		return w.topo.ProfileFor(src, dst)
+	}
+	return w.profile
+}
 
 // Times returns each rank's final virtual clock after the last Run: the
 // collective's simulated completion time is the maximum entry.
@@ -119,21 +151,104 @@ func (w *World) MaxTime() float64 {
 // Proc is one rank's handle on the world. A Proc is confined to the
 // goroutine running the rank's program (plus any nonblocking-operation
 // goroutines it explicitly forks via Fork).
+//
+// A Proc may be a sub-communicator view (see Sub): Rank and Size then
+// refer to the group, and peer arguments to Send/Recv/SendRecv/Barrier are
+// group-local ranks, transparently translated to world ranks. Collective
+// algorithms written against this interface therefore run unchanged over
+// any subset of ranks.
 type Proc struct {
-	rank    int
+	rank    int // world rank
 	world   *World
 	clock   simnet.Clock
 	nextTag int
+
+	// group, when non-nil, restricts this view to a sub-communicator: the
+	// ascending world ranks of the group, with groupRank this rank's index.
+	group     []int
+	groupRank int
 }
 
-// Rank returns this process's rank in [0, Size).
-func (p *Proc) Rank() int { return p.rank }
+// Rank returns this process's rank in [0, Size) — group-local on a
+// sub-communicator view.
+func (p *Proc) Rank() int {
+	if p.group != nil {
+		return p.groupRank
+	}
+	return p.rank
+}
 
-// Size returns the world size.
-func (p *Proc) Size() int { return p.world.p }
+// WorldRank returns this process's rank in the full world, regardless of
+// any sub-communicator view.
+func (p *Proc) WorldRank() int { return p.rank }
 
-// Profile returns the network profile.
+// Size returns the communicator size (the group size on a
+// sub-communicator view).
+func (p *Proc) Size() int {
+	if p.group != nil {
+		return len(p.group)
+	}
+	return p.world.p
+}
+
+// worldRank translates a communicator-local peer rank to a world rank.
+func (p *Proc) worldRank(r int) int {
+	if p.group != nil {
+		if r < 0 || r >= len(p.group) {
+			panic(fmt.Sprintf("comm: invalid group rank %d (group size %d)", r, len(p.group)))
+		}
+		return p.group[r]
+	}
+	if r < 0 || r >= p.world.p {
+		panic(fmt.Sprintf("comm: invalid rank %d (world size %d)", r, p.world.p))
+	}
+	return r
+}
+
+// Profile returns the network profile (the inter-node profile on a
+// topology world).
 func (p *Proc) Profile() simnet.Profile { return p.world.profile }
+
+// Topology returns the world's two-level topology if one is configured.
+// Sub-communicator views report no topology: the node grouping is defined
+// over world ranks, and hierarchical algorithms are expected to run on the
+// world communicator.
+func (p *Proc) Topology() (simnet.Topology, bool) {
+	if p.group != nil {
+		return simnet.Topology{}, false
+	}
+	return p.world.Topology()
+}
+
+// Sub returns a sub-communicator view of this rank over the given world
+// ranks (ascending, distinct, containing this rank). The view starts at
+// the parent's current virtual time and has an independent clock; fold its
+// elapsed time back with Join after the sub-group phase completes, exactly
+// as with Fork. Tag ranges must be provided by the caller (allocate on the
+// parent in program order); nesting Sub on a sub view is not supported.
+func (p *Proc) Sub(ranks []int) *Proc {
+	if p.group != nil {
+		panic("comm: nested sub-communicators are not supported")
+	}
+	idx := -1
+	for i, r := range ranks {
+		if i > 0 && ranks[i-1] >= r {
+			panic("comm: Sub ranks must be ascending and distinct")
+		}
+		if r < 0 || r >= p.world.p {
+			panic(fmt.Sprintf("comm: Sub rank %d outside world of %d", r, p.world.p))
+		}
+		if r == p.rank {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("comm: Sub group %v does not contain caller rank %d", ranks, p.rank))
+	}
+	s := &Proc{rank: p.rank, world: p.world, group: ranks, groupRank: idx}
+	s.clock.Observe(p.clock.Now())
+	return s
+}
 
 // Now returns the rank's current virtual time.
 func (p *Proc) Now() float64 { return p.clock.Now() }
@@ -163,23 +278,20 @@ const tagStride = 1 << 20
 // (P−1)α latency term in §5.3.2); the receiver will observe the same
 // completion time.
 func (p *Proc) Send(to, tag int, payload any, bytes int) {
-	if to < 0 || to >= p.world.p {
-		panic(fmt.Sprintf("comm: send to invalid rank %d", to))
-	}
+	wto := p.worldRank(to)
 	start := p.clock.Now()
-	cost := p.world.profile.TransferTime(bytes)
+	cost := p.world.profileFor(p.rank, wto).TransferTime(bytes)
 	p.clock.Advance(cost)
 	p.world.msgs.Add(1)
 	p.world.bytes.Add(int64(bytes))
 	if tr := p.world.tracer.Load(); tr != nil {
-		tr.record(TraceEvent{Src: p.rank, Dst: to, Tag: tag, Bytes: bytes,
+		tr.record(TraceEvent{Src: p.rank, Dst: wto, Tag: tag, Bytes: bytes,
 			SendTime: start, Arrival: p.clock.Now()})
 	}
-	p.deliver(to, Message{Src: p.rank, Tag: tag, Payload: payload, Bytes: bytes, Arrival: p.clock.Now()})
+	p.deliver(wto, Message{Src: p.rank, Tag: tag, Payload: payload, Bytes: bytes, Arrival: p.clock.Now()})
 }
 
-// SendAt is like Send but stamps the message with an explicit start time
-// (used by nonblocking operations running on a forked clock).
+// deliver enqueues a message into the destination world rank's mailbox.
 func (p *Proc) deliver(to int, m Message) {
 	box := p.world.boxes[to]
 	box.mu.Lock()
@@ -193,12 +305,13 @@ func (p *Proc) deliver(to int, m Message) {
 // and returns it. Out-of-order messages (different tags or sources) are
 // left queued, giving MPI-style tag matching.
 func (p *Proc) Recv(from, tag int) Message {
+	wfrom := p.worldRank(from)
 	box := p.world.boxes[p.rank]
 	box.mu.Lock()
 	defer box.mu.Unlock()
 	for {
 		for i, m := range box.pending {
-			if m.Src == from && m.Tag == tag {
+			if m.Src == wfrom && m.Tag == tag {
 				box.pending = append(box.pending[:i], box.pending[i+1:]...)
 				p.clock.Observe(m.Arrival)
 				return m
@@ -227,7 +340,7 @@ func (p *Proc) SendRecv(peer, tag int, payload any, bytes int) Message {
 // Tag ranges must be allocated on the parent (in program order) before
 // forking, so concurrent operations never collide.
 func (p *Proc) Fork() *Proc {
-	f := &Proc{rank: p.rank, world: p.world}
+	f := &Proc{rank: p.rank, world: p.world, group: p.group, groupRank: p.groupRank}
 	f.clock.Observe(p.clock.Now())
 	return f
 }
@@ -239,14 +352,14 @@ func (p *Proc) Join(f *Proc) {
 	p.clock.Observe(f.clock.Now())
 }
 
-// Barrier synchronizes all ranks (dissemination barrier: ⌈log2 P⌉ rounds),
-// advancing every clock to a common time.
+// Barrier synchronizes all ranks of this communicator (dissemination
+// barrier: ⌈log2 P⌉ rounds), advancing every clock to a common time.
 func (p *Proc) Barrier() {
 	base := p.NextTagBase()
-	n := p.world.p
+	n, rank := p.Size(), p.Rank()
 	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
-		to := (p.rank + dist) % n
-		from := (p.rank - dist + n) % n
+		to := (rank + dist) % n
+		from := (rank - dist + n) % n
 		p.Send(to, base+round, nil, 0)
 		p.Recv(from, base+round)
 	}

@@ -161,7 +161,7 @@ func runAllreduce(t *testing.T, P int, inputs []*stream.Vector, opts Options) []
 
 var allAlgorithms = []Algorithm{
 	SSARRecDouble, SSARSplitAllgather, DSARSplitAllgather,
-	DenseRecDouble, DenseRabenseifner, DenseRing, RingSparse, Auto,
+	DenseRecDouble, DenseRabenseifner, DenseRing, RingSparse, HierSSAR, Auto,
 }
 
 func TestAllreduceAllAlgorithmsAllPatterns(t *testing.T) {

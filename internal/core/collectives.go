@@ -19,7 +19,13 @@ import (
 // ("the nodes could collaborate to compute the result at a single node
 // (reduce) followed by a broadcast", §5.3).
 func Reduce(p *comm.Proc, v *stream.Vector, root int) *stream.Vector {
-	base := p.NextTagBase()
+	return reduceTagged(p, v, root, p.NextTagBase())
+}
+
+// reduceTagged is Reduce over an explicit tag base, reusable as a phase of
+// composite collectives (the intra-node phase of HierSSAR runs it on a
+// node sub-communicator).
+func reduceTagged(p *comm.Proc, v *stream.Vector, root, base int) *stream.Vector {
 	rank, P := p.Rank(), p.Size()
 	vrank := (rank - root + P) % P
 	acc := v.Clone()

@@ -33,7 +33,8 @@ const (
 	// Auto picks an algorithm from the paper's guidance: estimate the
 	// reduced size E[K] under uniform sparsity; if it exceeds δ use
 	// DSARSplitAllgather, otherwise recursive doubling for small data and
-	// SSARSplitAllgather for large data.
+	// SSARSplitAllgather for large data — or HierSSAR in the sparse
+	// regime when the world has a multi-node topology.
 	Auto Algorithm = iota
 	// SSARRecDouble is static sparse allreduce by recursive doubling.
 	SSARRecDouble
@@ -53,6 +54,13 @@ const (
 	// RingSparse is the sparse counterpart of the ring allreduce shown in
 	// the Figure 3 micro-benchmarks.
 	RingSparse
+	// HierSSAR is the hierarchical (topology-aware) static sparse
+	// allreduce: an intra-node sparse reduce to each node leader, a sparse
+	// allreduce among leaders over the inter-node network (recursive
+	// doubling or split allgather, by agreed size), and an intra-node
+	// broadcast of the result. On a flat world it degrades to
+	// SSARSplitAllgather.
+	HierSSAR
 )
 
 // String returns the paper's name for the algorithm.
@@ -74,6 +82,8 @@ func (a Algorithm) String() string {
 		return "Dense_Ring"
 	case RingSparse:
 		return "Ring_sparse"
+	case HierSSAR:
+		return "SSAR_Hierarchical"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -127,6 +137,8 @@ func allreduceTagged(p *comm.Proc, v *stream.Vector, opts Options, base int) *st
 		return stream.NewDense(AllreduceRing(p, v.ToDense(), v.Op(), v.ValueBytes(), base), v.Op())
 	case RingSparse:
 		return ringSparse(p, v, base)
+	case HierSSAR:
+		return hierSSAR(p, v, opts, base)
 	default:
 		panic("core: unresolved algorithm")
 	}
@@ -149,7 +161,20 @@ func resolve(p *comm.Proc, v *stream.Vector, opts Options, base int) Algorithm {
 		stream.OpMax, stream.DefaultValueBytes, base+resolveTagOffset)[0])
 	expectedK := density.ExpectedKUniform(n, kmax, P)
 	if expectedK >= float64(v.Delta()) {
+		// Dense regime: the reduced result fills in past δ, so the dense
+		// (optionally quantized) allgather stage wins regardless of the
+		// topology — DSAR honors opts.Quant, which the sparse-wire
+		// hierarchical scheme cannot.
 		return DSARSplitAllgather
+	}
+	// Sparse regime on a two-level topology with more than one node: the
+	// hierarchical scheme dominates the flat sparse algorithms, replacing
+	// the flat (P−1)·α split latency with (nodes−1)·α over the expensive
+	// network and moving the rest onto cheap intra-node links. The check
+	// uses the agreed kmax and the shared topology, so every rank picks
+	// the same algorithm.
+	if topo, ok := p.Topology(); ok && topo.RanksPerNode > 1 && topo.RanksPerNode < P {
+		return HierSSAR
 	}
 	small := opts.SmallDataBytes
 	if small == 0 {

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+var testTopo = simnet.Topology{RanksPerNode: 4, Intra: simnet.NVLinkLike, Inter: simnet.Aries}
+
+// TestHierSSARMatchesFlat is the acceptance-criterion correctness check:
+// HierSSAR on a topology world must produce bit-identical reductions to
+// flat SSAR_Split_allgather on identical inputs (dyadic values make float
+// addition exact, so any reduction order must agree bit-for-bit).
+func TestHierSSARMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, tc := range []struct{ P, rpn int }{
+		{8, 2}, {8, 4}, {16, 4}, {32, 4}, // divisible
+		{6, 4}, {10, 4}, {7, 3}, // ragged last node
+		{4, 4}, {3, 8}, // single node: degrades to flat intra-priced
+		{5, 1}, // one rank per node: degrades to flat
+	} {
+		topo := simnet.Topology{RanksPerNode: tc.rpn, Intra: simnet.NVLinkLike, Inter: simnet.Aries}
+		for _, pat := range patterns {
+			n := 300 + rng.Intn(300)
+			k := 1 + rng.Intn(n/6)
+			inputs := pat.gen(rng, n, k, tc.P)
+
+			flat := comm.NewWorld(tc.P, simnet.Aries)
+			want := comm.Run(flat, func(p *comm.Proc) []float64 {
+				return Allreduce(p, inputs[p.Rank()], Options{Algorithm: SSARSplitAllgather}).ToDense()
+			})
+
+			w := comm.NewWorldTopo(tc.P, topo)
+			results := comm.Run(w, func(p *comm.Proc) []float64 {
+				return Allreduce(p, inputs[p.Rank()], Options{Algorithm: HierSSAR}).ToDense()
+			})
+			for r, got := range results {
+				for i := range want[0] {
+					if got[i] != want[0][i] {
+						t.Fatalf("P=%d rpn=%d pattern=%s rank=%d coord=%d: hier %g, flat %g",
+							tc.P, tc.rpn, pat.name, r, i, got[i], want[0][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHierSSARBeatsFlatOnTopology is the acceptance-criterion performance
+// check: on the 2-level topology named in the issue (P=32, 4 ranks/node,
+// NVLink-like intra + Aries inter), HierSSAR's simulated time must beat
+// flat SSAR_Split_allgather run entirely on the inter-node profile.
+func TestHierSSARBeatsFlatOnTopology(t *testing.T) {
+	const (
+		P       = 32
+		n       = 1 << 20
+		density = 1e-4
+	)
+	rng := rand.New(rand.NewSource(5))
+	nf := float64(n)
+	k := int(density * nf)
+	inputs := make([]*stream.Vector, P)
+	for r := range inputs {
+		inputs[r] = randSparse(rng, n, k)
+	}
+
+	flat := comm.NewWorld(P, simnet.Aries)
+	comm.Run(flat, func(p *comm.Proc) any {
+		return Allreduce(p, inputs[p.Rank()], Options{Algorithm: SSARSplitAllgather})
+	})
+	flatTime := flat.MaxTime()
+
+	w := comm.NewWorldTopo(P, testTopo)
+	comm.Run(w, func(p *comm.Proc) any {
+		return Allreduce(p, inputs[p.Rank()], Options{Algorithm: HierSSAR})
+	})
+	hierTime := w.MaxTime()
+
+	if hierTime <= 0 || flatTime <= 0 {
+		t.Fatal("simulated times must be positive")
+	}
+	if hierTime >= flatTime {
+		t.Fatalf("HierSSAR (%.2fµs) must beat flat SSAR_Split_allgather (%.2fµs) on a 2-level topology",
+			hierTime*1e6, flatTime*1e6)
+	}
+	t.Logf("P=%d n=%d d=%g: hier %.2fµs vs flat %.2fµs (%.2fx)",
+		P, n, density, hierTime*1e6, flatTime*1e6, flatTime/hierTime)
+}
+
+// TestHierSSARFlatFallback: requesting HierSSAR on a world with no
+// topology must still be correct (degrades to split allgather).
+func TestHierSSARFlatFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, P := range []int{1, 2, 5, 8} {
+		inputs := patterns[0].gen(rng, 400, 30, P)
+		want := refSum(inputs)
+		results := runAllreduce(t, P, inputs, Options{Algorithm: HierSSAR})
+		for r, res := range results {
+			got := res.ToDense()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("P=%d rank=%d coord=%d: got %g want %g", P, r, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAutoPicksHierOnTopology: Auto must select the hierarchical algorithm
+// whenever a multi-node topology is present, and the result must stay
+// correct on ragged node sizes.
+func TestAutoPicksHierOnTopology(t *testing.T) {
+	w := comm.NewWorldTopo(8, testTopo)
+	comm.Run(w, func(p *comm.Proc) any {
+		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 1000, 20)
+		if got := resolve(p, v, Options{}, p.NextTagBase()); got != HierSSAR {
+			panic("Auto on a topology world should resolve to HierSSAR, got " + got.String())
+		}
+		return nil
+	})
+
+	// Single-node topology: Auto must fall through to the flat heuristic.
+	single := comm.NewWorldTopo(4, testTopo)
+	comm.Run(single, func(p *comm.Proc) any {
+		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 1<<20, 100)
+		if got := resolve(p, v, Options{}, p.NextTagBase()); got != SSARRecDouble {
+			panic("Auto on a single-node topology should use the flat heuristic, got " + got.String())
+		}
+		return nil
+	})
+
+	// Dense regime on a topology world: high fill-in must still route
+	// through DSAR (which honors quantization), not the sparse-wire
+	// hierarchical scheme.
+	denseW := comm.NewWorldTopo(8, testTopo)
+	comm.Run(denseW, func(p *comm.Proc) any {
+		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 600, 300)
+		if got := resolve(p, v, Options{}, p.NextTagBase()); got != DSARSplitAllgather {
+			panic("Auto with high fill-in on a topology world should resolve to DSAR, got " + got.String())
+		}
+		return nil
+	})
+
+	// End-to-end on a ragged world under Auto.
+	rng := rand.New(rand.NewSource(23))
+	P := 10
+	inputs := patterns[0].gen(rng, 500, 40, P)
+	want := refSum(inputs)
+	wr := comm.NewWorldTopo(P, testTopo)
+	results := comm.Run(wr, func(p *comm.Proc) *stream.Vector {
+		return Allreduce(p, inputs[p.Rank()], Options{})
+	})
+	for r, res := range results {
+		got := res.ToDense()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Auto hier P=%d rank=%d coord=%d: got %g want %g", P, r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestHierSSARLeaderPhaseSelectsBySize: small agreed sizes must take the
+// recursive-doubling leader phase, large ones the split allgather; both
+// must be correct. Exercised via SmallDataBytes so the same input crosses
+// the boundary.
+func TestHierSSARLeaderPhaseSelectsBySize(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	P := 16
+	inputs := patterns[0].gen(rng, 2000, 100, P)
+	want := refSum(inputs)
+	for _, small := range []int{1, 1 << 26} { // force split vs rec-double
+		w := comm.NewWorldTopo(P, testTopo)
+		results := comm.Run(w, func(p *comm.Proc) *stream.Vector {
+			return Allreduce(p, inputs[p.Rank()], Options{Algorithm: HierSSAR, SmallDataBytes: small})
+		})
+		for r, res := range results {
+			got := res.ToDense()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("small=%d rank=%d coord=%d: got %g want %g", small, r, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestHierSSARMessageLocality: with tracing enabled, every phase-2 message
+// must connect leader ranks and the bulk direct-exchange latency must be
+// paid by only nodes−1 inter-node partners per leader, not P−1.
+func TestHierSSARInterNodeMessageCount(t *testing.T) {
+	const P = 16
+	rng := rand.New(rand.NewSource(41))
+	inputs := patterns[0].gen(rng, 1000, 30, P)
+
+	countInter := func(w *comm.World, alg Algorithm) int {
+		tr := w.EnableTrace()
+		comm.Run(w, func(p *comm.Proc) any {
+			return Allreduce(p, inputs[p.Rank()], Options{Algorithm: alg})
+		})
+		inter := 0
+		for _, ev := range tr.Events() {
+			if !testTopo.SameNode(ev.Src, ev.Dst) {
+				inter++
+			}
+		}
+		return inter
+	}
+
+	flatInter := countInter(comm.NewWorld(P, simnet.Aries), SSARSplitAllgather)
+	hierInter := countInter(comm.NewWorldTopo(P, testTopo), HierSSAR)
+	if hierInter >= flatInter {
+		t.Fatalf("hier must send fewer inter-node messages: hier=%d flat=%d", hierInter, flatInter)
+	}
+	t.Logf("inter-node messages: hier=%d flat=%d", hierInter, flatInter)
+}

@@ -54,6 +54,58 @@ func TestQuickAllAlgorithmsAgree(t *testing.T) {
 	}
 }
 
+// TestCrossAlgorithmEquivalence is the table-driven equivalence check: for
+// every Algorithm (including HierSSAR, both on flat and on topology
+// worlds), the same randomized sparse inputs across several world sizes
+// must produce bit-identical reductions on every rank. Values are dyadic
+// rationals, so float addition is exact and any reduction order must agree
+// bit-for-bit with the sequential reference.
+func TestCrossAlgorithmEquivalence(t *testing.T) {
+	worlds := []struct {
+		name string
+		P    int
+		mk   func(P int) *comm.World
+	}{
+		{"flat/P=2", 2, func(P int) *comm.World { return comm.NewWorld(P, testProfile) }},
+		{"flat/P=5", 5, func(P int) *comm.World { return comm.NewWorld(P, testProfile) }},
+		{"flat/P=8", 8, func(P int) *comm.World { return comm.NewWorld(P, testProfile) }},
+		{"topo/P=8/rpn=4", 8, func(P int) *comm.World { return comm.NewWorldTopo(P, testTopo) }},
+		{"topo/P=16/rpn=4", 16, func(P int) *comm.World { return comm.NewWorldTopo(P, testTopo) }},
+		{"topo/P=10/rpn=4", 10, func(P int) *comm.World { return comm.NewWorldTopo(P, testTopo) }},
+	}
+	rng := rand.New(rand.NewSource(12345))
+	for _, wc := range worlds {
+		t.Run(wc.name, func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				n := 100 + rng.Intn(500)
+				inputs := make([]*stream.Vector, wc.P)
+				for r := range inputs {
+					inputs[r] = randSparse(rng, n, rng.Intn(n/3+1))
+					if rng.Intn(4) == 0 {
+						inputs[r].Densify()
+					}
+				}
+				want := refSum(inputs)
+				for _, alg := range allAlgorithms {
+					w := wc.mk(wc.P)
+					results := comm.Run(w, func(p *comm.Proc) *stream.Vector {
+						return Allreduce(p, inputs[p.Rank()], Options{Algorithm: alg})
+					})
+					for r, res := range results {
+						got := res.ToDense()
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("trial=%d n=%d alg=%s rank=%d coord=%d: got %g want %g",
+									trial, n, alg, r, i, got[i], want[i])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // Randomized timing sanity: simulated completion time is identical across
 // repeated runs of the same instance (determinism of the virtual clock),
 // and strictly positive whenever any communication happens.

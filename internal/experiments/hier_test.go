@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func TestHierCellAcceptanceScenario(t *testing.T) {
+	// The issue's acceptance scenario: P=32, 4 ranks/node, NVLink-like
+	// intra + Aries inter, latency-bound density. HierSSAR must beat flat
+	// SSAR_Split_allgather run entirely on the inter-node profile.
+	row := RunHierCell(1<<20, 1e-4, 32, 4, simnet.NVLinkLike, simnet.Aries, 1, 1, 1)
+	if row.FlatMedian <= 0 || row.HierMedian <= 0 {
+		t.Fatal("medians must be positive")
+	}
+	if row.Speedup <= 1 {
+		t.Fatalf("hierarchical must beat flat at the acceptance point, got speedup %.2f", row.Speedup)
+	}
+	if row.HierMsgs >= row.FlatMsgs*2 {
+		t.Fatalf("hier message count should not blow up: hier=%d flat=%d", row.HierMsgs, row.FlatMsgs)
+	}
+}
+
+func TestHierSweepsShapes(t *testing.T) {
+	rows := HierNodeSweep(1<<14, 1e-3, []int{2, 8, 16}, 4, simnet.NVLinkLike, simnet.Aries, 1, 1)
+	if len(rows) != 2 { // P=2 < rpn is skipped
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	drows := HierDensitySweep(1<<14, []float64{1e-4, 1e-2}, 8, 4, simnet.NVLinkLike, simnet.Aries, 1, 1)
+	if len(drows) != 2 {
+		t.Fatalf("want 2 density rows, got %d", len(drows))
+	}
+	for _, r := range append(rows, drows...) {
+		if r.FlatMedian <= 0 || r.HierMedian <= 0 {
+			t.Fatalf("cell %+v has nonpositive medians", r)
+		}
+	}
+}

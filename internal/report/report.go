@@ -149,6 +149,16 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// Emit writes the table as CSV when csv is set, as an aligned table
+// otherwise — the shared output switch of the cmd tools.
+func (t *Table) Emit(w io.Writer, csv bool) error {
+	if csv {
+		return t.WriteCSV(w)
+	}
+	t.Fprint(w)
+	return nil
+}
+
 // FormatSeconds renders a duration in seconds with an adaptive unit.
 func FormatSeconds(s float64) string {
 	switch {

@@ -76,7 +76,7 @@ var (
 
 // ProfileByName returns a built-in profile.
 func ProfileByName(name string) (Profile, error) {
-	for _, p := range []Profile{Aries, InfiniBandFDR, GigE, SparkLike} {
+	for _, p := range []Profile{Aries, InfiniBandFDR, GigE, SparkLike, NVLinkLike} {
 		if p.Name == name {
 			return p, nil
 		}

@@ -1,0 +1,92 @@
+package simnet
+
+import "fmt"
+
+// Topology extends the flat α–β model to the two-level machines the paper
+// actually targets (multi-GPU nodes on Greina, Piz Daint's Dragonfly):
+// ranks are grouped into nodes of RanksPerNode consecutive ranks, and a
+// message is costed by the Intra profile when sender and receiver share a
+// node and by the Inter profile otherwise. Intra-node links (NVLink, QPI,
+// shared memory) are typically an order of magnitude cheaper in both α and
+// β than the network, which is what makes two-level collective schemes
+// (intra reduce → inter exchange among leaders → intra broadcast) win over
+// the flat algorithms analyzed in §5.3.
+type Topology struct {
+	// RanksPerNode is the number of consecutive ranks placed on one node.
+	// The last node may be smaller when the world size is not divisible.
+	RanksPerNode int
+	// Intra prices messages between ranks on the same node.
+	Intra Profile
+	// Inter prices messages between ranks on different nodes.
+	Inter Profile
+}
+
+// Validate reports whether the topology is usable.
+func (t Topology) Validate() error {
+	if t.RanksPerNode < 1 {
+		return fmt.Errorf("simnet: topology needs RanksPerNode >= 1, got %d", t.RanksPerNode)
+	}
+	if t.Intra.Name == "" || t.Inter.Name == "" {
+		return fmt.Errorf("simnet: topology profiles must be named (intra=%q inter=%q)",
+			t.Intra.Name, t.Inter.Name)
+	}
+	return nil
+}
+
+// NodeOf returns the node index hosting the given rank.
+func (t Topology) NodeOf(rank int) int { return rank / t.RanksPerNode }
+
+// SameNode reports whether two ranks share a node.
+func (t Topology) SameNode(a, b int) bool { return t.NodeOf(a) == t.NodeOf(b) }
+
+// ProfileFor returns the profile pricing a message from rank a to rank b.
+func (t Topology) ProfileFor(a, b int) Profile {
+	if t.SameNode(a, b) {
+		return t.Intra
+	}
+	return t.Inter
+}
+
+// Leader returns the node-leader rank (the lowest rank on the node) for
+// the given rank.
+func (t Topology) Leader(rank int) int { return t.NodeOf(rank) * t.RanksPerNode }
+
+// Nodes returns the number of nodes in a world of p ranks.
+func (t Topology) Nodes(p int) int {
+	return (p + t.RanksPerNode - 1) / t.RanksPerNode
+}
+
+// NodeRanks returns the world ranks hosted on the node of the given rank,
+// in ascending order, for a world of p ranks.
+func (t Topology) NodeRanks(rank, p int) []int {
+	lo := t.Leader(rank)
+	hi := lo + t.RanksPerNode
+	if hi > p {
+		hi = p
+	}
+	out := make([]int, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+// LeaderRanks returns the node-leader ranks of a world of p ranks, in
+// ascending order.
+func (t Topology) LeaderRanks(p int) []int {
+	out := make([]int, 0, t.Nodes(p))
+	for r := 0; r < p; r += t.RanksPerNode {
+		out = append(out, r)
+	}
+	return out
+}
+
+// NVLinkLike models an intra-node GPU interconnect in the class of the
+// paper's multi-GPU Greina nodes: sub-microsecond launch latency and
+// ~25 GB/s effective per-link bandwidth — roughly 2× lower α and 4× higher
+// bandwidth than Aries. Compute constants match the other profiles (the
+// reduction runs on the same device either way).
+var NVLinkLike = Profile{
+	Name: "nvlink", Alpha: 6e-7, BetaPerByte: 4e-11,
+	GammaPerElem: 2.5e-10, SparseComputeFactor: 4,
+}

@@ -1,0 +1,68 @@
+package simnet
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTopologyNodeMapping(t *testing.T) {
+	topo := Topology{RanksPerNode: 4, Intra: NVLinkLike, Inter: Aries}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.NodeOf(0) != 0 || topo.NodeOf(3) != 0 || topo.NodeOf(4) != 1 || topo.NodeOf(11) != 2 {
+		t.Fatal("NodeOf wrong")
+	}
+	if !topo.SameNode(0, 3) || topo.SameNode(3, 4) {
+		t.Fatal("SameNode wrong")
+	}
+	if topo.Leader(6) != 4 || topo.Leader(0) != 0 {
+		t.Fatal("Leader wrong")
+	}
+	if topo.ProfileFor(1, 2).Name != "nvlink" {
+		t.Fatal("intra-node message should use the intra profile")
+	}
+	if topo.ProfileFor(1, 9).Name != "aries" {
+		t.Fatal("inter-node message should use the inter profile")
+	}
+}
+
+func TestTopologyRankEnumeration(t *testing.T) {
+	topo := Topology{RanksPerNode: 4, Intra: NVLinkLike, Inter: Aries}
+	// Divisible world.
+	if got := topo.NodeRanks(5, 8); !reflect.DeepEqual(got, []int{4, 5, 6, 7}) {
+		t.Fatalf("NodeRanks(5, 8) = %v", got)
+	}
+	if got := topo.LeaderRanks(8); !reflect.DeepEqual(got, []int{0, 4}) {
+		t.Fatalf("LeaderRanks(8) = %v", got)
+	}
+	// Ragged world: the last node is smaller.
+	if got := topo.NodeRanks(9, 10); !reflect.DeepEqual(got, []int{8, 9}) {
+		t.Fatalf("NodeRanks(9, 10) = %v", got)
+	}
+	if got := topo.LeaderRanks(10); !reflect.DeepEqual(got, []int{0, 4, 8}) {
+		t.Fatalf("LeaderRanks(10) = %v", got)
+	}
+	if topo.Nodes(10) != 3 || topo.Nodes(8) != 2 || topo.Nodes(1) != 1 {
+		t.Fatal("Nodes wrong")
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := (Topology{RanksPerNode: 0, Intra: NVLinkLike, Inter: Aries}).Validate(); err == nil {
+		t.Fatal("RanksPerNode=0 must fail validation")
+	}
+	if err := (Topology{RanksPerNode: 2, Inter: Aries}).Validate(); err == nil {
+		t.Fatal("unnamed intra profile must fail validation")
+	}
+}
+
+func TestNVLinkLikeProfile(t *testing.T) {
+	p, err := ProfileByName("nvlink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Alpha >= Aries.Alpha || p.BetaPerByte >= Aries.BetaPerByte {
+		t.Fatal("nvlink must be strictly cheaper than aries in both α and β")
+	}
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI floor for the repo: build everything, vet, race-check the concurrency
+# hot spots (the message-passing substrate and the collectives that run on
+# it), then run the full test suite.
+#
+# Usage: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race (comm + core)"
+go test -race ./internal/comm/... ./internal/core/...
+
+echo "== go test ./..."
+go test ./...
+
+echo "CI green."

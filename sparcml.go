@@ -60,6 +60,12 @@ const (
 	DenseRabenseifner  = core.DenseRabenseifner
 	DenseRing          = core.DenseRing
 	RingSparse         = core.RingSparse
+	// HierSSAR is the hierarchical sparse allreduce for two-level
+	// topologies: intra-node reduce → inter-node SSAR among node leaders →
+	// intra-node broadcast. On worlds built with NewWorldTopo, Auto
+	// selects it whenever the reduced result is expected to stay sparse
+	// (the dense/quantized regime still routes through DSAR).
+	HierSSAR = core.HierSSAR
 )
 
 // Options configures an allreduce; see core.Options.
@@ -77,6 +83,16 @@ const (
 // Profile describes a network in the α–β cost model.
 type Profile = simnet.Profile
 
+// Topology describes a two-level machine: ranks are grouped into nodes of
+// RanksPerNode consecutive ranks, intra-node messages are priced by the
+// Intra profile and inter-node messages by the Inter profile. Use with
+// NewWorldTopo:
+//
+//	world := sparcml.NewWorldTopo(32, sparcml.Topology{
+//	    RanksPerNode: 4, Intra: sparcml.NVLinkLike, Inter: sparcml.Aries,
+//	})
+type Topology = simnet.Topology
+
 // Built-in network profiles.
 var (
 	// Aries models Piz Daint's Cray Aries interconnect.
@@ -87,6 +103,9 @@ var (
 	GigE = simnet.GigE
 	// SparkLike models a JVM dataflow communication layer.
 	SparkLike = simnet.SparkLike
+	// NVLinkLike models an intra-node GPU interconnect, the natural Intra
+	// profile of a Topology.
+	NVLinkLike = simnet.NVLinkLike
 )
 
 // NewSparse builds a sparse vector of dimension n from index–value pairs
@@ -122,8 +141,19 @@ func NewWorld(p int, profile Profile) *World {
 	return &World{inner: comm.NewWorld(p, profile)}
 }
 
+// NewWorldTopo creates a world of p ranks on a two-level topology:
+// messages between ranks on the same node cost topo.Intra, messages
+// between nodes cost topo.Inter. Auto algorithm selection picks the
+// hierarchical collectives on such worlds.
+func NewWorldTopo(p int, topo Topology) *World {
+	return &World{inner: comm.NewWorldTopo(p, topo)}
+}
+
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.inner.Size() }
+
+// Topology returns the world's two-level topology, if one was configured.
+func (w *World) Topology() (Topology, bool) { return w.inner.Topology() }
 
 // SimTime returns the maximum simulated completion time across ranks for
 // the most recent Run.

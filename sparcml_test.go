@@ -29,6 +29,37 @@ func TestFacadeAllreduce(t *testing.T) {
 	}
 }
 
+func TestFacadeTopologyWorld(t *testing.T) {
+	topo := Topology{RanksPerNode: 2, Intra: NVLinkLike, Inter: Aries}
+	w := NewWorldTopo(8, topo)
+	if got, ok := w.Topology(); !ok || got.RanksPerNode != 2 {
+		t.Fatal("topology world must report its topology")
+	}
+	// Auto on a topology world routes through HierSSAR; the reduction must
+	// still be exact.
+	results := Run(w, func(c *Comm) *Vector {
+		v := NewSparse(100, []int32{int32(c.Rank()), 50}, []float64{1, 2})
+		return c.Allreduce(v, Options{})
+	})
+	for r, res := range results {
+		if res.Get(50) != 16 {
+			t.Fatalf("rank %d: shared coordinate = %g, want 16", r, res.Get(50))
+		}
+	}
+	if w.SimTime() <= 0 {
+		t.Fatal("simulated time must be positive")
+	}
+	// Explicit HierSSAR must agree with the flat algorithm on a flat world.
+	flat := NewWorld(8, Aries)
+	flatRes := Run(flat, func(c *Comm) *Vector {
+		v := NewSparse(100, []int32{int32(c.Rank()), 50}, []float64{1, 2})
+		return c.Allreduce(v, Options{Algorithm: HierSSAR})
+	})
+	if !flatRes[0].Equal(results[0]) {
+		t.Fatal("HierSSAR on flat world must match topology result")
+	}
+}
+
 func TestFacadeNonblockingAndBarrier(t *testing.T) {
 	w := NewWorld(2, GigE)
 	Run(w, func(c *Comm) any {
