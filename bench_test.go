@@ -159,6 +159,64 @@ func BenchmarkHierSweep(b *testing.B) {
 	}
 }
 
+// --- NIC contention (PR 2) --------------------------------------------------
+
+// BenchmarkHierDSARVsFlatContended measures the dense-regime tentpole
+// scenario: flat DSAR versus DSAR_Hierarchical on the same NIC-serialized
+// two-level world (P=16, 4 ranks/node, NICSerial=1, d=60%). The
+// hierarchical variant's simulated time must come out lower.
+func BenchmarkHierDSARVsFlatContended(b *testing.B) {
+	const n, P, rpn = 1 << 16, 16, 4
+	rng := rand.New(rand.NewSource(17))
+	nf := float64(n)
+	inputs := make([]*stream.Vector, P)
+	for r := range inputs {
+		k := int(0.6 * nf)
+		idx := make([]int32, 0, k)
+		seen := map[int32]bool{}
+		val := make([]float64, 0, k)
+		for len(idx) < k {
+			ix := int32(rng.Intn(n))
+			if !seen[ix] {
+				seen[ix] = true
+				idx = append(idx, ix)
+				val = append(val, rng.NormFloat64())
+			}
+		}
+		inputs[r] = stream.NewSparse(n, idx, val, stream.OpSum)
+	}
+	topo := simnet.Topology{RanksPerNode: rpn, Intra: simnet.NVLinkLike,
+		Inter: simnet.Aries, NICSerial: 1}
+	for _, alg := range []core.Algorithm{core.DSARSplitAllgather, core.HierDSAR} {
+		b.Run(alg.String(), func(b *testing.B) {
+			w := comm.NewWorldTopo(P, topo)
+			for i := 0; i < b.N; i++ {
+				comm.Run(w, func(p *comm.Proc) any {
+					return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: alg})
+				})
+			}
+			b.ReportMetric(w.MaxTime()*1e6, "simµs/op")
+		})
+	}
+}
+
+// BenchmarkContentionSweep runs the BENCH_2 contention-model validation
+// sweep (cost-model Auto vs old heuristic vs empirical cheapest) and
+// reports how many cells the cost model gets right.
+func BenchmarkContentionSweep(b *testing.B) {
+	var autoOK float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ContentionSweep(simnet.NVLinkLike, simnet.Aries)
+		autoOK = 0
+		for _, r := range rows {
+			if r.AutoMatchesCheapest {
+				autoOK++
+			}
+		}
+	}
+	b.ReportMetric(autoOK, "auto-correct-cells")
+}
+
 // --- Figure 4 -------------------------------------------------------------
 
 // BenchmarkFig4aCIFARTopK runs the CIFAR-shaped comparison (dense vs TopK

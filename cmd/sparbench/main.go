@@ -1,18 +1,23 @@
 // Command sparbench regenerates the Figure 3 micro-benchmarks: sparse
 // allreduce time versus node count (left panel; paper: Piz Daint, N=16M,
 // d=0.781%) and versus per-node density (right panel; paper: Greina GigE,
-// N=16M, P=8), for all six algorithms — plus the hierarchical extension:
-// flat SSAR versus topology-aware HierSSAR on a two-level machine.
+// N=16M, P=8), for all six algorithms — plus the hierarchical extensions:
+// flat SSAR versus topology-aware HierSSAR on a two-level machine, flat
+// DSAR versus HierDSAR under a per-node NIC serialization cap, and the
+// contention-model validation sweep recorded as BENCH_2.json.
 //
 // Usage:
 //
-//	sparbench -sweep nodes   [-n 1048576] [-density 0.00781] [-maxp 64] [-profile aries]
-//	sparbench -sweep density [-n 1048576] [-p 8] [-profile gige]
-//	sparbench -sweep hier    [-n 1048576] [-density 0.0001] [-maxp 64] [-rpn 4] [-intra nvlink] [-profile aries]
+//	sparbench -sweep nodes      [-n 1048576] [-density 0.00781] [-maxp 64] [-profile aries]
+//	sparbench -sweep density    [-n 1048576] [-p 8] [-profile gige]
+//	sparbench -sweep hier       [-n 1048576] [-density 0.0001] [-maxp 64] [-rpn 4] [-intra nvlink] [-profile aries]
+//	sparbench -sweep hierdsar   [-n 262144] [-density 0.6] [-maxp 32] [-rpn 4] [-nic 1] [-intra nvlink] [-profile aries]
+//	sparbench -sweep contention [-intra nvlink] [-profile aries] [-json]
 //	sparbench -csv  # machine-readable output
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,17 +48,19 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sparbench", flag.ContinueOnError)
 	var (
-		sweep    = fs.String("sweep", "nodes", "sweep to run: nodes | density | hier")
+		sweep    = fs.String("sweep", "nodes", "sweep to run: nodes | density | hier | hierdsar | contention")
 		n        = fs.Int("n", 1<<20, "vector dimension N (paper uses 16M; 2^20 default keeps memory modest)")
 		densityF = fs.Float64("density", 0.00781, "per-node density d for the nodes sweep")
 		maxP     = fs.Int("maxp", 64, "largest node count for the nodes sweep")
 		p        = fs.Int("p", 8, "node count for the density sweep")
-		rpn      = fs.Int("rpn", 4, "ranks per node for the hier sweep")
-		intra    = fs.String("intra", "nvlink", "intra-node profile for the hier sweep")
+		rpn      = fs.Int("rpn", 4, "ranks per node for the hier/hierdsar sweeps")
+		nic      = fs.Int("nic", 1, "per-node NIC serialization cap for the hierdsar sweep (0 disables contention)")
+		intra    = fs.String("intra", "nvlink", "intra-node profile for the hier/hierdsar/contention sweeps")
 		profile  = fs.String("profile", "", "network profile: aries | ib-fdr | gige | spark | nvlink (default: aries for nodes/hier, gige for density)")
 		gens     = fs.Int("gens", 2, "data generations per cell (paper: 5)")
 		runs     = fs.Int("runs", 3, "runs per generation (paper: 10)")
 		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut  = fs.Bool("json", false, "for -sweep contention: emit the BENCH_2-format JSON document")
 		trace    = fs.Bool("trace", false, "dump a message timeline of one SSAR_Recursive_double allreduce and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +73,79 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		return dumpTrace(stdout, *n, *densityF, *p, prof)
+	}
+
+	if *sweep == "contention" {
+		interProf, err := profileOrDefault(*profile, "aries")
+		if err != nil {
+			return err
+		}
+		intraProf, err := profileOrDefault(*intra, "nvlink")
+		if err != nil {
+			return err
+		}
+		rows := experiments.ContentionSweep(intraProf, interProf)
+		if *jsonOut {
+			return emitBench2(stdout, rows)
+		}
+		tb := report.NewTable("N", "P", "rpn", "nic", "density%", "auto", "old-heuristic", "cheapest-sim", "auto-ok", "old-ok")
+		for _, r := range rows {
+			tb.AddRowRaw(
+				fmt.Sprint(r.N), fmt.Sprint(r.P), fmt.Sprint(r.RanksPerNode), fmt.Sprint(r.NICSerial),
+				fmt.Sprintf("%.4f", r.Density*100),
+				r.AutoChoice, r.OldChoice, r.CheapestSim,
+				fmt.Sprint(r.AutoMatchesCheapest), fmt.Sprint(r.OldMatchesCheapest),
+			)
+		}
+		return tb.Emit(stdout, *csv)
+	}
+
+	if *sweep == "hierdsar" {
+		if *rpn < 1 {
+			return fmt.Errorf("-rpn must be >= 1, got %d", *rpn)
+		}
+		if *nic < 0 {
+			return fmt.Errorf("-nic must be >= 0, got %d", *nic)
+		}
+		interProf, err := profileOrDefault(*profile, "aries")
+		if err != nil {
+			return err
+		}
+		intraProf, err := profileOrDefault(*intra, "nvlink")
+		if err != nil {
+			return err
+		}
+		// The hierdsar sweep defaults to a dense-regime density and a
+		// moderate dimension; explicit flags win.
+		d := *densityF
+		if !flagPassed(fs, "density") {
+			d = 0.6
+		}
+		dim := *n
+		if !flagPassed(fs, "n") {
+			dim = 1 << 18
+		}
+		ranks := report.Pow2Range(2*(*rpn), *maxP)
+		if len(ranks) == 0 {
+			return fmt.Errorf("-maxp %d yields no multi-node shapes (need at least %d ranks for 2 nodes of %d)",
+				*maxP, 2*(*rpn), *rpn)
+		}
+		fmt.Fprintf(stdout, "# hierarchical DSAR under NIC contention: flat DSAR vs DSAR_Hierarchical on %d×%s/%s nodes, nic=%d; N=%d d=%.2f%%\n",
+			*rpn, intraProf.Name, interProf.Name, *nic, dim, d*100)
+		rows := experiments.HierDSARNodeSweep(dim, d, ranks, *rpn, *nic, intraProf, interProf, *gens, *runs)
+		tb := report.NewTable("P", "ranks/node", "flat-median", "hier-median", "speedup", "flat-msgs", "hier-msgs")
+		for _, r := range rows {
+			tb.AddRowRaw(
+				fmt.Sprint(r.P),
+				fmt.Sprint(r.RanksPerNode),
+				report.FormatSeconds(r.FlatMedian),
+				report.FormatSeconds(r.HierMedian),
+				fmt.Sprintf("%.2f", r.Speedup),
+				fmt.Sprint(r.FlatMsgs),
+				fmt.Sprint(r.HierMsgs),
+			)
+		}
+		return tb.Emit(stdout, *csv)
 	}
 
 	if *sweep == "hier" {
@@ -149,6 +229,28 @@ func run(args []string, stdout io.Writer) error {
 		)
 	}
 	return tb.Emit(stdout, *csv)
+}
+
+// emitBench2 writes the BENCH_2.json document: the contention-model sweep
+// with modeled and simulated seconds per algorithm per cell. Every metric
+// is simulated virtual time (deterministic given the seeded inputs), so
+// the file is reproducible byte-for-byte — scripts/ci.sh regenerates it.
+func emitBench2(w io.Writer, rows []experiments.ContentionRow) error {
+	doc := struct {
+		ID    string                      `json:"id"`
+		Note  string                      `json:"note"`
+		Cells []experiments.ContentionRow `json:"cells"`
+	}{
+		ID: "BENCH_2",
+		Note: "contention-model sweep: per-algorithm modeled vs simulated time on two-level " +
+			"topologies with the per-node NIC serialization cap on/off; auto_choice is the " +
+			"cost-model Auto, old_heuristic_choice the replaced topology-presence rule, " +
+			"cheapest_sim the empirically cheapest algorithm",
+		Cells: rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func flagPassed(fs *flag.FlagSet, name string) bool {

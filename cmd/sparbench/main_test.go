@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -57,5 +58,63 @@ func TestRunCSVAndErrors(t *testing.T) {
 	// Regression: -rpn 0 used to hang in Pow2Range(0, maxp).
 	if err := run([]string{"-sweep", "hier", "-rpn", "0"}, &buf); err == nil {
 		t.Fatal("rpn < 1 must error")
+	}
+}
+
+func TestRunHierDSARSweepTiny(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-sweep", "hierdsar", "-n", "4096", "-maxp", "8", "-rpn", "4", "-gens", "1", "-runs", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "hierarchical DSAR under NIC contention") || !strings.Contains(out, "speedup") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if err := run([]string{"-sweep", "hierdsar", "-nic", "-1"}, &buf); err == nil {
+		t.Fatal("nic < 0 must error")
+	}
+	if err := run([]string{"-sweep", "hierdsar", "-rpn", "0"}, &buf); err == nil {
+		t.Fatal("rpn < 1 must error")
+	}
+}
+
+func TestRunContentionSweepJSON(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-sweep", "contention", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ID    string `json:"id"`
+		Cells []struct {
+			AutoChoice          string `json:"auto_choice"`
+			OldChoice           string `json:"old_heuristic_choice"`
+			AutoMatchesCheapest bool   `json:"auto_matches_cheapest"`
+			OldMatchesCheapest  bool   `json:"old_matches_cheapest"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("BENCH_2 output is not valid JSON: %v", err)
+	}
+	if doc.ID != "BENCH_2" || len(doc.Cells) == 0 {
+		t.Fatalf("unexpected document: %+v", doc)
+	}
+	demonstrated := false
+	for _, c := range doc.Cells {
+		if c.AutoMatchesCheapest && !c.OldMatchesCheapest {
+			demonstrated = true
+		}
+	}
+	if !demonstrated {
+		t.Fatal("BENCH_2 must contain a cell where Auto beats the old heuristic")
+	}
+
+	// The human-readable table form must render too.
+	var tbl strings.Builder
+	if err := run([]string{"-sweep", "contention"}, &tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "old-heuristic") {
+		t.Fatalf("unexpected table output:\n%s", tbl.String())
 	}
 }

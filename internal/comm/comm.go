@@ -83,9 +83,13 @@ func NewWorld(p int, profile simnet.Profile) *World {
 
 // NewWorldTopo creates a world of p ranks on a two-level topology:
 // consecutive groups of topo.RanksPerNode ranks share a node, intra-node
-// messages are priced by topo.Intra and inter-node messages by topo.Inter.
-// The world's default profile (returned by Profile, used for local compute
-// costs) is the inter-node profile.
+// messages are priced by topo.Intra and inter-node messages by topo.Inter
+// (both in seconds per the α–β model). The world's default profile
+// (returned by Profile, used for local compute costs) is the inter-node
+// profile. When topo.NICSerial > 0, inter-node sends additionally pay the
+// per-node NIC bandwidth-sharing factor for concurrently sending
+// node-mates (see Topology.NICFactor and Proc.Send). Panics if
+// topo.Validate fails or p <= 0.
 func NewWorldTopo(p int, topo simnet.Topology) *World {
 	if err := topo.Validate(); err != nil {
 		panic(err.Error())
@@ -167,6 +171,11 @@ type Proc struct {
 	// ascending world ranks of the group, with groupRank this rank's index.
 	group     []int
 	groupRank int
+
+	// nicUsers caches the number of this communicator's ranks that share
+	// this rank's node — the modeled count of flows contending for the
+	// node's NIC (see nicActive). Zero means not yet computed.
+	nicUsers int
 }
 
 // Rank returns this process's rank in [0, Size) — group-local on a
@@ -272,21 +281,53 @@ func (p *Proc) NextTagBase() int {
 // within one collective offset into this range.
 const tagStride = 1 << 20
 
+// nicActive returns how many ranks of this Proc's communicator live on
+// this rank's node — the modeled number of flows sharing the node's NIC
+// when the communicator drives inter-node traffic. The communicator group
+// is the activity proxy: collectives keep every member of the communicator
+// they run on busy in lockstep, so a world-communicator phase contends
+// with all node-mates while a leader sub-communicator phase (one rank per
+// node) is contention-free. The count is static per communicator view,
+// which keeps message pricing deterministic (no cross-goroutine state).
+func (p *Proc) nicActive() int {
+	if p.nicUsers == 0 {
+		topo := p.world.topo
+		if p.group == nil {
+			p.nicUsers = len(topo.NodeRanks(p.rank, p.world.p))
+		} else {
+			for _, r := range p.group {
+				if topo.SameNode(r, p.rank) {
+					p.nicUsers++
+				}
+			}
+		}
+	}
+	return p.nicUsers
+}
+
 // Send transmits payload of the given modeled size to rank `to`. The
 // sender's clock advances by the full α+β·bytes transfer (message
 // injection occupies the sender, which is what gives the split phase its
 // (P−1)α latency term in §5.3.2); the receiver will observe the same
-// completion time.
+// completion time. On topology worlds with a NICSerial cap, inter-node
+// sends additionally pay the per-node NIC bandwidth-sharing factor
+// (Topology.NICFactor) for the ranks of this communicator co-located on
+// the sender's node.
 func (p *Proc) Send(to, tag int, payload any, bytes int) {
 	wto := p.worldRank(to)
 	start := p.clock.Now()
-	cost := p.world.profileFor(p.rank, wto).TransferTime(bytes)
+	factor := 1.0
+	topo := p.world.topo
+	if topo != nil && topo.NICSerial > 0 && !topo.SameNode(p.rank, wto) {
+		factor = topo.NICFactor(p.nicActive())
+	}
+	cost := p.world.profileFor(p.rank, wto).ContendedTransferTime(bytes, factor)
 	p.clock.Advance(cost)
 	p.world.msgs.Add(1)
 	p.world.bytes.Add(int64(bytes))
 	if tr := p.world.tracer.Load(); tr != nil {
 		tr.record(TraceEvent{Src: p.rank, Dst: wto, Tag: tag, Bytes: bytes,
-			SendTime: start, Arrival: p.clock.Now()})
+			SendTime: start, Arrival: p.clock.Now(), NICFactor: factor})
 	}
 	p.deliver(wto, Message{Src: p.rank, Tag: tag, Payload: payload, Bytes: bytes, Arrival: p.clock.Now()})
 }
@@ -340,7 +381,7 @@ func (p *Proc) SendRecv(peer, tag int, payload any, bytes int) Message {
 // Tag ranges must be allocated on the parent (in program order) before
 // forking, so concurrent operations never collide.
 func (p *Proc) Fork() *Proc {
-	f := &Proc{rank: p.rank, world: p.world, group: p.group, groupRank: p.groupRank}
+	f := &Proc{rank: p.rank, world: p.world, group: p.group, groupRank: p.groupRank, nicUsers: p.nicUsers}
 	f.clock.Observe(p.clock.Now())
 	return f
 }

@@ -20,6 +20,10 @@ type TraceEvent struct {
 	Bytes int
 	// SendTime and Arrival are virtual times in seconds.
 	SendTime, Arrival float64
+	// NICFactor is the per-node NIC bandwidth-sharing multiplier the
+	// message's bandwidth term was priced with (1 for intra-node messages
+	// and for worlds without a NICSerial cap; see simnet.Topology).
+	NICFactor float64
 }
 
 // Tracer collects TraceEvents from a world. Safe for concurrent use.

@@ -21,7 +21,6 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
-	"repro/internal/density"
 	"repro/internal/quant"
 	"repro/internal/stream"
 )
@@ -30,11 +29,15 @@ import (
 type Algorithm int
 
 const (
-	// Auto picks an algorithm from the paper's guidance: estimate the
-	// reduced size E[K] under uniform sparsity; if it exceeds δ use
-	// DSARSplitAllgather, otherwise recursive doubling for small data and
-	// SSARSplitAllgather for large data — or HierSSAR in the sparse
-	// regime when the world has a multi-node topology.
+	// Auto picks an algorithm by modeled cost: the paper's δ gate first
+	// fixes the result representation (expected fill-in E[K] ≥ δ routes to
+	// the dense-result DSAR family, which also honors quantization; below
+	// δ to the sparse-result SSAR family), then the candidates — including
+	// the hierarchical variants on multi-node topology worlds — are priced
+	// by the α–β(+NIC contention) cost model (see CostScenario and
+	// PredictSeconds) and the cheapest wins. Every rank first agrees on
+	// the maximum per-rank non-zero count, so all ranks pick the same
+	// algorithm.
 	Auto Algorithm = iota
 	// SSARRecDouble is static sparse allreduce by recursive doubling.
 	SSARRecDouble
@@ -61,6 +64,15 @@ const (
 	// broadcast of the result. On a flat world it degrades to
 	// SSARSplitAllgather.
 	HierSSAR
+	// HierDSAR is the hierarchical dynamic sparse allreduce: an intra-node
+	// sparse reduce to each node leader, a DSAR among leaders over the
+	// inter-node network (sparse split by node partition, densify at the
+	// leader, dense — optionally QSGD-quantized — allgather), and an
+	// intra-node broadcast of the dense result. Returns a dense vector on
+	// every rank; without quantization the reduction is bit-identical to
+	// flat DSARSplitAllgather (exact sums). On a flat world it degrades to
+	// DSARSplitAllgather.
+	HierDSAR
 )
 
 // String returns the paper's name for the algorithm.
@@ -84,6 +96,8 @@ func (a Algorithm) String() string {
 		return "Ring_sparse"
 	case HierSSAR:
 		return "SSAR_Hierarchical"
+	case HierDSAR:
+		return "DSAR_Hierarchical"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -95,16 +109,19 @@ type Options struct {
 	// selection heuristic.
 	Algorithm Algorithm
 	// Quant, when non-nil, enables QSGD quantization of the dense allgather
-	// stage of DSARSplitAllgather ("we employ the low-precision data
-	// representation only in the second part of the DSAR Split allgather
-	// algorithm", §6). Ignored by other algorithms.
+	// stage of DSARSplitAllgather and HierDSAR ("we employ the low-precision
+	// data representation only in the second part of the DSAR Split
+	// allgather algorithm", §6). Ignored by other algorithms.
 	Quant *quant.Config
 	// Seed drives the stochastic quantization; combined with the rank that
 	// owns each partition so encodings are deterministic yet independent.
 	Seed int64
-	// SmallDataBytes is the Auto-mode threshold between the latency-bound
-	// regime (recursive doubling) and the bandwidth-bound regime (split
-	// allgather). Zero means DefaultSmallDataBytes.
+	// SmallDataBytes is the wire-size boundary (in bytes) below which the
+	// hierarchical algorithms' leader phase uses recursive doubling rather
+	// than split allgather. Zero means DefaultSmallDataBytes. Auto no
+	// longer thresholds on it directly — the cost model prices both flat
+	// variants — but it is forwarded into the hierarchical collectives and
+	// their cost predictions.
 	SmallDataBytes int
 }
 
@@ -139,6 +156,8 @@ func allreduceTagged(p *comm.Proc, v *stream.Vector, opts Options, base int) *st
 		return ringSparse(p, v, base)
 	case HierSSAR:
 		return hierSSAR(p, v, opts, base)
+	case HierDSAR:
+		return hierDSAR(p, v, opts, base)
 	default:
 		panic("core: unresolved algorithm")
 	}
@@ -151,40 +170,26 @@ func allreduceTagged(p *comm.Proc, v *stream.Vector, opts Options, base int) *st
 // Per-rank non-zero counts may differ, but every rank must run the *same*
 // algorithm, so Auto first agrees on the maximum k with a tiny
 // max-allreduce (one 8-byte word, log2(P) rounds) — the k = maxᵢ|Hᵢ| of
-// the paper's analysis — and derives the decision from that shared value.
+// the paper's analysis — and hands the shared value to the cost-model
+// comparator ChooseAuto. Everything else the scenario is built from
+// (dimension, δ, topology, options) is identical on every rank, and the
+// model is pure deterministic float arithmetic, so all ranks agree.
 func resolve(p *comm.Proc, v *stream.Vector, opts Options, base int) Algorithm {
 	if opts.Algorithm != Auto {
 		return opts.Algorithm
 	}
-	n, P := v.Dim(), p.Size()
 	kmax := int(AllreduceDenseRecDouble(p, []float64{float64(v.NNZ())},
 		stream.OpMax, stream.DefaultValueBytes, base+resolveTagOffset)[0])
-	expectedK := density.ExpectedKUniform(n, kmax, P)
-	if expectedK >= float64(v.Delta()) {
-		// Dense regime: the reduced result fills in past δ, so the dense
-		// (optionally quantized) allgather stage wins regardless of the
-		// topology — DSAR honors opts.Quant, which the sparse-wire
-		// hierarchical scheme cannot.
-		return DSARSplitAllgather
+	s := CostScenario{
+		N: v.Dim(), P: p.Size(), K: kmax,
+		ValueBytes: v.ValueBytes(), Delta: v.Delta(),
+		Profile: p.Profile(), Quant: opts.Quant,
+		SmallDataBytes: opts.SmallDataBytes,
 	}
-	// Sparse regime on a two-level topology with more than one node: the
-	// hierarchical scheme dominates the flat sparse algorithms, replacing
-	// the flat (P−1)·α split latency with (nodes−1)·α over the expensive
-	// network and moving the rest onto cheap intra-node links. The check
-	// uses the agreed kmax and the shared topology, so every rank picks
-	// the same algorithm.
-	if topo, ok := p.Topology(); ok && topo.RanksPerNode > 1 && topo.RanksPerNode < P {
-		return HierSSAR
+	if topo, ok := p.Topology(); ok {
+		s.Topo = &topo
 	}
-	small := opts.SmallDataBytes
-	if small == 0 {
-		small = DefaultSmallDataBytes
-	}
-	wire := stream.HeaderBytes + kmax*(stream.IndexBytes+v.ValueBytes())
-	if wire <= small {
-		return SSARRecDouble
-	}
-	return SSARSplitAllgather
+	return ChooseAuto(s)
 }
 
 // resolveTagOffset reserves the top half of each collective's tag range

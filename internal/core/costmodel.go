@@ -1,0 +1,384 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/density"
+	"repro/internal/quant"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+// This file implements the analytic α–β(+NIC) cost model behind Auto: a
+// closed-form estimate of each allreduce algorithm's simulated completion
+// time under the same assumptions the simulator charges — per-message
+// latency α, per-byte bandwidth β (scaled by the per-node NIC contention
+// factor for inter-node messages, see simnet.Topology.NICFactor), and
+// per-element compute γ. Fill-in follows the paper's uniform-support
+// expectation E[K] (§5.2, Figure 7); non-uniform (clustered) supports are
+// a known overestimate tracked in ROADMAP.md. The exact formulas, one per
+// algorithm, are documented in docs/ARCHITECTURE.md and must be kept in
+// sync with this file.
+
+// CostScenario describes one allreduce instance for the analytic cost
+// model: the agreed problem shape plus the network it runs on. All byte
+// quantities are wire bytes; every Predict result is in simulated seconds.
+// Every rank resolving Auto must build an identical scenario (K is the
+// globally agreed maximum per-rank non-zero count), so the deterministic
+// float arithmetic yields the same choice everywhere.
+type CostScenario struct {
+	// N is the vector dimension and P the number of ranks; both must be
+	// positive.
+	N, P int
+	// K is the agreed maximum per-rank non-zero count, k = maxᵢ|Hᵢ| of the
+	// paper's analysis. Must be in [0, N].
+	K int
+	// ValueBytes is the wire size of one value in bytes (4 or 8); zero
+	// means stream.DefaultValueBytes.
+	ValueBytes int
+	// Delta is the sparse→dense representation threshold δ in non-zeros;
+	// zero means stream.Delta(N, ValueBytes).
+	Delta int
+	// Profile prices every message on flat worlds and local compute
+	// everywhere (γ terms). On topology scenarios it should equal
+	// Topo.Inter, matching comm.NewWorldTopo.
+	Profile simnet.Profile
+	// Topo, when non-nil, prices messages by node locality (rank distance
+	// below RanksPerNode is intra-node) and applies the NICSerial
+	// contention factor to inter-node bandwidth.
+	Topo *simnet.Topology
+	// Quant, when non-nil, prices the dense allgather stage of the DSAR
+	// algorithms at the QSGD wire size (Bits/8 + 4/Bucket bytes per
+	// element) instead of ValueBytes.
+	Quant *quant.Config
+	// SmallDataBytes is the rec-double/split wire-size boundary HierSSAR's
+	// leader phase selects by; zero means DefaultSmallDataBytes. The flat
+	// algorithms are priced directly and do not consult it.
+	SmallDataBytes int
+}
+
+// PredictSeconds returns the modeled completion time in simulated seconds
+// of one allreduce under the scenario. Supported algorithms are the Auto
+// candidates: SSARRecDouble, SSARSplitAllgather, DSARSplitAllgather,
+// HierSSAR, and HierDSAR (the hierarchical two degrade to their flat
+// counterparts when the scenario has no exploitable topology); other
+// algorithms panic. The estimate tracks the simulator's charging rules on
+// uniform supports and is intended for ranking algorithms, not for exact
+// time prediction.
+func PredictSeconds(alg Algorithm, s CostScenario) float64 {
+	if s.N <= 0 || s.P <= 0 || s.K < 0 {
+		panic("core: CostScenario needs N > 0, P > 0, K >= 0")
+	}
+	switch alg {
+	case SSARRecDouble:
+		return s.predictRecDouble()
+	case SSARSplitAllgather:
+		return s.predictSplitAllgather()
+	case DSARSplitAllgather:
+		return s.predictDSAR()
+	case HierSSAR:
+		if !s.hier() {
+			return s.predictSplitAllgather()
+		}
+		return s.predictHierSSAR()
+	case HierDSAR:
+		if !s.hier() {
+			return s.predictDSAR()
+		}
+		return s.predictHierDSAR()
+	default:
+		panic("core: no cost model for " + alg.String())
+	}
+}
+
+// ChooseAuto returns the algorithm Auto resolves to under the scenario.
+// The paper's δ gate first fixes the result representation — expected
+// fill-in E[K] ≥ δ means the reduced vector densifies, so only the DSAR
+// family (which also honors quantization) is eligible; below δ only the
+// sparse-result SSAR family is. Within the regime the candidates —
+// including the hierarchical variants when the topology has more than one
+// node and more than one rank per node — are priced by PredictSeconds and
+// the cheapest wins (ties keep the earliest candidate, flat before
+// hierarchical).
+func ChooseAuto(s CostScenario) Algorithm {
+	var candidates []Algorithm
+	if s.fill(s.P) >= float64(s.deltaOr()) {
+		candidates = []Algorithm{DSARSplitAllgather}
+		if s.hier() {
+			candidates = append(candidates, HierDSAR)
+		}
+	} else {
+		candidates = []Algorithm{SSARRecDouble, SSARSplitAllgather}
+		if s.hier() {
+			candidates = append(candidates, HierSSAR)
+		}
+	}
+	best, bestT := candidates[0], math.Inf(1)
+	for _, alg := range candidates {
+		if t := PredictSeconds(alg, s); t < bestT {
+			best, bestT = alg, t
+		}
+	}
+	return best
+}
+
+func (s CostScenario) valueBytesOr() int {
+	if s.ValueBytes == 0 {
+		return stream.DefaultValueBytes
+	}
+	return s.ValueBytes
+}
+
+func (s CostScenario) deltaOr() int {
+	if s.Delta == 0 {
+		return stream.Delta(s.N, s.valueBytesOr())
+	}
+	return s.Delta
+}
+
+func (s CostScenario) smallOr() int {
+	if s.SmallDataBytes == 0 {
+		return DefaultSmallDataBytes
+	}
+	return s.SmallDataBytes
+}
+
+// hier reports whether the scenario has a topology the hierarchical
+// algorithms can exploit (more than one rank per node, more than one node).
+func (s CostScenario) hier() bool {
+	return s.Topo != nil && s.Topo.RanksPerNode > 1 && s.Topo.RanksPerNode < s.P
+}
+
+// fill returns E[K] for the union of `groups` rank supports under the
+// uniform-support model, capped at P groups and N entries.
+func (s CostScenario) fill(groups int) float64 {
+	if groups > s.P {
+		groups = s.P
+	}
+	if groups < 1 || s.K == 0 {
+		return 0
+	}
+	return density.ExpectedKUniform(s.N, s.K, groups)
+}
+
+// wire returns the modeled wire bytes of a stream holding k non-zeros in
+// the representation it would actually be in: sparse pairs below δ, dense
+// past it (§5.1).
+func (s CostScenario) wire(k float64) float64 {
+	if k > float64(s.deltaOr()) {
+		return float64(stream.HeaderBytes) + float64(s.N)*float64(s.valueBytesOr())
+	}
+	return float64(stream.HeaderBytes) + k*float64(stream.IndexBytes+s.valueBytesOr())
+}
+
+// densePerElem returns the dense-allgather wire bytes per element: the
+// value size, or the amortized QSGD size when quantization is configured.
+func (s CostScenario) densePerElem() float64 {
+	if s.Quant == nil {
+		return float64(s.valueBytesOr())
+	}
+	bucket := s.Quant.Bucket
+	if bucket < 1 {
+		bucket = 1
+	}
+	return float64(s.Quant.Bits)/8 + 4/float64(bucket)
+}
+
+// modelMsg prices one message: α + overhead + (β+βsw)·bytes·factor, the
+// float-bytes twin of Profile.ContendedTransferTime.
+func modelMsg(prof simnet.Profile, bytes, factor float64) float64 {
+	return prof.Alpha + prof.SoftwareOverhead +
+		(prof.BetaPerByte+prof.SoftwarePerByte)*bytes*factor
+}
+
+// link returns the profile and NIC contention factor pricing an exchange
+// at rank distance `dist` when the whole world communicator is active:
+// intra-node (factor 1) below RanksPerNode, inter-node with all node-mates
+// contending otherwise.
+func (s CostScenario) link(dist int) (simnet.Profile, float64) {
+	if s.Topo == nil {
+		return s.Profile, 1
+	}
+	if dist < s.Topo.RanksPerNode {
+		return s.Topo.Intra, 1
+	}
+	active := s.Topo.RanksPerNode
+	if active > s.P {
+		active = s.P
+	}
+	return s.Topo.Inter, s.Topo.NICFactor(active)
+}
+
+// interLeader returns the inter-node profile with the leader-phase
+// contention factor: one active rank per node, hence factor 1.
+func (s CostScenario) interLeader() simnet.Profile {
+	if s.Topo == nil {
+		return s.Profile
+	}
+	return s.Topo.Inter
+}
+
+// mergeCost prices combining `pairs` sparse index–value pairs, or one
+// dense pass over the vector when the accumulation has densified.
+func (s CostScenario) mergeCost(pairs float64, dense bool) float64 {
+	if dense {
+		return s.Profile.GammaPerElem * float64(s.N)
+	}
+	return s.Profile.GammaPerElem * s.Profile.SparseComputeFactor * pairs
+}
+
+// predictRecDouble prices SSAR_Recursive_double: log2(P) exchange+merge
+// stages whose payload is the accumulated union E[K_d].
+func (s CostScenario) predictRecDouble() float64 {
+	t := 0.0
+	for d := 1; d < s.P; d *= 2 {
+		kt := s.fill(d)
+		prof, f := s.link(d)
+		t += modelMsg(prof, s.wire(kt), f)
+		t += s.mergeCost(2*kt, s.fill(2*d) > float64(s.deltaOr()))
+	}
+	return t
+}
+
+// splitPhaseCost prices the shared split phase: P−1 direct sends of one
+// dimension-partition slice (≈ K/P non-zeros) each — serialized at the
+// sender, which is the (P−1)·α term — plus the P−1 merges reducing this
+// rank's partition.
+func (s CostScenario) splitPhaseCost() float64 {
+	slice := float64(s.K) / float64(s.P)
+	t := 0.0
+	if s.Topo != nil {
+		rpn := s.Topo.RanksPerNode
+		if rpn > s.P {
+			rpn = s.P
+		}
+		_, f := s.link(rpn) // inter-node, all ranks active
+		t += float64(rpn-1) * modelMsg(s.Topo.Intra, s.wire(slice), 1)
+		t += float64(s.P-rpn) * modelMsg(s.Topo.Inter, s.wire(slice), f)
+	} else {
+		t += float64(s.P-1) * modelMsg(s.Profile, s.wire(slice), 1)
+	}
+	part := s.fill(s.P) / float64(s.P)
+	t += s.mergeCost(float64(s.P-1)*(slice+part), false)
+	return t
+}
+
+// predictSplitAllgather prices SSAR_Split_allgather: the split phase plus
+// a concatenating sparse allgather whose payload doubles each stage up to
+// the reduced size E[K_P].
+func (s CostScenario) predictSplitAllgather() float64 {
+	t := s.splitPhaseCost()
+	part := s.fill(s.P) / float64(s.P)
+	for d := 1; d < s.P; d *= 2 {
+		kt := part * float64(d)
+		prof, f := s.link(d)
+		t += modelMsg(prof, s.wire(kt), f)
+		t += s.mergeCost(2*kt, 2*kt > float64(s.deltaOr()))
+	}
+	return t
+}
+
+// predictDSAR prices DSAR_Split_allgather: the sparse split phase, a
+// densify pass over the local partition (plus QSGD encode/decode passes
+// when quantizing), and a dense allgather whose per-stage volume doubles.
+func (s CostScenario) predictDSAR() float64 {
+	t := s.splitPhaseCost()
+	g := s.Profile.GammaPerElem
+	block := float64(s.N) / float64(s.P)
+	t += g * block // densify the owned partition
+	if s.Quant != nil {
+		t += g*block + g*float64(s.N) // encode own block, decode all
+	}
+	for d := 1; d < s.P; d *= 2 {
+		bytes := float64(d)*block*s.densePerElem() + float64(stream.HeaderBytes)
+		prof, f := s.link(d)
+		t += modelMsg(prof, bytes, f)
+	}
+	return t
+}
+
+// intraReduceCost prices the binomial-tree sparse reduce of r node-local
+// inputs to the node leader: ⌈log2 r⌉ rounds on the intra profile with
+// payloads growing as E[K_d].
+func (s CostScenario) intraReduceCost(r int) float64 {
+	t := 0.0
+	for d := 1; d < r; d *= 2 {
+		kt := s.fill(d)
+		t += modelMsg(s.Topo.Intra, s.wire(kt), 1)
+		t += s.mergeCost(2*kt, s.fill(2*d) > float64(s.deltaOr()))
+	}
+	return t
+}
+
+// intraBcastCost prices the binomial-tree broadcast of the final result
+// (wire size `bytes`) within one node of r ranks: ⌈log2 r⌉ sequential
+// intra-node hops on the critical path.
+func (s CostScenario) intraBcastCost(r int, bytes float64) float64 {
+	rounds := 0
+	for d := 1; d < r; d *= 2 {
+		rounds++
+	}
+	return float64(rounds) * modelMsg(s.Topo.Intra, bytes, 1)
+}
+
+// predictHierSSAR prices SSAR_Hierarchical: intra-node reduce, a leader
+// allreduce over the inter-node network (rec-double or split allgather by
+// the same wire-size rule the implementation applies, contention-free
+// because one rank per node drives the NIC), and the intra-node broadcast
+// of the result.
+func (s CostScenario) predictHierSSAR() float64 {
+	r := s.Topo.RanksPerNode
+	m := (s.P + r - 1) / r
+	t := s.intraReduceCost(r)
+	kp := s.fill(r) // per-leader non-zeros after the intra reduce
+	inter := s.interLeader()
+	wireK := stream.HeaderBytes + int(kp)*(stream.IndexBytes+s.valueBytesOr())
+	if wireK <= s.smallOr() {
+		// Leader recursive doubling: payload is the union of r·d inputs.
+		for d := 1; d < m; d *= 2 {
+			kt := s.fill(r * d)
+			t += modelMsg(inter, s.wire(kt), 1)
+			t += s.mergeCost(2*kt, s.fill(2*r*d) > float64(s.deltaOr()))
+		}
+	} else {
+		// Leader split allgather over m partitions.
+		slice := kp / float64(m)
+		t += float64(m-1) * modelMsg(inter, s.wire(slice), 1)
+		part := s.fill(s.P) / float64(m)
+		t += s.mergeCost(float64(m-1)*(slice+part), false)
+		for d := 1; d < m; d *= 2 {
+			kt := part * float64(d)
+			t += modelMsg(inter, s.wire(kt), 1)
+			t += s.mergeCost(2*kt, 2*kt > float64(s.deltaOr()))
+		}
+	}
+	return t + s.intraBcastCost(r, s.wire(s.fill(s.P)))
+}
+
+// predictHierDSAR prices DSAR_Hierarchical: intra-node reduce, a leader
+// DSAR over m node partitions (sparse split, densify, dense/quantized
+// allgather — all contention-free at one flow per NIC), and the intra-node
+// broadcast of the dense result.
+func (s CostScenario) predictHierDSAR() float64 {
+	r := s.Topo.RanksPerNode
+	m := (s.P + r - 1) / r
+	t := s.intraReduceCost(r)
+	kp := s.fill(r)
+	inter := s.interLeader()
+	slice := kp / float64(m)
+	t += float64(m-1) * modelMsg(inter, s.wire(slice), 1)
+	part := s.fill(s.P) / float64(m)
+	t += s.mergeCost(float64(m-1)*(slice+part), false)
+	g := s.Profile.GammaPerElem
+	block := float64(s.N) / float64(m)
+	t += g * block
+	if s.Quant != nil {
+		t += g*block + g*float64(s.N)
+	}
+	for d := 1; d < m; d *= 2 {
+		bytes := float64(d)*block*s.densePerElem() + float64(stream.HeaderBytes)
+		t += modelMsg(inter, bytes, 1)
+	}
+	dense := float64(stream.HeaderBytes) + float64(s.N)*float64(s.valueBytesOr())
+	return t + s.intraBcastCost(r, dense)
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+// simulateUniform runs one allreduce of the given uniform-sparse instance and
+// returns the simulated completion time.
+func simulateUniform(t *testing.T, n, k, P int, topo *simnet.Topology, prof simnet.Profile, alg Algorithm) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n) + int64(k)*31 + int64(P)*7))
+	inputs := make([]*stream.Vector, P)
+	for r := range inputs {
+		inputs[r] = randSparse(rng, n, k)
+	}
+	var w *comm.World
+	if topo != nil {
+		w = comm.NewWorldTopo(P, *topo)
+	} else {
+		w = comm.NewWorld(P, prof)
+	}
+	comm.Run(w, func(p *comm.Proc) any {
+		return Allreduce(p, inputs[p.Rank()], Options{Algorithm: alg})
+	})
+	return w.MaxTime()
+}
+
+// TestPredictTracksSimulator: on uniform supports the model must stay
+// within a modest relative error of the simulated time for every priced
+// algorithm, across flat, topology, and NIC-contended scenarios. The
+// model only needs to *rank* algorithms, but tracking the absolute time
+// keeps the formulas honest.
+func TestPredictTracksSimulator(t *testing.T) {
+	topo := simnet.Topology{RanksPerNode: 4, Intra: simnet.NVLinkLike, Inter: simnet.Aries}
+	nic := simnet.Topology{RanksPerNode: 4, Intra: simnet.NVLinkLike, Inter: simnet.Aries, NICSerial: 1}
+	cases := []struct {
+		name    string
+		n, k, P int
+		topo    *simnet.Topology
+	}{
+		{"flat-small", 1 << 20, 100, 4, nil},
+		{"flat-large", 1 << 20, 50000, 4, nil},
+		{"flat-overlap", 1 << 16, 3000, 16, nil},
+		{"topo-sparse", 1 << 20, 100, 32, &topo},
+		{"nic-sparse", 1 << 20, 100, 32, &nic},
+		{"nic-dense", 1 << 16, 40000, 16, &nic},
+	}
+	algs := []Algorithm{SSARRecDouble, SSARSplitAllgather, DSARSplitAllgather, HierSSAR, HierDSAR}
+	for _, tc := range cases {
+		s := CostScenario{N: tc.n, P: tc.P, K: tc.k, Profile: simnet.Aries, Topo: tc.topo}
+		if tc.topo == nil {
+			s.Profile = testProfile
+		}
+		for _, alg := range algs {
+			model := PredictSeconds(alg, s)
+			sim := simulateUniform(t, tc.n, tc.k, tc.P, tc.topo, s.Profile, alg)
+			if model <= 0 || sim <= 0 {
+				t.Fatalf("%s/%s: non-positive time (model=%g sim=%g)", tc.name, alg, model, sim)
+			}
+			if r := math.Abs(model-sim) / sim; r > 0.35 {
+				t.Errorf("%s/%s: model %.3gs vs sim %.3gs (rel err %.0f%%)",
+					tc.name, alg, model, sim, r*100)
+			}
+		}
+	}
+}
+
+// TestAutoMatchesEmpiricalCheapest is the acceptance-criterion check: in
+// scenarios where the old topology-presence heuristic picks the wrong
+// algorithm, the cost-model Auto must pick the one that is actually
+// cheapest in simulation.
+func TestAutoMatchesEmpiricalCheapest(t *testing.T) {
+	topo := simnet.Topology{RanksPerNode: 4, Intra: simnet.NVLinkLike, Inter: simnet.Aries}
+	nic := simnet.Topology{RanksPerNode: 4, Intra: simnet.NVLinkLike, Inter: simnet.Aries, NICSerial: 1}
+	cases := []struct {
+		name    string
+		n, k, P int
+		topo    simnet.Topology
+		old     Algorithm // what the PR-1 topology-presence heuristic chose
+	}{
+		// Sparse regime on an uncontended topology: old heuristic always
+		// went hierarchical; flat rec-double is empirically cheaper.
+		{"sparse-uncontended", 1 << 20, 100, 32, topo, HierSSAR},
+		// Dense regime under NIC serialization: old heuristic always went
+		// flat DSAR; the hierarchical DSAR is empirically cheaper.
+		{"dense-contended", 1 << 16, 40000, 16, nic, DSARSplitAllgather},
+	}
+	for _, tc := range cases {
+		s := CostScenario{N: tc.n, P: tc.P, K: tc.k, Profile: simnet.Aries, Topo: &tc.topo}
+		choice := ChooseAuto(s)
+		if choice == tc.old {
+			t.Fatalf("%s: cost model chose %s, same as the old heuristic — scenario no longer discriminates",
+				tc.name, choice)
+		}
+		candidates := []Algorithm{SSARRecDouble, SSARSplitAllgather, DSARSplitAllgather, HierSSAR, HierDSAR}
+		cheapest, cheapestT := Algorithm(-1), math.Inf(1)
+		times := map[Algorithm]float64{}
+		for _, alg := range candidates {
+			sim := simulateUniform(t, tc.n, tc.k, tc.P, &tc.topo, simnet.Aries, alg)
+			times[alg] = sim
+			if sim < cheapestT {
+				cheapest, cheapestT = alg, sim
+			}
+		}
+		if choice != cheapest {
+			t.Fatalf("%s: Auto chose %s (sim %.3gs) but %s is cheapest (sim %.3gs)",
+				tc.name, choice, times[choice], cheapest, cheapestT)
+		}
+		if times[tc.old] <= cheapestT {
+			t.Fatalf("%s: old heuristic's %s is not actually worse (%.3gs vs %.3gs)",
+				tc.name, tc.old, times[tc.old], cheapestT)
+		}
+		t.Logf("%s: auto=%s %.2fµs, old=%s %.2fµs (%.2fx saved)",
+			tc.name, choice, cheapestT*1e6, tc.old, times[tc.old]*1e6, times[tc.old]/cheapestT)
+	}
+}
+
+// TestChooseAutoDeterministicAndFlatSafe: the comparator must be a pure
+// function (same scenario → same choice) and must never pick a
+// hierarchical algorithm without an exploitable topology.
+func TestChooseAutoDeterministicAndFlatSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		s := CostScenario{
+			N:       100 + rng.Intn(1<<20),
+			P:       1 + rng.Intn(64),
+			Profile: simnet.Aries,
+		}
+		s.K = rng.Intn(s.N + 1)
+		if rng.Intn(2) == 0 {
+			topo := simnet.Topology{
+				RanksPerNode: 1 + rng.Intn(8),
+				Intra:        simnet.NVLinkLike,
+				Inter:        simnet.Aries,
+				NICSerial:    rng.Intn(3),
+			}
+			s.Topo = &topo
+		}
+		a, b := ChooseAuto(s), ChooseAuto(s)
+		if a != b {
+			t.Fatalf("trial %d: ChooseAuto not deterministic (%s vs %s)", trial, a, b)
+		}
+		if s.Topo == nil && (a == HierSSAR || a == HierDSAR) {
+			t.Fatalf("trial %d: hierarchical algorithm %s chosen on a flat world", trial, a)
+		}
+	}
+}
+
+// TestPredictSeconds panics on unpriced algorithms and bad scenarios.
+func TestPredictSecondsValidation(t *testing.T) {
+	s := CostScenario{N: 100, P: 4, K: 10, Profile: simnet.Aries}
+	for _, bad := range []func(){
+		func() { PredictSeconds(DenseRing, s) },
+		func() { PredictSeconds(SSARRecDouble, CostScenario{N: 0, P: 4, K: 1, Profile: simnet.Aries}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

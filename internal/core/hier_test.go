@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/comm"
+	"repro/internal/quant"
 	"repro/internal/simnet"
 	"repro/internal/stream"
 )
@@ -110,55 +111,90 @@ func TestHierSSARFlatFallback(t *testing.T) {
 	}
 }
 
-// TestAutoPicksHierOnTopology: Auto must select the hierarchical algorithm
-// whenever a multi-node topology is present, and the result must stay
-// correct on ragged node sizes.
-func TestAutoPicksHierOnTopology(t *testing.T) {
-	w := comm.NewWorldTopo(8, testTopo)
+// contendedTopo is testTopo with a fully serializing per-node NIC cap.
+var contendedTopo = simnet.Topology{RanksPerNode: 4, Intra: simnet.NVLinkLike,
+	Inter: simnet.Aries, NICSerial: 1}
+
+// TestAutoCostModelOnTopology: Auto must pick by modeled cost, not by
+// topology presence — hierarchical when the NIC cap (or the latency
+// structure) makes it cheapest, flat when the flat algorithm genuinely
+// wins — and the result must stay correct on ragged node sizes.
+func TestAutoCostModelOnTopology(t *testing.T) {
+	// Latency-bound sparse instance on a NIC-capped topology: the flat
+	// split/rec-double phases pay the contention factor, the hierarchical
+	// leader phase (one flow per node) does not → HierSSAR.
+	w := comm.NewWorldTopo(32, contendedTopo)
 	comm.Run(w, func(p *comm.Proc) any {
-		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 1000, 20)
+		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 1<<20, 100)
 		if got := resolve(p, v, Options{}, p.NextTagBase()); got != HierSSAR {
-			panic("Auto on a topology world should resolve to HierSSAR, got " + got.String())
+			panic("Auto on a contended topology should resolve to HierSSAR, got " + got.String())
 		}
 		return nil
 	})
 
-	// Single-node topology: Auto must fall through to the flat heuristic.
+	// Tiny instance on an uncontended topology: flat rec-double's first
+	// stages are already intra-priced and it skips the hierarchical
+	// broadcast entirely, so it is empirically cheaper — the old
+	// topology-presence heuristic would have picked HierSSAR here.
+	tiny := comm.NewWorldTopo(8, testTopo)
+	comm.Run(tiny, func(p *comm.Proc) any {
+		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 1000, 20)
+		if got := resolve(p, v, Options{}, p.NextTagBase()); got != SSARRecDouble {
+			panic("Auto on a tiny uncontended instance should resolve to SSARRecDouble, got " + got.String())
+		}
+		return nil
+	})
+
+	// Single-node topology: no hierarchy to exploit, flat cost comparison.
 	single := comm.NewWorldTopo(4, testTopo)
 	comm.Run(single, func(p *comm.Proc) any {
 		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 1<<20, 100)
 		if got := resolve(p, v, Options{}, p.NextTagBase()); got != SSARRecDouble {
-			panic("Auto on a single-node topology should use the flat heuristic, got " + got.String())
+			panic("Auto on a single-node topology should price flat algorithms, got " + got.String())
 		}
 		return nil
 	})
 
-	// Dense regime on a topology world: high fill-in must still route
-	// through DSAR (which honors quantization), not the sparse-wire
-	// hierarchical scheme.
-	denseW := comm.NewWorldTopo(8, testTopo)
+	// Dense regime on a NIC-capped topology: the dense allgather volume
+	// through a serialized NIC is what hurts, so the hierarchical DSAR
+	// (one flow per node) wins — the old heuristic always chose flat DSAR.
+	denseNIC := comm.NewWorldTopo(16, contendedTopo)
+	comm.Run(denseNIC, func(p *comm.Proc) any {
+		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 1<<16, 40000)
+		if got := resolve(p, v, Options{}, p.NextTagBase()); got != HierDSAR {
+			panic("Auto in the contended dense regime should resolve to HierDSAR, got " + got.String())
+		}
+		return nil
+	})
+
+	// Dense regime without contention: flat DSAR stays cheapest (the
+	// hierarchical variant pays an extra dense intra-node broadcast).
+	denseW := comm.NewWorldTopo(16, testTopo)
 	comm.Run(denseW, func(p *comm.Proc) any {
-		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 600, 300)
+		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 1<<16, 40000)
 		if got := resolve(p, v, Options{}, p.NextTagBase()); got != DSARSplitAllgather {
-			panic("Auto with high fill-in on a topology world should resolve to DSAR, got " + got.String())
+			panic("Auto in the uncontended dense regime should resolve to DSAR, got " + got.String())
 		}
 		return nil
 	})
 
-	// End-to-end on a ragged world under Auto.
-	rng := rand.New(rand.NewSource(23))
-	P := 10
-	inputs := patterns[0].gen(rng, 500, 40, P)
-	want := refSum(inputs)
-	wr := comm.NewWorldTopo(P, testTopo)
-	results := comm.Run(wr, func(p *comm.Proc) *stream.Vector {
-		return Allreduce(p, inputs[p.Rank()], Options{})
-	})
-	for r, res := range results {
-		got := res.ToDense()
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("Auto hier P=%d rank=%d coord=%d: got %g want %g", P, r, i, got[i], want[i])
+	// End-to-end on ragged worlds under Auto, with and without contention.
+	for _, topo := range []simnet.Topology{testTopo, contendedTopo} {
+		rng := rand.New(rand.NewSource(23))
+		P := 10
+		inputs := patterns[0].gen(rng, 500, 40, P)
+		want := refSum(inputs)
+		wr := comm.NewWorldTopo(P, topo)
+		results := comm.Run(wr, func(p *comm.Proc) *stream.Vector {
+			return Allreduce(p, inputs[p.Rank()], Options{})
+		})
+		for r, res := range results {
+			got := res.ToDense()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("Auto nic=%d P=%d rank=%d coord=%d: got %g want %g",
+						topo.NICSerial, P, r, i, got[i], want[i])
+				}
 			}
 		}
 	}
@@ -187,6 +223,120 @@ func TestHierSSARLeaderPhaseSelectsBySize(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestHierDSARMatchesFlatDSAR: HierDSAR must produce bit-identical dense
+// reductions to flat DSAR_Split_allgather on identical inputs, across
+// divisible, ragged, degenerate, and NIC-contended node shapes (contention
+// only reprices messages; data must be untouched).
+func TestHierDSARMatchesFlatDSAR(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for _, tc := range []struct{ P, rpn, nic int }{
+		{8, 2, 0}, {8, 4, 0}, {16, 4, 0}, {32, 4, 1}, // divisible
+		{6, 4, 0}, {10, 4, 1}, {7, 3, 2}, // ragged last node
+		{4, 4, 0}, {3, 8, 0}, // single node: degrades to flat DSAR
+		{5, 1, 0}, // one rank per node: degrades to flat DSAR
+	} {
+		topo := simnet.Topology{RanksPerNode: tc.rpn, Intra: simnet.NVLinkLike,
+			Inter: simnet.Aries, NICSerial: tc.nic}
+		for _, pat := range patterns {
+			n := 300 + rng.Intn(300)
+			k := 1 + rng.Intn(n/6)
+			inputs := pat.gen(rng, n, k, tc.P)
+
+			flat := comm.NewWorld(tc.P, simnet.Aries)
+			want := comm.Run(flat, func(p *comm.Proc) []float64 {
+				return Allreduce(p, inputs[p.Rank()], Options{Algorithm: DSARSplitAllgather}).ToDense()
+			})
+
+			w := comm.NewWorldTopo(tc.P, topo)
+			results := comm.Run(w, func(p *comm.Proc) *stream.Vector {
+				return Allreduce(p, inputs[p.Rank()], Options{Algorithm: HierDSAR})
+			})
+			for r, res := range results {
+				if !res.IsDense() {
+					t.Fatalf("P=%d rpn=%d rank=%d: HierDSAR must return a dense vector", tc.P, tc.rpn, r)
+				}
+				got := res.ToDense()
+				for i := range want[0] {
+					if got[i] != want[0][i] {
+						t.Fatalf("P=%d rpn=%d nic=%d pattern=%s rank=%d coord=%d: hier %g, flat %g",
+							tc.P, tc.rpn, tc.nic, pat.name, r, i, got[i], want[0][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHierDSARQuantizedConsistent: with QSGD enabled, every rank must
+// decode the same bytes (each node partition is quantized once, by its
+// owning leader), so all replicas stay bit-identical even though the
+// values are lossy.
+func TestHierDSARQuantizedConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for _, P := range []int{8, 10} {
+		inputs := make([]*stream.Vector, P)
+		for r := range inputs {
+			inputs[r] = randSparse(rng, 4096, 600)
+		}
+		w := comm.NewWorldTopo(P, testTopo)
+		results := comm.Run(w, func(p *comm.Proc) *stream.Vector {
+			return Allreduce(p, inputs[p.Rank()], Options{
+				Algorithm: HierDSAR,
+				Quant:     &quant.Config{Bits: 4, Bucket: 512, Norm: quant.NormMax},
+				Seed:      9,
+			})
+		})
+		for r := 1; r < P; r++ {
+			if !results[r].Equal(results[0]) {
+				t.Fatalf("P=%d: rank %d quantized result differs from rank 0", P, r)
+			}
+		}
+		// The quantized result must still approximate the true sum.
+		want := refSum(inputs)
+		got := results[0].ToDense()
+		var num, den float64
+		for i := range want {
+			num += (got[i] - want[i]) * (got[i] - want[i])
+			den += want[i] * want[i]
+		}
+		if den == 0 || num/den > 0.05 {
+			t.Fatalf("P=%d: quantized relative squared error %g too large", P, num/den)
+		}
+	}
+}
+
+// TestHierDSARBeatsFlatUnderContention is the tentpole performance check:
+// in the dense regime on a NIC-serialized topology, HierDSAR's simulated
+// time must beat flat DSAR on the same world — the flat dense allgather
+// pushes rpn concurrent flows through each NIC while the hierarchical
+// variant pushes one.
+func TestHierDSARBeatsFlatUnderContention(t *testing.T) {
+	const P, n, k = 16, 1 << 16, 40000
+	rng := rand.New(rand.NewSource(5))
+	inputs := make([]*stream.Vector, P)
+	for r := range inputs {
+		inputs[r] = randSparse(rng, n, k)
+	}
+	times := map[Algorithm]float64{}
+	for _, alg := range []Algorithm{DSARSplitAllgather, HierDSAR} {
+		w := comm.NewWorldTopo(P, contendedTopo)
+		comm.Run(w, func(p *comm.Proc) any {
+			return Allreduce(p, inputs[p.Rank()], Options{Algorithm: alg})
+		})
+		times[alg] = w.MaxTime()
+	}
+	if times[HierDSAR] <= 0 || times[DSARSplitAllgather] <= 0 {
+		t.Fatal("simulated times must be positive")
+	}
+	if times[HierDSAR] >= times[DSARSplitAllgather] {
+		t.Fatalf("HierDSAR (%.2fµs) must beat flat DSAR (%.2fµs) under NIC contention",
+			times[HierDSAR]*1e6, times[DSARSplitAllgather]*1e6)
+	}
+	t.Logf("P=%d n=%d k=%d nic=1: hier %.2fµs vs flat %.2fµs (%.2fx)", P, n, k,
+		times[HierDSAR]*1e6, times[DSARSplitAllgather]*1e6,
+		times[DSARSplitAllgather]/times[HierDSAR])
 }
 
 // TestHierSSARMessageLocality: with tracing enabled, every phase-2 message

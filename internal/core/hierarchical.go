@@ -94,6 +94,62 @@ func hierSSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Ve
 	return result
 }
 
+// hierDSAR implements the hierarchical dynamic sparse allreduce: the same
+// intra-node reduce and broadcast phases as hierSSAR, with the leader
+// phase replaced by a DSAR among node leaders — sparse split over the
+// node-count partition, densify at each leader, dense (optionally
+// QSGD-quantized) allgather over the inter-node network. Because one rank
+// per node drives the network in phase 2, the leader exchange is free of
+// per-node NIC contention, which is what makes the scheme win on
+// NICSerial-capped topologies in the dense regime. Unquantized results
+// are bit-identical to flat DSAR (both compute exact sums densely); with
+// quantization each node-partition is encoded once by its owning leader,
+// so all ranks still decode identical bytes, but the bucket boundaries
+// differ from flat DSAR's P-way partition and the two quantized variants
+// are only statistically, not bitwise, equal. Without an exploitable
+// topology it degrades to flat DSAR, so it is safe to request
+// unconditionally.
+func hierDSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Vector {
+	topo, ok := p.Topology()
+	P := p.Size()
+	if !ok || topo.RanksPerNode <= 1 || topo.RanksPerNode >= P {
+		return dsarSplitAllgather(p, v, opts, base)
+	}
+	rank := p.Rank()
+	members := topo.NodeRanks(rank, P)
+	leaders := topo.LeaderRanks(P)
+	isLeader := topo.Leader(rank) == rank
+
+	// Phase 1: intra-node sparse reduce to the node leader.
+	var acc *stream.Vector
+	if len(members) == 1 {
+		acc = v.Clone()
+	} else {
+		sub := p.Sub(members)
+		acc = reduceTagged(sub, v, 0, base+hierIntraReduceTag)
+		p.Join(sub)
+	}
+
+	// Phase 2: DSAR among node leaders. Each leader owns one of
+	// len(leaders) dimension partitions, densifies it after the sparse
+	// split, and the dense (optionally quantized) partitions are
+	// allgathered — one NIC flow per node.
+	var result *stream.Vector
+	if isLeader {
+		lsub := p.Sub(leaders)
+		result = dsarSplitAllgather(lsub, acc, opts, base+hierLeaderTag)
+		p.Join(lsub)
+	}
+
+	// Phase 3: intra-node broadcast of the dense result.
+	if len(members) > 1 {
+		sub := p.Sub(members)
+		result = bcastVectorTagged(sub, result, 0, base+hierIntraBcastTag)
+		p.Join(sub)
+	}
+	return result
+}
+
 // bcastVectorTagged broadcasts the root's sparse vector to every rank of
 // the communicator via a binomial tree (log2(P) rounds); non-root ranks
 // pass nil and every rank returns its own copy.

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/comm"
+	"repro/internal/simnet"
 	"repro/internal/stream"
 )
 
@@ -72,6 +73,15 @@ func TestCrossAlgorithmEquivalence(t *testing.T) {
 		{"topo/P=8/rpn=4", 8, func(P int) *comm.World { return comm.NewWorldTopo(P, testTopo) }},
 		{"topo/P=16/rpn=4", 16, func(P int) *comm.World { return comm.NewWorldTopo(P, testTopo) }},
 		{"topo/P=10/rpn=4", 10, func(P int) *comm.World { return comm.NewWorldTopo(P, testTopo) }},
+		// NIC-contention worlds: the serialization cap reprices inter-node
+		// bandwidth but must never change any reduction bit, including on
+		// ragged node counts.
+		{"nic/P=16/rpn=4", 16, func(P int) *comm.World { return comm.NewWorldTopo(P, contendedTopo) }},
+		{"nic/P=10/rpn=4", 10, func(P int) *comm.World { return comm.NewWorldTopo(P, contendedTopo) }},
+		{"nic/P=7/rpn=3", 7, func(P int) *comm.World {
+			return comm.NewWorldTopo(P, simnet.Topology{RanksPerNode: 3,
+				Intra: simnet.NVLinkLike, Inter: simnet.Aries, NICSerial: 2})
+		}},
 	}
 	rng := rand.New(rand.NewSource(12345))
 	for _, wc := range worlds {

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/density"
+	"repro/internal/report"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+// This file holds the contention-model experiments introduced with the
+// per-node NIC serialization cap (simnet.Topology.NICSerial): a
+// flat-vs-hierarchical DSAR sweep on capped topologies, and the
+// cost-model validation sweep recorded as BENCH_2.json — for each cell it
+// measures every Auto candidate, prices it with the analytic model, and
+// compares the cost-model choice against both the empirically cheapest
+// algorithm and the PR-1 topology-presence heuristic it replaced.
+
+// AlgCost is one algorithm's modeled and measured cost in a contention
+// sweep cell (both in simulated seconds).
+type AlgCost struct {
+	Algorithm    string  `json:"algorithm"`
+	ModelSeconds float64 `json:"model_seconds"`
+	SimSeconds   float64 `json:"sim_seconds"`
+}
+
+// ContentionRow is one contention-sweep cell: a fixed allreduce instance
+// on a two-level topology, measured and modeled for every Auto candidate.
+type ContentionRow struct {
+	N            int       `json:"n"`
+	P            int       `json:"p"`
+	RanksPerNode int       `json:"ranks_per_node"`
+	NICSerial    int       `json:"nic_serial"`
+	Density      float64   `json:"density"`
+	K            int       `json:"k_per_rank"`
+	Costs        []AlgCost `json:"costs"`
+	// AutoChoice is what the cost-model Auto resolves to; OldChoice is
+	// what the replaced topology-presence heuristic would have picked;
+	// CheapestSim is the empirically cheapest algorithm in simulation.
+	AutoChoice  string `json:"auto_choice"`
+	OldChoice   string `json:"old_heuristic_choice"`
+	CheapestSim string `json:"cheapest_sim"`
+	// AutoMatchesCheapest and OldMatchesCheapest summarize the comparison;
+	// a cell with the first true and the second false demonstrates a
+	// scenario the old heuristic got wrong and the cost model gets right.
+	AutoMatchesCheapest bool `json:"auto_matches_cheapest"`
+	OldMatchesCheapest  bool `json:"old_matches_cheapest"`
+}
+
+// contentionCandidates are the algorithms Auto chooses between.
+var contentionCandidates = []core.Algorithm{
+	core.SSARRecDouble, core.SSARSplitAllgather, core.DSARSplitAllgather,
+	core.HierSSAR, core.HierDSAR,
+}
+
+// oldHeuristicChoice reproduces the PR-1 Auto rule this PR replaced: δ
+// gate to DSAR, otherwise HierSSAR whenever a multi-node topology exists,
+// otherwise the SmallDataBytes wire-size threshold.
+func oldHeuristicChoice(n, k, P, rpn int) core.Algorithm {
+	delta := stream.Delta(n, stream.DefaultValueBytes)
+	if density.ExpectedKUniform(n, k, P) >= float64(delta) {
+		return core.DSARSplitAllgather
+	}
+	if rpn > 1 && rpn < P {
+		return core.HierSSAR
+	}
+	wire := stream.HeaderBytes + k*(stream.IndexBytes+stream.DefaultValueBytes)
+	if wire <= core.DefaultSmallDataBytes {
+		return core.SSARRecDouble
+	}
+	return core.SSARSplitAllgather
+}
+
+// RunContentionCell measures one contention cell: every Auto candidate on
+// the same inputs over Topology{rpn, intra, inter, nic}, plus the modeled
+// cost of each. Simulated times are deterministic, so one run per
+// algorithm suffices.
+func RunContentionCell(n int, d float64, P, rpn, nic int, intra, inter simnet.Profile, seed int64) ContentionRow {
+	topo := simnet.Topology{RanksPerNode: rpn, Intra: intra, Inter: inter, NICSerial: nic}
+	rng := rand.New(rand.NewSource(seed))
+	inputs := uniformInputs(rng, n, d, P)
+	k := inputs[0].NNZ()
+	row := ContentionRow{N: n, P: P, RanksPerNode: rpn, NICSerial: nic, Density: d, K: k}
+
+	scenario := core.CostScenario{N: n, P: P, K: k, Profile: inter, Topo: &topo}
+	cheapest, cheapestT := "", 0.0
+	for _, alg := range contentionCandidates {
+		w := comm.NewWorldTopo(P, topo)
+		comm.Run(w, func(p *comm.Proc) any {
+			return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: alg})
+		})
+		sim := w.MaxTime()
+		row.Costs = append(row.Costs, AlgCost{
+			Algorithm:    alg.String(),
+			ModelSeconds: core.PredictSeconds(alg, scenario),
+			SimSeconds:   sim,
+		})
+		if cheapest == "" || sim < cheapestT {
+			cheapest, cheapestT = alg.String(), sim
+		}
+	}
+	row.AutoChoice = core.ChooseAuto(scenario).String()
+	row.OldChoice = oldHeuristicChoice(n, k, P, rpn).String()
+	row.CheapestSim = cheapest
+	row.AutoMatchesCheapest = row.AutoChoice == cheapest
+	row.OldMatchesCheapest = row.OldChoice == cheapest
+	return row
+}
+
+// ContentionSweep runs the default contention-model validation cells: a
+// latency-bound sparse instance and a dense-regime instance, each with the
+// NIC cap off and fully serialized. The sparse/uncapped and dense/capped
+// cells are the two where the old topology-presence heuristic picks a
+// demonstrably non-cheapest algorithm.
+func ContentionSweep(intra, inter simnet.Profile) []ContentionRow {
+	var rows []ContentionRow
+	cells := []struct {
+		n    int
+		d    float64
+		P    int
+		rpn  int
+		nic  int
+		seed int64
+	}{
+		{1 << 20, 1e-4, 32, 4, 0, 101},
+		{1 << 20, 1e-4, 32, 4, 1, 103},
+		{1 << 16, 0.6, 16, 4, 0, 107},
+		{1 << 16, 0.6, 16, 4, 1, 109},
+	}
+	for _, c := range cells {
+		rows = append(rows, RunContentionCell(c.n, c.d, c.P, c.rpn, c.nic, intra, inter, c.seed))
+	}
+	return rows
+}
+
+// RunHierDSARCell measures flat DSAR_Split_allgather versus
+// DSAR_Hierarchical on the *same* NIC-capped two-level world (unlike
+// RunHierCell, which contrasts a flat world with a topology world): the
+// question is purely algorithmic — does routing the dense allgather
+// through one leader flow per node beat P concurrent flows through capped
+// NICs.
+func RunHierDSARCell(n int, d float64, P, rpn, nic int, intra, inter simnet.Profile, gens, runs int, seed int64) HierRow {
+	if gens <= 0 {
+		gens = 2
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	row := HierRow{N: n, P: P, RanksPerNode: rpn, Density: d}
+	topo := simnet.Topology{RanksPerNode: rpn, Intra: intra, Inter: inter, NICSerial: nic}
+	var flat, hier report.Sample
+	for g := 0; g < gens; g++ {
+		rng := rand.New(rand.NewSource(seed + int64(g)*6151))
+		inputs := uniformInputs(rng, n, d, P)
+		for r := 0; r < runs; r++ {
+			fw := comm.NewWorldTopo(P, topo)
+			comm.Run(fw, func(p *comm.Proc) any {
+				return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: core.DSARSplitAllgather})
+			})
+			flat.Add(fw.MaxTime())
+			row.FlatMsgs = fw.TotalMessages()
+
+			hw := comm.NewWorldTopo(P, topo)
+			comm.Run(hw, func(p *comm.Proc) any {
+				return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: core.HierDSAR})
+			})
+			hier.Add(hw.MaxTime())
+			row.HierMsgs = hw.TotalMessages()
+		}
+	}
+	row.FlatMedian = flat.Median()
+	row.HierMedian = hier.Median()
+	if row.HierMedian > 0 {
+		row.Speedup = row.FlatMedian / row.HierMedian
+	}
+	return row
+}
+
+// HierDSARNodeSweep measures the flat-vs-hierarchical DSAR comparison
+// across total rank counts at a fixed dense-regime density and NIC cap.
+// Single-node shapes (P ≤ rpn) are skipped as in HierNodeSweep.
+func HierDSARNodeSweep(n int, d float64, ranks []int, rpn, nic int, intra, inter simnet.Profile, gens, runs int) []HierRow {
+	var rows []HierRow
+	for _, P := range ranks {
+		if P <= rpn {
+			continue
+		}
+		rows = append(rows, RunHierDSARCell(n, d, P, rpn, nic, intra, inter, gens, runs, int64(P)*9433))
+	}
+	return rows
+}

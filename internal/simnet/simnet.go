@@ -84,10 +84,23 @@ func ProfileByName(name string) (Profile, error) {
 	return Profile{}, fmt.Errorf("simnet: unknown profile %q", name)
 }
 
-// TransferTime returns α + β·bytes plus software costs for one message.
+// TransferTime returns the modeled time in seconds to move one message of
+// the given payload size in bytes: α + β·bytes plus software costs.
 func (p Profile) TransferTime(bytes int) float64 {
+	return p.ContendedTransferTime(bytes, 1)
+}
+
+// ContendedTransferTime is TransferTime with the bandwidth term (β and
+// SoftwarePerByte) scaled by a NIC-contention factor (see
+// Topology.NICFactor): α + overhead + (β+βsw)·bytes·factor, in seconds.
+// The latency terms are unscaled — contention serializes bytes, it does
+// not add message setups. factor must be >= 1.
+func (p Profile) ContendedTransferTime(bytes int, factor float64) float64 {
+	if factor < 1 {
+		panic("simnet: contention factor must be >= 1")
+	}
 	return p.Alpha + p.SoftwareOverhead +
-		(p.BetaPerByte+p.SoftwarePerByte)*float64(bytes)
+		(p.BetaPerByte+p.SoftwarePerByte)*float64(bytes)*factor
 }
 
 // DenseReduceTime returns the modeled compute time to combine n dense

@@ -14,14 +14,27 @@ import "fmt"
 type Topology struct {
 	// RanksPerNode is the number of consecutive ranks placed on one node.
 	// The last node may be smaller when the world size is not divisible.
+	// Must be >= 1.
 	RanksPerNode int
 	// Intra prices messages between ranks on the same node.
 	Intra Profile
 	// Inter prices messages between ranks on different nodes.
 	Inter Profile
+	// NICSerial is the per-node NIC serialization cap: the number of
+	// concurrent inter-node sends one node can drive at full Inter
+	// bandwidth. When more ranks of a node inject inter-node traffic at
+	// once, each flow's bandwidth term (β and software per-byte) is
+	// multiplied by active/NICSerial — the fair-share cost of pushing
+	// `active` flows through NICSerial full-rate channels. Zero (the
+	// default) disables contention modeling and reproduces the paper's
+	// full-bisection-bandwidth assumption; must not be negative. Latency
+	// (α) is never scaled: the cap models bandwidth serialization, not
+	// extra message setup.
+	NICSerial int
 }
 
-// Validate reports whether the topology is usable.
+// Validate reports whether the topology is usable: RanksPerNode >= 1, both
+// profiles named, and NICSerial >= 0.
 func (t Topology) Validate() error {
 	if t.RanksPerNode < 1 {
 		return fmt.Errorf("simnet: topology needs RanksPerNode >= 1, got %d", t.RanksPerNode)
@@ -30,7 +43,25 @@ func (t Topology) Validate() error {
 		return fmt.Errorf("simnet: topology profiles must be named (intra=%q inter=%q)",
 			t.Intra.Name, t.Inter.Name)
 	}
+	if t.NICSerial < 0 {
+		return fmt.Errorf("simnet: NICSerial must be >= 0, got %d", t.NICSerial)
+	}
 	return nil
+}
+
+// NICFactor returns the dimensionless bandwidth multiplier charged to one
+// inter-node message when `active` ranks on the sending node drive the NIC
+// concurrently: 1 when contention modeling is off (NICSerial == 0) or the
+// flows fit under the cap, active/NICSerial (> 1) otherwise. active must
+// be >= 1 (a sender is always active itself).
+func (t Topology) NICFactor(active int) float64 {
+	if active < 1 {
+		panic("simnet: NICFactor needs active >= 1")
+	}
+	if t.NICSerial <= 0 || active <= t.NICSerial {
+		return 1
+	}
+	return float64(active) / float64(t.NICSerial)
 }
 
 // NodeOf returns the node index hosting the given rank.

@@ -66,3 +66,53 @@ func TestNVLinkLikeProfile(t *testing.T) {
 		t.Fatal("nvlink must be strictly cheaper than aries in both α and β")
 	}
 }
+
+func TestNICFactor(t *testing.T) {
+	uncapped := Topology{RanksPerNode: 4, Intra: NVLinkLike, Inter: Aries}
+	for _, active := range []int{1, 2, 8} {
+		if got := uncapped.NICFactor(active); got != 1 {
+			t.Fatalf("NICSerial=0 active=%d: factor %g, want 1", active, got)
+		}
+	}
+	capped := Topology{RanksPerNode: 4, Intra: NVLinkLike, Inter: Aries, NICSerial: 2}
+	cases := []struct {
+		active int
+		want   float64
+	}{{1, 1}, {2, 1}, {3, 1.5}, {4, 2}, {8, 4}}
+	for _, tc := range cases {
+		if got := capped.NICFactor(tc.active); got != tc.want {
+			t.Fatalf("NICSerial=2 active=%d: factor %g, want %g", tc.active, got, tc.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NICFactor(0) should panic")
+		}
+	}()
+	capped.NICFactor(0)
+}
+
+func TestValidateRejectsNegativeNICSerial(t *testing.T) {
+	topo := Topology{RanksPerNode: 2, Intra: NVLinkLike, Inter: Aries, NICSerial: -1}
+	if err := topo.Validate(); err == nil {
+		t.Fatal("negative NICSerial must fail validation")
+	}
+}
+
+func TestContendedTransferTime(t *testing.T) {
+	p := Profile{Name: "x", Alpha: 1e-6, BetaPerByte: 1e-9, SoftwareOverhead: 1e-7, SoftwarePerByte: 1e-10}
+	bytes := 1000
+	want := p.Alpha + p.SoftwareOverhead + (p.BetaPerByte+p.SoftwarePerByte)*float64(bytes)*3
+	if got := p.ContendedTransferTime(bytes, 3); got != want {
+		t.Fatalf("ContendedTransferTime = %g, want %g", got, want)
+	}
+	if got, want := p.ContendedTransferTime(bytes, 1), p.TransferTime(bytes); got != want {
+		t.Fatalf("factor-1 contended time %g != TransferTime %g", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factor < 1 should panic")
+		}
+	}()
+	p.ContendedTransferTime(bytes, 0.5)
+}

@@ -62,10 +62,17 @@ const (
 	RingSparse         = core.RingSparse
 	// HierSSAR is the hierarchical sparse allreduce for two-level
 	// topologies: intra-node reduce → inter-node SSAR among node leaders →
-	// intra-node broadcast. On worlds built with NewWorldTopo, Auto
-	// selects it whenever the reduced result is expected to stay sparse
-	// (the dense/quantized regime still routes through DSAR).
+	// intra-node broadcast. Auto selects it on worlds built with
+	// NewWorldTopo when the cost model prices it cheapest in the
+	// sparse-result regime.
 	HierSSAR = core.HierSSAR
+	// HierDSAR is the hierarchical dynamic sparse allreduce: intra-node
+	// reduce → DSAR among node leaders (densify at the leader, dense or
+	// QSGD-quantized inter-node allgather) → intra-node broadcast of the
+	// dense result. Auto selects it in the dense-result regime when the
+	// cost model prices it cheapest — typically when a NICSerial cap makes
+	// concurrent flat flows expensive.
+	HierDSAR = core.HierDSAR
 )
 
 // Options configures an allreduce; see core.Options.
@@ -85,13 +92,34 @@ type Profile = simnet.Profile
 
 // Topology describes a two-level machine: ranks are grouped into nodes of
 // RanksPerNode consecutive ranks, intra-node messages are priced by the
-// Intra profile and inter-node messages by the Inter profile. Use with
+// Intra profile and inter-node messages by the Inter profile. NICSerial,
+// when positive, caps how many concurrent inter-node sends one node can
+// drive at full bandwidth (per-node NIC contention). Use with
 // NewWorldTopo:
 //
 //	world := sparcml.NewWorldTopo(32, sparcml.Topology{
 //	    RanksPerNode: 4, Intra: sparcml.NVLinkLike, Inter: sparcml.Aries,
+//	    NICSerial: 1, // one full-rate flow per node NIC
 //	})
 type Topology = simnet.Topology
+
+// CostScenario describes an allreduce instance for the analytic α–β(+NIC)
+// cost model that drives Auto selection; see core.CostScenario for field
+// semantics (byte quantities are wire bytes, times are simulated seconds).
+type CostScenario = core.CostScenario
+
+// PredictSeconds returns the modeled completion time in simulated seconds
+// of one allreduce under the scenario, for any Auto candidate algorithm.
+func PredictSeconds(alg Algorithm, s CostScenario) float64 {
+	return core.PredictSeconds(alg, s)
+}
+
+// ChooseAuto returns the algorithm Auto resolves to for a scenario: the
+// paper's δ representation gate followed by a modeled-cost comparison of
+// the candidates (hierarchical ones included on multi-node topologies).
+func ChooseAuto(s CostScenario) Algorithm {
+	return core.ChooseAuto(s)
+}
 
 // Built-in network profiles.
 var (

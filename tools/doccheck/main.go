@@ -1,0 +1,104 @@
+// Command doccheck enforces the godoc floor on the packages named on the
+// command line: every exported top-level symbol (funcs, types, methods,
+// consts, vars) must carry a doc comment. It complements `go vet` in
+// scripts/ci.sh — vet validates comment placement and formatting, doccheck
+// validates presence.
+//
+// Usage: go run ./tools/doccheck <pkg-dir>...
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("doccheck: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: doccheck <pkg-dir>...")
+	}
+	var problems []string
+	for _, dir := range os.Args[1:] {
+		p, err := checkDir(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		log.Fatalf("%d exported symbol(s) missing doc comments", len(problems))
+	}
+	fmt.Println("doccheck: all exported symbols documented")
+}
+
+func checkDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, checkFile(fset, path, file)...)
+	}
+	return problems, nil
+}
+
+func checkFile(fset *token.FileSet, path string, file *ast.File) []string {
+	var problems []string
+	report := func(pos token.Pos, what string) {
+		problems = append(problems, fmt.Sprintf("%s: %s has no doc comment", fset.Position(pos), what))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc.Text() == "" {
+				kind := "func " + d.Name.Name
+				if d.Recv != nil {
+					kind = "method " + d.Name.Name
+				}
+				report(d.Pos(), kind)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && d.Doc.Text() == "" && sp.Doc.Text() == "" {
+						report(sp.Pos(), "type "+sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, ident := range sp.Names {
+						if !ident.IsExported() {
+							continue
+						}
+						// Accept a block-level doc, a per-spec doc, or a
+						// trailing line comment.
+						if d.Doc.Text() == "" && sp.Doc.Text() == "" && sp.Comment.Text() == "" {
+							report(ident.Pos(), "value "+ident.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}

@@ -1,0 +1,121 @@
+// Command docdrift fails when an exported Go identifier named in a
+// markdown table of the given docs no longer exists anywhere in the
+// repository's Go source — the cheap guard that keeps the algorithm and
+// API tables in docs/COLLECTIVES.md from silently rotting as code evolves.
+//
+// A "named identifier" is a backticked token in a table row (a line
+// starting with '|') that looks like an exported Go identifier: leading
+// upper-case letter, at least one lower-case letter, only letters, digits
+// and underscores. Dotted selectors like `core.HierDSAR` are checked by
+// their final element.
+//
+// Usage: go run ./tools/docdrift -root . docs/COLLECTIVES.md...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var backticked = regexp.MustCompile("`([^`]+)`")
+var identifier = regexp.MustCompile(`^[A-Z][A-Za-z0-9_]*$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("docdrift: ")
+	root := flag.String("root", ".", "repository root to scan for Go source")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: docdrift [-root dir] <doc.md>...")
+	}
+
+	source, err := allGoSource(*root)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	missing := 0
+	for _, doc := range flag.Args() {
+		names, err := tableIdentifiers(doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range names {
+			if !wordPresent(source, name) {
+				fmt.Fprintf(os.Stderr, "%s: `%s` is named in a table but does not exist in the Go source\n", doc, name)
+				missing++
+			}
+		}
+	}
+	if missing > 0 {
+		log.Fatalf("%d stale identifier(s) — update the docs or restore the symbols", missing)
+	}
+	fmt.Println("docdrift: all documented identifiers exist in the source")
+}
+
+// allGoSource concatenates every .go file under root (skipping hidden
+// directories) so presence checks can run over one haystack.
+func allGoSource(root string) (string, error) {
+	var sb strings.Builder
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && strings.HasPrefix(d.Name(), ".") && path != root {
+			return filepath.SkipDir
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			sb.Write(b)
+			sb.WriteByte('\n')
+		}
+		return nil
+	})
+	return sb.String(), err
+}
+
+// tableIdentifiers extracts the exported-identifier-shaped backticked
+// tokens from the markdown file's table rows.
+func tableIdentifiers(path string) ([]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "|") {
+			continue
+		}
+		for _, m := range backticked.FindAllStringSubmatch(line, -1) {
+			token := m[1]
+			if i := strings.LastIndex(token, "."); i >= 0 {
+				token = token[i+1:]
+			}
+			if !identifier.MatchString(token) || !strings.ContainsAny(token, "abcdefghijklmnopqrstuvwxyz") {
+				continue
+			}
+			if !seen[token] {
+				seen[token] = true
+				out = append(out, token)
+			}
+		}
+	}
+	return out, nil
+}
+
+// wordPresent reports whether name occurs in source on an identifier
+// boundary (not as a substring of a longer identifier).
+func wordPresent(source, name string) bool {
+	re := regexp.MustCompile(`\b` + regexp.QuoteMeta(name) + `\b`)
+	return re.MatchString(source)
+}
