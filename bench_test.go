@@ -406,6 +406,107 @@ func BenchmarkAblationMerge(b *testing.B) {
 	})
 }
 
+// randSparseInputs draws P sparse vectors of k distinct uniform indices
+// each, deterministic per seed (shared by the k-way and scratch ablations).
+func randSparseInputs(seed int64, n, k, P int) []*stream.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([]*stream.Vector, P)
+	for r := range vs {
+		idx := make([]int32, 0, k)
+		seen := map[int32]bool{}
+		val := make([]float64, 0, k)
+		for len(idx) < k {
+			ix := int32(rng.Intn(n))
+			if !seen[ix] {
+				seen[ix] = true
+				idx = append(idx, ix)
+				val = append(val, rng.NormFloat64())
+			}
+		}
+		vs[r] = stream.NewSparse(n, idx, val, stream.OpSum)
+	}
+	return vs
+}
+
+// BenchmarkAblationKWayMerge is the PR-3 tentpole ablation (BENCH_3.json):
+// reducing P−1 received partition streams by chained two-way merges versus
+// the one-pass k-way MergeK, cold and with a warm Scratch pool. At P ≥ 16
+// the k-way+scratch path must show ≥ 50% fewer allocations and lower
+// ns/op than the chained baseline.
+func BenchmarkAblationKWayMerge(b *testing.B) {
+	const n, k = 1 << 18, 2000
+	for _, P := range []int{4, 16, 64} {
+		vs := randSparseInputs(int64(P)*211, n, k, P)
+		b.Run(fmt.Sprintf("P=%d/chained-2way", P), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				acc := vs[0].Clone()
+				for _, o := range vs[1:] {
+					acc.Add(o)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("P=%d/kway", P), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				stream.MergeK(vs, nil)
+			}
+		})
+		b.Run(fmt.Sprintf("P=%d/kway-scratch", P), func(b *testing.B) {
+			b.ReportAllocs()
+			sc := stream.NewScratch()
+			for i := 0; i < 4; i++ {
+				sc.Release(stream.MergeK(vs, sc))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.Release(stream.MergeK(vs, sc))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationScratchAllreduce measures the end-to-end allocation
+// discipline: a full SSAR_Split_allgather allreduce at P=16 with and
+// without per-rank Scratch pools (allocs/op includes the whole simulated
+// world, goroutines and message harness included).
+func BenchmarkAblationScratchAllreduce(b *testing.B) {
+	const n, P, k = 1 << 16, 16, 1500
+	inputs := randSparseInputs(23, n, k, P)
+	b.Run("no-scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		w := comm.NewWorld(P, simnet.Aries)
+		for i := 0; i < b.N; i++ {
+			comm.Run(w, func(p *comm.Proc) any {
+				return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: core.SSARSplitAllgather})
+			})
+		}
+		b.ReportMetric(w.MaxTime()*1e6, "simµs/op")
+	})
+	b.Run("with-scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		w := comm.NewWorld(P, simnet.Aries)
+		scratches := make([]*stream.Scratch, P)
+		for i := range scratches {
+			scratches[i] = stream.NewScratch()
+		}
+		for i := 0; i < 3; i++ { // reach buffer steady state
+			comm.Run(w, func(p *comm.Proc) any {
+				return core.Allreduce(p, inputs[p.Rank()],
+					core.Options{Algorithm: core.SSARSplitAllgather, Scratch: scratches[p.Rank()]})
+			})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			comm.Run(w, func(p *comm.Proc) any {
+				return core.Allreduce(p, inputs[p.Rank()],
+					core.Options{Algorithm: core.SSARSplitAllgather, Scratch: scratches[p.Rank()]})
+			})
+		}
+		b.ReportMetric(w.MaxTime()*1e6, "simµs/op")
+	})
+}
+
 // BenchmarkAblationQuantBits measures the DSAR allreduce at 2/4/8-bit
 // quantization versus full precision.
 func BenchmarkAblationQuantBits(b *testing.B) {

@@ -19,16 +19,16 @@ import (
 // ("the nodes could collaborate to compute the result at a single node
 // (reduce) followed by a broadcast", §5.3).
 func Reduce(p *comm.Proc, v *stream.Vector, root int) *stream.Vector {
-	return reduceTagged(p, v, root, p.NextTagBase())
+	return reduceTagged(p, v, root, nil, p.NextTagBase())
 }
 
-// reduceTagged is Reduce over an explicit tag base, reusable as a phase of
-// composite collectives (the intra-node phase of HierSSAR runs it on a
-// node sub-communicator).
-func reduceTagged(p *comm.Proc, v *stream.Vector, root, base int) *stream.Vector {
+// reduceTagged is Reduce over an explicit tag base and scratch pool,
+// reusable as a phase of composite collectives (the intra-node phase of
+// HierSSAR runs it on a node sub-communicator).
+func reduceTagged(p *comm.Proc, v *stream.Vector, root int, sc *stream.Scratch, base int) *stream.Vector {
 	rank, P := p.Rank(), p.Size()
 	vrank := (rank - root + P) % P
-	acc := v.Clone()
+	acc := v.CloneInto(sc)
 
 	// Binomial tree, ascending distances: at round d, a virtual rank whose
 	// d-bit is set (all lower bits are zero or it would have exited
@@ -43,7 +43,8 @@ func reduceTagged(p *comm.Proc, v *stream.Vector, root, base int) *stream.Vector
 		if vrank+d < P {
 			src := (vrank + d + root) % P
 			in := p.Recv(src, base+d).Payload.(*stream.Vector)
-			mergeCharged(p, acc, in)
+			mergeCharged(p, acc, in, sc)
+			sc.Release(in)
 		}
 	}
 	if rank == root {
@@ -53,11 +54,13 @@ func reduceTagged(p *comm.Proc, v *stream.Vector, root, base int) *stream.Vector
 }
 
 // ReduceScatterSparse partitions the dimension space uniformly across
-// ranks and returns this rank's fully reduced partition as a sparse
+// ranks and returns this rank's fully reduced partition as a canonical
 // stream — the split phase of SSAR/DSAR Split allgather (§5.3.2) exposed
-// as a standalone collective.
+// as a standalone collective. (Sparse for any P ≥ 2, since a partition
+// never exceeds δ; a single-rank world returns the input's canonical
+// representation.)
 func ReduceScatterSparse(p *comm.Proc, v *stream.Vector) *stream.Vector {
-	return splitPhase(p, v, p.NextTagBase())
+	return splitPhase(p, v, nil, p.NextTagBase())
 }
 
 // GatherSparse collects every rank's (disjoint) sparse vector at the root
@@ -88,7 +91,9 @@ func GatherSparse(p *comm.Proc, mine *stream.Vector, root int) *stream.Vector {
 
 // ScatterRanges splits the root's vector by the uniform dimension
 // partition and sends each rank its slice; every rank (including the
-// root) returns its partition as a sparse stream over the full universe.
+// root) returns its partition as a stream over the full universe — in the
+// canonical representation, so a partition holding more than δ non-zeros
+// of a dense input comes back dense (check IsDense before calling Pairs).
 // n and op must be provided on non-root ranks (they have no input).
 func ScatterRanges(p *comm.Proc, v *stream.Vector, root, n int, op stream.Op) *stream.Vector {
 	base := p.NextTagBase()

@@ -123,6 +123,15 @@ type Options struct {
 	// variants — but it is forwarded into the hierarchical collectives and
 	// their cost predictions.
 	SmallDataBytes int
+	// Scratch, when non-nil, supplies the reusable buffer pool the
+	// collectives draw merge/densify storage from and recycle received
+	// streams into, making steady-state allreduce calls nearly
+	// allocation-free. A Scratch belongs to ONE rank: never share one
+	// across ranks or across concurrently running collectives (overlapping
+	// IAllreduce calls must use distinct pools). Vectors returned by a
+	// collective are safe to keep — their storage is never recycled unless
+	// the caller explicitly releases them into the pool.
+	Scratch *stream.Scratch
 }
 
 // DefaultSmallDataBytes is the Auto-mode small/large message boundary,
@@ -141,9 +150,9 @@ func Allreduce(p *comm.Proc, v *stream.Vector, opts Options) *stream.Vector {
 func allreduceTagged(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Vector {
 	switch resolve(p, v, opts, base) {
 	case SSARRecDouble:
-		return ssarRecDouble(p, v, base)
+		return ssarRecDouble(p, v, opts.Scratch, base)
 	case SSARSplitAllgather:
-		return ssarSplitAllgather(p, v, base)
+		return ssarSplitAllgather(p, v, opts.Scratch, base)
 	case DSARSplitAllgather:
 		return dsarSplitAllgather(p, v, opts, base)
 	case DenseRecDouble:
@@ -153,7 +162,7 @@ func allreduceTagged(p *comm.Proc, v *stream.Vector, opts Options, base int) *st
 	case DenseRing:
 		return stream.NewDense(AllreduceRing(p, v.ToDense(), v.Op(), v.ValueBytes(), base), v.Op())
 	case RingSparse:
-		return ringSparse(p, v, base)
+		return ringSparse(p, v, opts.Scratch, base)
 	case HierSSAR:
 		return hierSSAR(p, v, opts, base)
 	case HierDSAR:

@@ -55,7 +55,41 @@ type CostScenario struct {
 	// leader phase selects by; zero means DefaultSmallDataBytes. The flat
 	// algorithms are priced directly and do not consult it.
 	SmallDataBytes int
+	// Support selects the index-distribution assumption behind the fill-in
+	// expectation E[K]. The default SupportUniform is the paper's
+	// worst-case uniform model; SupportClustered uses the blocked hot-set
+	// closed form (density.ExpectedKClustered), which avoids the uniform
+	// model's systematic E[K] overestimate on clustered gradient supports.
+	Support SupportModel
+	// HotFraction and HotMass parameterize SupportClustered: the fraction
+	// of the dimension space forming the shared hot region and the
+	// probability mass it absorbs. Zero values default to
+	// DefaultHotFraction and DefaultHotMass (the shape of the `clustered`
+	// test pattern). Ignored under SupportUniform.
+	HotFraction, HotMass float64
 }
+
+// SupportModel selects how the cost model estimates fill-in E[K] from the
+// per-rank non-zero count.
+type SupportModel int
+
+const (
+	// SupportUniform assumes uniformly drawn supports
+	// (density.ExpectedKUniform) — the paper's worst case for fill-in.
+	SupportUniform SupportModel = iota
+	// SupportClustered assumes blocked hot-set supports
+	// (density.ExpectedKClustered), matching real gradient index
+	// distributions where a shared hot region absorbs most of the mass.
+	SupportClustered
+)
+
+// DefaultHotFraction is the SupportClustered hot-region size as a fraction
+// of the dimension space, matching the `clustered` test pattern.
+const DefaultHotFraction = 0.1
+
+// DefaultHotMass is the SupportClustered probability mass the hot region
+// absorbs, matching the `clustered` test pattern.
+const DefaultHotMass = 0.7
 
 // PredictSeconds returns the modeled completion time in simulated seconds
 // of one allreduce under the scenario. Supported algorithms are the Auto
@@ -150,13 +184,23 @@ func (s CostScenario) hier() bool {
 }
 
 // fill returns E[K] for the union of `groups` rank supports under the
-// uniform-support model, capped at P groups and N entries.
+// scenario's support model, capped at P groups and N entries.
 func (s CostScenario) fill(groups int) float64 {
 	if groups > s.P {
 		groups = s.P
 	}
 	if groups < 1 || s.K == 0 {
 		return 0
+	}
+	if s.Support == SupportClustered {
+		hf, hm := s.HotFraction, s.HotMass
+		if hf == 0 {
+			hf = DefaultHotFraction
+		}
+		if hm == 0 {
+			hm = DefaultHotMass
+		}
+		return density.ExpectedKClustered(s.N, s.K, groups, hf, hm)
 	}
 	return density.ExpectedKUniform(s.N, s.K, groups)
 }
@@ -242,8 +286,10 @@ func (s CostScenario) predictRecDouble() float64 {
 
 // splitPhaseCost prices the shared split phase: P−1 direct sends of one
 // dimension-partition slice (≈ K/P non-zeros) each — serialized at the
-// sender, which is the (P−1)·α term — plus the P−1 merges reducing this
-// rank's partition.
+// sender, which is the (P−1)·α term — plus the single k-way merge
+// reducing this rank's partition: every received pair is touched once, so
+// the charge is the P·K/P ≈ K total input pairs rather than the chained
+// two-way merges' Σᵢ(|accᵢ|+|Hᵢ|).
 func (s CostScenario) splitPhaseCost() float64 {
 	slice := float64(s.K) / float64(s.P)
 	t := 0.0
@@ -258,8 +304,7 @@ func (s CostScenario) splitPhaseCost() float64 {
 	} else {
 		t += float64(s.P-1) * modelMsg(s.Profile, s.wire(slice), 1)
 	}
-	part := s.fill(s.P) / float64(s.P)
-	t += s.mergeCost(float64(s.P-1)*(slice+part), false)
+	t += s.mergeCost(float64(s.P)*slice, false)
 	return t
 }
 
@@ -341,11 +386,12 @@ func (s CostScenario) predictHierSSAR() float64 {
 			t += s.mergeCost(2*kt, s.fill(2*r*d) > float64(s.deltaOr()))
 		}
 	} else {
-		// Leader split allgather over m partitions.
+		// Leader split allgather over m partitions (k-way merge: the m
+		// slices of one leader partition are touched once each).
 		slice := kp / float64(m)
 		t += float64(m-1) * modelMsg(inter, s.wire(slice), 1)
 		part := s.fill(s.P) / float64(m)
-		t += s.mergeCost(float64(m-1)*(slice+part), false)
+		t += s.mergeCost(float64(m)*slice, false)
 		for d := 1; d < m; d *= 2 {
 			kt := part * float64(d)
 			t += modelMsg(inter, s.wire(kt), 1)
@@ -367,8 +413,7 @@ func (s CostScenario) predictHierDSAR() float64 {
 	inter := s.interLeader()
 	slice := kp / float64(m)
 	t += float64(m-1) * modelMsg(inter, s.wire(slice), 1)
-	part := s.fill(s.P) / float64(m)
-	t += s.mergeCost(float64(m-1)*(slice+part), false)
+	t += s.mergeCost(float64(m)*slice, false)
 	g := s.Profile.GammaPerElem
 	block := float64(s.N) / float64(m)
 	t += g * block

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/comm"
+	"repro/internal/density"
 	"repro/internal/simnet"
 	"repro/internal/stream"
 )
@@ -167,5 +168,60 @@ func TestPredictSecondsValidation(t *testing.T) {
 			}()
 			bad()
 		}()
+	}
+}
+
+// TestClusteredSupportModelRemovesSkew quantifies the ROADMAP item this
+// knob fixes: on the `clustered` input pattern the uniform-support model
+// systematically overestimates fill-in E[K], which skews ChooseAuto's δ
+// regime gate toward the dense-result family. The blocked closed form
+// tracks the measured union; on a shape near δ the two models route Auto
+// to different families, and the clustered model's choice keeps the
+// result sparse as it should be.
+func TestClusteredSupportModelRemovesSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n, k, P := 1<<16, 5000, 16
+
+	// Measure the actual union of `clustered`-pattern supports.
+	inputs := patterns[3].gen(rng, n, k, P) // the "clustered" pattern
+	sets := make([][]int32, P)
+	for r, v := range inputs {
+		idx, _ := v.Pairs()
+		sets[r] = idx
+	}
+	measured := float64(density.MeasureK(sets))
+
+	uniform := CostScenario{N: n, P: P, K: k, Profile: simnet.Aries}
+	clustered := CostScenario{N: n, P: P, K: k, Profile: simnet.Aries, Support: SupportClustered}
+	eUni := density.ExpectedKUniform(n, k, P)
+	eClu := density.ExpectedKClustered(n, k, P, DefaultHotFraction, DefaultHotMass)
+
+	if eUni < 1.4*measured {
+		t.Fatalf("uniform model E[K]=%.0f should clearly overestimate measured %.0f", eUni, measured)
+	}
+	if rel := math.Abs(eClu-measured) / measured; rel > 0.20 {
+		t.Fatalf("clustered model E[K]=%.0f vs measured %.0f (rel err %.0f%%)", eClu, measured, rel*100)
+	}
+	t.Logf("measured K=%.0f, uniform E[K]=%.0f (%.2fx overestimate), clustered E[K]=%.0f (%.2fx)",
+		measured, eUni, eUni/measured, eClu, eClu/measured)
+
+	// The skew is consequential: near δ the uniform gate routes to the
+	// dense-result DSAR family while the clustered gate correctly keeps
+	// the sparse-result SSAR family.
+	delta := stream.Delta(n, stream.DefaultValueBytes)
+	if eUni < float64(delta) || eClu >= float64(delta) {
+		t.Fatalf("shape no longer straddles δ=%d (uniform %.0f, clustered %.0f)", delta, eUni, eClu)
+	}
+	if got := ChooseAuto(uniform); got != DSARSplitAllgather {
+		t.Fatalf("uniform-model Auto should pick the dense family here, got %s", got)
+	}
+	switch got := ChooseAuto(clustered); got {
+	case SSARRecDouble, SSARSplitAllgather:
+		// sparse-result family, as the measured fill-in warrants
+	default:
+		t.Fatalf("clustered-model Auto should pick a sparse-result algorithm, got %s", got)
+	}
+	if measured >= float64(delta) {
+		t.Fatalf("measured union %.0f is not actually below δ=%d", measured, delta)
 	}
 }

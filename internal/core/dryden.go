@@ -37,7 +37,7 @@ func DrydenAllreduce(p *comm.Proc, v *stream.Vector, k int) (result, postponed *
 		}
 		if rank < rem {
 			in := p.Recv(rank+p2, base).Payload.(*stream.Vector)
-			mergeCharged(p, acc, in)
+			mergeCharged(p, acc, in, nil)
 		}
 	}
 
@@ -54,7 +54,7 @@ func DrydenAllreduce(p *comm.Proc, v *stream.Vector, k int) (result, postponed *
 		out := acc.ExtractRange(sendLo, sendHi)
 		m := p.SendRecv(peer, base+2+stage, out, out.WireBytes())
 		kept := acc.ExtractRange(keepLo, keepHi)
-		mergeCharged(p, kept, m.Payload.(*stream.Vector))
+		mergeCharged(p, kept, m.Payload.(*stream.Vector), nil)
 		acc = kept
 		lo, hi = keepLo, keepHi
 	}

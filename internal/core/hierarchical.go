@@ -38,10 +38,11 @@ const (
 // there is no hierarchy to exploit and it degrades to the flat split
 // allgather, so the algorithm is safe to request unconditionally.
 func hierSSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Vector {
+	sc := opts.Scratch
 	topo, ok := p.Topology()
 	P := p.Size()
 	if !ok || topo.RanksPerNode <= 1 || topo.RanksPerNode >= P {
-		return ssarSplitAllgather(p, v, base)
+		return ssarSplitAllgather(p, v, sc, base)
 	}
 	rank := p.Rank()
 	members := topo.NodeRanks(rank, P)
@@ -52,10 +53,10 @@ func hierSSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Ve
 	// hold nil afterwards and wait for the phase-3 broadcast.
 	var acc *stream.Vector
 	if len(members) == 1 {
-		acc = v.Clone()
+		acc = v.CloneInto(sc)
 	} else {
 		sub := p.Sub(members)
-		acc = reduceTagged(sub, v, 0, base+hierIntraReduceTag)
+		acc = reduceTagged(sub, v, 0, sc, base+hierIntraReduceTag)
 		p.Join(sub)
 	}
 
@@ -77,18 +78,19 @@ func hierSSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Ve
 			}
 			wire := stream.HeaderBytes + kmax*(stream.IndexBytes+acc.ValueBytes())
 			if wire <= small {
-				result = ssarRecDouble(lsub, acc, base+hierLeaderTag)
+				result = ssarRecDouble(lsub, acc, sc, base+hierLeaderTag)
 			} else {
-				result = ssarSplitAllgather(lsub, acc, base+hierLeaderTag)
+				result = ssarSplitAllgather(lsub, acc, sc, base+hierLeaderTag)
 			}
 			p.Join(lsub)
+			sc.Release(acc) // the leader allreduce cloned it
 		}
 	}
 
 	// Phase 3: intra-node broadcast of the reduced vector.
 	if len(members) > 1 {
 		sub := p.Sub(members)
-		result = bcastVectorTagged(sub, result, 0, base+hierIntraBcastTag)
+		result = bcastVectorTagged(sub, result, 0, sc, base+hierIntraBcastTag)
 		p.Join(sub)
 	}
 	return result
@@ -110,6 +112,7 @@ func hierSSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Ve
 // topology it degrades to flat DSAR, so it is safe to request
 // unconditionally.
 func hierDSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Vector {
+	sc := opts.Scratch
 	topo, ok := p.Topology()
 	P := p.Size()
 	if !ok || topo.RanksPerNode <= 1 || topo.RanksPerNode >= P {
@@ -123,10 +126,10 @@ func hierDSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Ve
 	// Phase 1: intra-node sparse reduce to the node leader.
 	var acc *stream.Vector
 	if len(members) == 1 {
-		acc = v.Clone()
+		acc = v.CloneInto(sc)
 	} else {
 		sub := p.Sub(members)
-		acc = reduceTagged(sub, v, 0, base+hierIntraReduceTag)
+		acc = reduceTagged(sub, v, 0, sc, base+hierIntraReduceTag)
 		p.Join(sub)
 	}
 
@@ -139,12 +142,13 @@ func hierDSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Ve
 		lsub := p.Sub(leaders)
 		result = dsarSplitAllgather(lsub, acc, opts, base+hierLeaderTag)
 		p.Join(lsub)
+		sc.Release(acc) // the leader DSAR extracted slices; the input is dead
 	}
 
 	// Phase 3: intra-node broadcast of the dense result.
 	if len(members) > 1 {
 		sub := p.Sub(members)
-		result = bcastVectorTagged(sub, result, 0, base+hierIntraBcastTag)
+		result = bcastVectorTagged(sub, result, 0, sc, base+hierIntraBcastTag)
 		p.Join(sub)
 	}
 	return result
@@ -152,8 +156,9 @@ func hierDSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Ve
 
 // bcastVectorTagged broadcasts the root's sparse vector to every rank of
 // the communicator via a binomial tree (log2(P) rounds); non-root ranks
-// pass nil and every rank returns its own copy.
-func bcastVectorTagged(p *comm.Proc, v *stream.Vector, root, base int) *stream.Vector {
+// pass nil and every rank returns its own copy. Forwarded copies are drawn
+// from sc; each destination adopts its dedicated clone.
+func bcastVectorTagged(p *comm.Proc, v *stream.Vector, root int, sc *stream.Scratch, base int) *stream.Vector {
 	rank, P := p.Rank(), p.Size()
 	vrank := (rank - root + P) % P
 	var have *stream.Vector
@@ -171,7 +176,7 @@ func bcastVectorTagged(p *comm.Proc, v *stream.Vector, root, base int) *stream.V
 		if vrank&mask == 0 {
 			dst := vrank | mask
 			if dst < P && have != nil {
-				p.Send((dst+root)%P, base, have.Clone(), have.WireBytes())
+				p.Send((dst+root)%P, base, have.CloneInto(sc), have.WireBytes())
 			}
 		} else if have == nil {
 			src := vrank &^ mask

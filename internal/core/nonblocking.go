@@ -23,7 +23,10 @@ type Request struct {
 
 // IAllreduce starts a nonblocking sparse allreduce. The input vector must
 // not be modified until Wait returns. Ranks must issue nonblocking
-// collectives in identical program order (as MPI requires).
+// collectives in identical program order (as MPI requires). If
+// opts.Scratch is set, that pool belongs to this operation until Wait:
+// it must not be used by the issuing thread or by another outstanding
+// collective in the meantime.
 func IAllreduce(p *comm.Proc, v *stream.Vector, opts Options) *Request {
 	base := p.NextTagBase()
 	f := p.Fork()
@@ -42,7 +45,7 @@ func ISparseAllgather(p *comm.Proc, mine *stream.Vector) *Request {
 	r := &Request{forked: f, done: make(chan struct{})}
 	go func() {
 		defer close(r.done)
-		r.result = sparseAllgatherConcat(f, mine, base)
+		r.result = sparseAllgatherConcat(f, mine, nil, base)
 	}()
 	return r
 }

@@ -14,8 +14,8 @@ import (
 // term grows with fill-in, between log2(P)·k·βs (full overlap) and
 // (P−1)·k·βs (disjoint supports). Non-power-of-two worlds fold the excess
 // ranks onto the first P−2^⌊log2P⌋ ranks (Appendix A).
-func ssarRecDouble(p *comm.Proc, v *stream.Vector, base int) *stream.Vector {
-	acc := v.Clone()
+func ssarRecDouble(p *comm.Proc, v *stream.Vector, sc *stream.Scratch, base int) *stream.Vector {
+	acc := v.CloneInto(sc)
 	rank, P := p.Rank(), p.Size()
 	p2 := largestPow2(P)
 	rem := P - p2
@@ -23,22 +23,26 @@ func ssarRecDouble(p *comm.Proc, v *stream.Vector, base int) *stream.Vector {
 	if rem > 0 {
 		if rank >= p2 {
 			p.Send(rank-p2, base, acc, acc.WireBytes())
-			return p.Recv(rank-p2, base+1).Payload.(*stream.Vector).Clone()
+			// The peer sends a dedicated clone back: adopt it.
+			return p.Recv(rank-p2, base+1).Payload.(*stream.Vector)
 		}
 		if rank < rem {
 			in := p.Recv(rank+p2, base).Payload.(*stream.Vector)
-			mergeCharged(p, acc, in)
+			mergeCharged(p, acc, in, sc)
+			sc.Release(in)
 		}
 	}
 
 	for stage, dist := 0, 1; dist < p2; stage, dist = stage+1, dist*2 {
 		peer := rank ^ dist
-		m := p.SendRecv(peer, base+2+stage, acc.Clone(), acc.WireBytes())
-		mergeCharged(p, acc, m.Payload.(*stream.Vector))
+		m := p.SendRecv(peer, base+2+stage, acc.CloneInto(sc), acc.WireBytes())
+		in := m.Payload.(*stream.Vector)
+		mergeCharged(p, acc, in, sc)
+		sc.Release(in)
 	}
 
 	if rem > 0 && rank < rem {
-		p.Send(rank+p2, base+1, acc.Clone(), acc.WireBytes())
+		p.Send(rank+p2, base+1, acc.CloneInto(sc), acc.WireBytes())
 	}
 	return acc
 }
@@ -46,15 +50,58 @@ func ssarRecDouble(p *comm.Proc, v *stream.Vector, base int) *stream.Vector {
 // mergeCharged reduces in into acc and charges the modeled compute cost:
 // sparse merges cost γ·SparseComputeFactor per pair touched, dense
 // combines γ per element (§5.1: "summing sparse vectors is computationally
-// more expensive than summing dense vectors").
-func mergeCharged(p *comm.Proc, acc, in *stream.Vector) {
+// more expensive than summing dense vectors"). Merge buffers are drawn
+// from sc (nil degrades to plain allocation); releasing in afterwards is
+// the caller's decision — only vectors this rank exclusively owns may go
+// back into the pool.
+func mergeCharged(p *comm.Proc, acc, in *stream.Vector, sc *stream.Scratch) {
 	prof := p.Profile()
 	if acc.IsDense() || in.IsDense() {
 		p.Compute(prof.DenseReduceTime(acc.Dim()))
 	} else {
 		p.Compute(prof.SparseMergeTime(acc.NNZ() + in.NNZ()))
 	}
-	acc.Add(in)
+	acc.AddInto(in, sc)
+}
+
+// mergeKCharged reduces all received partition streams into acc in one
+// k-way merge pass (stream.Vector.AddAll) and charges the single-pass
+// compute cost: every input pair is touched once, so the sparse charge is
+// Σᵢ|Hᵢ| rather than the chained two-way merges' Σᵢ(|accᵢ|+|Hᵢ|), plus
+// one dense pass when the output spills past δ mid-merge. When any
+// operand is dense, AddAll executes the literal chained folds, so the
+// charging falls back to the per-step mergeCharged rule it matches. The
+// received vectors are consumed: their buffers are released into sc.
+func mergeKCharged(p *comm.Proc, acc *stream.Vector, ins []*stream.Vector, sc *stream.Scratch) {
+	if len(ins) == 0 {
+		return
+	}
+	anyDense := acc.IsDense()
+	for _, in := range ins {
+		if in.IsDense() {
+			anyDense = true
+		}
+	}
+	if anyDense {
+		for _, in := range ins {
+			mergeCharged(p, acc, in, sc)
+			sc.Release(in)
+		}
+		return
+	}
+	prof := p.Profile()
+	pairs := acc.NNZ()
+	for _, in := range ins {
+		pairs += in.NNZ()
+	}
+	p.Compute(prof.SparseMergeTime(pairs))
+	acc.AddAll(ins, sc)
+	if acc.IsDense() {
+		p.Compute(prof.DenseReduceTime(acc.Dim())) // the mid-merge spill's dense fill
+	}
+	for _, in := range ins {
+		sc.Release(in)
+	}
 }
 
 // splitPhase is the first phase shared by SSAR_Split_allgather and
@@ -62,23 +109,26 @@ func mergeCharged(p *comm.Proc, acc, in *stream.Vector) {
 // P uniform partitions; every rank sends each partition's slice of its
 // input directly to the partition owner ("this direct communication comes
 // at a higher latency cost", hence the (P−1)·α latency term), then reduces
-// the P slices it received for its own partition.
-func splitPhase(p *comm.Proc, v *stream.Vector, base int) *stream.Vector {
+// the P slices it received for its own partition in a single k-way merge
+// pass — the hot path of the whole allreduce, so slices are extracted into
+// scratch buffers and the incoming streams are recycled after the merge.
+func splitPhase(p *comm.Proc, v *stream.Vector, sc *stream.Scratch, base int) *stream.Vector {
 	rank, P := p.Rank(), p.Size()
 	n := v.Dim()
 	for off := 1; off < P; off++ {
 		to := (rank + off) % P
 		lo, hi := partition(n, P, to)
-		piece := v.ExtractRange(lo, hi)
+		piece := v.ExtractRangeInto(lo, hi, sc)
 		p.Send(to, base+rank, piece, piece.WireBytes())
 	}
 	lo, hi := partition(n, P, rank)
-	acc := v.ExtractRange(lo, hi)
+	acc := v.ExtractRangeInto(lo, hi, sc)
+	ins := make([]*stream.Vector, P-1)
 	for off := 1; off < P; off++ {
 		from := (rank - off + P) % P
-		in := p.Recv(from, base+from).Payload.(*stream.Vector)
-		mergeCharged(p, acc, in)
+		ins[off-1] = p.Recv(from, base+from).Payload.(*stream.Vector)
 	}
+	mergeKCharged(p, acc, ins, sc)
 	return acc
 }
 
@@ -86,17 +136,19 @@ func splitPhase(p *comm.Proc, v *stream.Vector, base int) *stream.Vector {
 // phase above followed by a sparse concatenating allgather via recursive
 // doubling (partition contents are disjoint by construction, so merging is
 // concatenation — the "simple (concatenating) sparse allgather").
-func ssarSplitAllgather(p *comm.Proc, v *stream.Vector, base int) *stream.Vector {
-	acc := splitPhase(p, v, base)
-	return sparseAllgatherConcat(p, acc, base+p.Size()+8)
+func ssarSplitAllgather(p *comm.Proc, v *stream.Vector, sc *stream.Scratch, base int) *stream.Vector {
+	acc := splitPhase(p, v, sc, base)
+	out := sparseAllgatherConcat(p, acc, sc, base+p.Size()+8)
+	sc.Release(acc) // the allgather cloned it; the partition slice is dead
+	return out
 }
 
 // sparseAllgatherConcat gathers disjoint sparse vectors from all ranks via
 // recursive doubling with concatenation; every rank returns the union.
 // Also used directly for the SCD experiment (§8.2) where nodes contribute
 // disjoint coordinate blocks. Non-power-of-two worlds fold as usual.
-func sparseAllgatherConcat(p *comm.Proc, mine *stream.Vector, base int) *stream.Vector {
-	acc := mine.Clone()
+func sparseAllgatherConcat(p *comm.Proc, mine *stream.Vector, sc *stream.Scratch, base int) *stream.Vector {
+	acc := mine.CloneInto(sc)
 	rank, P := p.Rank(), p.Size()
 	p2 := largestPow2(P)
 	rem := P - p2
@@ -104,22 +156,26 @@ func sparseAllgatherConcat(p *comm.Proc, mine *stream.Vector, base int) *stream.
 	if rem > 0 {
 		if rank >= p2 {
 			p.Send(rank-p2, base, acc, acc.WireBytes())
-			return p.Recv(rank-p2, base+1).Payload.(*stream.Vector).Clone()
+			// The peer sends a dedicated clone back: adopt it.
+			return p.Recv(rank-p2, base+1).Payload.(*stream.Vector)
 		}
 		if rank < rem {
 			in := p.Recv(rank+p2, base).Payload.(*stream.Vector)
 			concatCharged(p, acc, in)
+			sc.Release(in)
 		}
 	}
 
 	for stage, dist := 0, 1; dist < p2; stage, dist = stage+1, dist*2 {
 		peer := rank ^ dist
-		m := p.SendRecv(peer, base+2+stage, acc.Clone(), acc.WireBytes())
-		concatCharged(p, acc, m.Payload.(*stream.Vector))
+		m := p.SendRecv(peer, base+2+stage, acc.CloneInto(sc), acc.WireBytes())
+		in := m.Payload.(*stream.Vector)
+		concatCharged(p, acc, in)
+		sc.Release(in)
 	}
 
 	if rem > 0 && rank < rem {
-		p.Send(rank+p2, base+1, acc.Clone(), acc.WireBytes())
+		p.Send(rank+p2, base+1, acc.CloneInto(sc), acc.WireBytes())
 	}
 	return acc
 }
@@ -138,7 +194,7 @@ func concatCharged(p *comm.Proc, acc, in *stream.Vector) {
 // SparseAllgather gathers disjoint sparse contributions from all ranks
 // (public wrapper allocating a tag range).
 func SparseAllgather(p *comm.Proc, mine *stream.Vector) *stream.Vector {
-	return sparseAllgatherConcat(p, mine, p.NextTagBase())
+	return sparseAllgatherConcat(p, mine, nil, p.NextTagBase())
 }
 
 // dsarSplitAllgather implements DSAR_Split_allgather (§5.3.3): the sparse
@@ -153,18 +209,15 @@ func SparseAllgather(p *comm.Proc, mine *stream.Vector) *stream.Vector {
 // same bytes, so all ranks return bit-identical results — the property
 // that keeps data-parallel SGD replicas consistent.
 func dsarSplitAllgather(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Vector {
-	reduced := splitPhase(p, v, base)
+	sc := opts.Scratch
+	reduced := splitPhase(p, v, sc, base)
 	rank, P := p.Rank(), p.Size()
 	n := v.Dim()
 	lo, hi := partition(n, P, rank)
 
-	// Densify my partition into a contiguous block.
-	block := make([]float64, hi-lo)
-	if neutral := v.Op().Neutral(); neutral != 0 {
-		for i := range block {
-			block[i] = neutral
-		}
-	}
+	// Densify my partition into a contiguous block (scratch-pooled: the
+	// block dies once its contents are allgathered or encoded).
+	block := sc.GrabDense(hi-lo, v.Op().Neutral())
 	if reduced.IsDense() {
 		copy(block, reduced.ToDense()[lo:hi])
 	} else {
@@ -173,6 +226,7 @@ func dsarSplitAllgather(p *comm.Proc, v *stream.Vector, opts Options, base int) 
 			block[ix-int32(lo)] = val[i]
 		}
 	}
+	sc.Release(reduced)
 	p.Compute(p.Profile().DenseReduceTime(len(block)))
 
 	result := make([]float64, n)
@@ -187,7 +241,8 @@ func dsarSplitAllgather(p *comm.Proc, v *stream.Vector, opts Options, base int) 
 		// Quantize my block; exchange quantized blocks; decode all.
 		rng := rand.New(rand.NewSource(opts.Seed ^ int64(rank+1)*0x5851F42D4C957F2D))
 		q := quant.Encode(block, *opts.Quant, rng)
-		p.Compute(p.Profile().DenseReduceTime(len(block))) // encode pass
+		sc.PutDense(block)                              // Encode copies into its own storage
+		p.Compute(p.Profile().DenseReduceTime(hi - lo)) // encode pass
 		gathered := allgatherQuantized(p, q, agBase)
 		for r, qr := range gathered {
 			rLo, _ := partition(n, P, r)
@@ -197,12 +252,15 @@ func dsarSplitAllgather(p *comm.Proc, v *stream.Vector, opts Options, base int) 
 		p.Compute(p.Profile().DenseReduceTime(n)) // decode pass
 	} else {
 		parts := AllgatherDense(p, block, v.ValueBytes(), agBase)
+		sc.PutDense(block) // AllgatherDense copies the local block
 		for r, part := range parts {
 			rLo, _ := partition(n, P, r)
 			copy(result[rLo:rLo+len(part)], part)
 		}
 	}
-	res := stream.NewDense(result, v.Op())
+	// The assembled array becomes the result's backing storage directly —
+	// the caller owns it, so it is never recycled into the scratch.
+	res := stream.WrapDense(result, v.Op())
 	res.SetValueBytes(v.ValueBytes())
 	return res
 }
@@ -263,7 +321,7 @@ func allgatherQuantized(p *comm.Proc, mine *quant.Quantized, base int) []*quant.
 // partition slices followed by a ring allgather of the reduced (still
 // sparse) partitions. Bandwidth matches the dense ring scaled by density;
 // latency is 2(P−1)·α.
-func ringSparse(p *comm.Proc, v *stream.Vector, base int) *stream.Vector {
+func ringSparse(p *comm.Proc, v *stream.Vector, sc *stream.Scratch, base int) *stream.Vector {
 	rank, P := p.Rank(), p.Size()
 	n := v.Dim()
 	if P == 1 {
@@ -276,7 +334,7 @@ func ringSparse(p *comm.Proc, v *stream.Vector, base int) *stream.Vector {
 	blocks := make([]*stream.Vector, P)
 	for b := 0; b < P; b++ {
 		lo, hi := partition(n, P, b)
-		blocks[b] = v.ExtractRange(lo, hi)
+		blocks[b] = v.ExtractRangeInto(lo, hi, sc)
 	}
 
 	// Reduce-scatter ring: circulate and accumulate sparse slices.
@@ -287,9 +345,10 @@ func ringSparse(p *comm.Proc, v *stream.Vector, base int) *stream.Vector {
 		blocks[sendBlk] = nil // passed along; no longer needed locally
 		p.Send(next, base+s, out, out.WireBytes())
 		in := p.Recv(prev, base+s).Payload.(*stream.Vector)
-		mergeCharged(p, blocks[recvBlk], in)
-		// mergeCharged mutates via Add; keep the accumulated slice.
-		_ = in
+		mergeCharged(p, blocks[recvBlk], in, sc)
+		// The circulated slice was merged (copied) into the accumulator and
+		// its sender passed ownership along the ring: recycle it.
+		sc.Release(in)
 	}
 
 	ownBlk := (rank + 1) % P

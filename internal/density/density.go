@@ -45,6 +45,44 @@ func ExpectedKInclusionExclusion(n, k, p int) float64 {
 	return float64(n) * sum
 }
 
+// ExpectedKClustered returns E[K] under a blocked (hot-set) support model:
+// each of the P·k drawn indices lands in a hot block of ⌈hotFrac·N⌉
+// coordinates with probability hotMass, uniformly in [0, N) otherwise —
+// the structure of real gradient supports, where a shared hot region
+// (embedding rows, output layers) absorbs most of the mass. Summing the
+// per-coordinate hit probabilities over both regions gives the closed form
+//
+//	E[K] = h·(1 − (1 − q_hot)^{kP}) + (N − h)·(1 − (1 − q_cold)^{kP})
+//
+// with h = hotFrac·N, q_hot = hotMass/h + (1−hotMass)/N and
+// q_cold = (1−hotMass)/N. Draws are modeled as independent (a Poisson-style
+// approximation of distinct per-rank sampling, accurate for k ≪ N, the
+// regime sparse allreduce targets). Because the hot region saturates, this
+// is substantially below ExpectedKUniform — the uniform worst case
+// overestimates clustered fill-in and, through the cost model, skews Auto
+// toward the dense regime.
+func ExpectedKClustered(n, k, p int, hotFrac, hotMass float64) float64 {
+	if n <= 0 || k < 0 || p <= 0 {
+		panic("density: invalid parameters")
+	}
+	if hotFrac <= 0 || hotFrac > 1 || hotMass < 0 || hotMass > 1 {
+		panic("density: hotFrac must be in (0,1], hotMass in [0,1]")
+	}
+	if k >= n {
+		return float64(n)
+	}
+	h := math.Ceil(hotFrac * float64(n))
+	if h > float64(n) {
+		h = float64(n)
+	}
+	draws := float64(k) * float64(p)
+	qHot := hotMass/h + (1-hotMass)/float64(n)
+	qCold := (1 - hotMass) / float64(n)
+	hot := h * (1 - math.Pow(1-qHot, draws))
+	cold := (float64(n) - h) * (1 - math.Pow(1-qCold, draws))
+	return hot + cold
+}
+
 // UnionBound returns the trivial upper bound min(N, P·k) on K.
 func UnionBound(n, k, p int) float64 {
 	return math.Min(float64(n), float64(p)*float64(k))

@@ -173,3 +173,98 @@ func TestPanicsOnInvalid(t *testing.T) {
 		}()
 	}
 }
+
+// clusteredSets draws P index sets of k distinct indices each from the
+// hot-set distribution ExpectedKClustered models: probability hotMass of
+// landing in the first ⌈hotFrac·n⌉ coordinates, uniform otherwise.
+func clusteredSets(rng *rand.Rand, n, k, p int, hotFrac, hotMass float64) [][]int32 {
+	hot := int(math.Ceil(hotFrac * float64(n)))
+	if hot < 1 {
+		hot = 1
+	}
+	sets := make([][]int32, p)
+	for r := range sets {
+		seen := map[int32]bool{}
+		for len(sets[r]) < k {
+			var ix int32
+			if rng.Float64() < hotMass {
+				ix = int32(rng.Intn(hot))
+			} else {
+				ix = int32(rng.Intn(n))
+			}
+			if seen[ix] {
+				continue
+			}
+			seen[ix] = true
+			sets[r] = append(sets[r], ix)
+		}
+	}
+	return sets
+}
+
+func TestExpectedKClusteredMatchesMeasurement(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n, k, P := 1<<16, 3000, 16
+	hf, hm := 0.1, 0.7
+	measured := float64(MeasureK(clusteredSets(rng, n, k, P, hf, hm)))
+	clustered := ExpectedKClustered(n, k, P, hf, hm)
+	uniform := ExpectedKUniform(n, k, P)
+	if rel := math.Abs(clustered-measured) / measured; rel > 0.15 {
+		t.Fatalf("clustered closed form %0.f vs measured %0.f (rel err %.0f%%)",
+			clustered, measured, rel*100)
+	}
+	// The uniform worst case must be a clear overestimate on this shape —
+	// the skew this model exists to remove.
+	if uniform < 1.4*measured {
+		t.Fatalf("uniform model %0.f does not overestimate measured %0.f as expected",
+			uniform, measured)
+	}
+}
+
+func TestExpectedKClusteredLimits(t *testing.T) {
+	// All mass uniform (hotMass=0) approaches the uniform closed form for
+	// k << N (the Poisson approximation of distinct sampling).
+	n, k, p := 1<<20, 200, 8
+	flat := ExpectedKClustered(n, k, p, 0.5, 0)
+	uni := ExpectedKUniform(n, k, p)
+	if rel := math.Abs(flat-uni) / uni; rel > 0.01 {
+		t.Fatalf("hotMass=0 clustered %0.f vs uniform %0.f (rel err %.2f%%)", flat, uni, rel*100)
+	}
+	// Saturation: k >= n collapses to n.
+	if got := ExpectedKClustered(100, 100, 4, 0.1, 0.7); got != 100 {
+		t.Fatalf("k=n must give n, got %g", got)
+	}
+	// More concentration → less fill-in, monotonically.
+	prev := math.Inf(1)
+	for _, hm := range []float64{0.1, 0.4, 0.7, 0.95} {
+		e := ExpectedKClustered(1<<16, 2000, 16, 0.05, hm)
+		if e >= prev {
+			t.Fatalf("E[K] must fall as hot mass grows: %g then %g at mass %g", prev, e, hm)
+		}
+		prev = e
+	}
+	// Never above the union bound or below one rank's contribution.
+	e := ExpectedKClustered(1<<16, 2000, 16, 0.1, 0.7)
+	if e > UnionBound(1<<16, 2000, 16) || e < 2000 {
+		t.Fatalf("E[K]=%g outside [k, min(N,Pk)]", e)
+	}
+}
+
+func TestExpectedKClusteredPanicsOnInvalid(t *testing.T) {
+	for _, f := range []func(){
+		func() { ExpectedKClustered(0, 1, 1, 0.1, 0.5) },
+		func() { ExpectedKClustered(10, 1, 1, 0, 0.5) },
+		func() { ExpectedKClustered(10, 1, 1, 1.5, 0.5) },
+		func() { ExpectedKClustered(10, 1, 1, 0.1, -0.1) },
+		func() { ExpectedKClustered(10, 1, 1, 0.1, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestRunMergeCellAcceptance checks the PR's ablation acceptance bar on a
+// reduced shape: the k-way + scratch reduction must be bit-identical to
+// the chained merges and allocate at least 50% less at P = 16.
+func TestRunMergeCellAcceptance(t *testing.T) {
+	cell := RunMergeCell(1<<16, 800, 16, "uniform", 99)
+	if !cell.BitIdentical {
+		t.Fatal("k-way merge diverged from chained Add")
+	}
+	if cell.AllocReduction < 0.5 {
+		t.Fatalf("alloc reduction %.0f%% below the 50%% bar (chained %.0f, kway+scratch %.0f)",
+			cell.AllocReduction*100, cell.ChainedAllocs, cell.KWayScratchAllocs)
+	}
+	if cell.KWayAllocs >= cell.ChainedAllocs {
+		t.Fatalf("cold k-way allocates %.0f/op, not below chained %.0f/op",
+			cell.KWayAllocs, cell.ChainedAllocs)
+	}
+	if cell.SplitSimSeconds <= 0 {
+		t.Fatal("simulated split-allgather time must be positive")
+	}
+}
+
+// TestRunMergeCellClusteredPattern keeps the clustered-support cell honest:
+// same invariants on the hot-set distribution.
+func TestRunMergeCellClusteredPattern(t *testing.T) {
+	cell := RunMergeCell(1<<16, 800, 8, "clustered", 101)
+	if !cell.BitIdentical {
+		t.Fatal("k-way merge diverged from chained Add on clustered supports")
+	}
+	if cell.AllocReduction < 0.5 {
+		t.Fatalf("alloc reduction %.0f%% below the 50%% bar", cell.AllocReduction*100)
+	}
+}

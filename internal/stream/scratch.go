@@ -1,0 +1,189 @@
+package stream
+
+// Scratch is a pool of reusable vector buffers for the reduction hot path.
+// The chained two-way merges of an allreduce allocate fresh idx/val slices
+// on every Add (BenchmarkAblationMerge); a Scratch lets the in-place
+// variants (AddInto, AddAll, ExtractRangeInto, CloneInto, DensifyInto)
+// draw their output buffers from a free list and return superseded buffers
+// to it, so steady-state reductions perform near-zero allocations.
+//
+// Ownership discipline:
+//
+//   - A Scratch belongs to ONE goroutine (one rank). It must never be
+//     shared across ranks or across concurrently running collectives
+//     (e.g. overlapping nonblocking operations) — it performs no locking.
+//   - Release(v) hands v's backing buffers to the pool and voids v. Only
+//     release vectors this goroutine exclusively owns (typically vectors
+//     received from a peer and already merged, or local temporaries);
+//     never release a vector that was returned to a caller or whose
+//     Pairs() slices may still be referenced elsewhere.
+//   - Buffers may migrate between ranks: a vector built from rank A's
+//     scratch and sent to rank B is owned by B on receipt and may be
+//     released into B's scratch. Collectives are symmetric, so pools reach
+//     a steady state where sends drain and receives replenish them.
+//
+// The zero value is ready to use; all methods are nil-safe (a nil *Scratch
+// degrades to plain allocation, so every scratch-aware code path can take
+// an optional pool).
+type Scratch struct {
+	idx [][]int32
+	val [][]float64
+	dns [][]float64
+	hdr []*Vector // voided Vector headers, recycled by grabVector
+}
+
+// scratchPoolCap bounds each free list so a pathological release pattern
+// cannot retain unbounded memory; excess buffers are dropped to the GC.
+const scratchPoolCap = 64
+
+// NewScratch returns an empty buffer pool.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Buffers reports how many buffers the pool currently holds, across all
+// three free lists. Intended for tests and diagnostics.
+func (s *Scratch) Buffers() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.idx) + len(s.val) + len(s.dns) + len(s.hdr)
+}
+
+// Release reclaims v's backing buffers — and the *Vector header itself —
+// into the pool and voids v (it must not be used again; a later grab may
+// hand the same header out reinitialized). Safe to call with a nil vector
+// or on a nil pool (the storage is simply dropped).
+func (s *Scratch) Release(v *Vector) {
+	if v == nil {
+		return
+	}
+	if s != nil {
+		if v.idx != nil && len(s.idx) < scratchPoolCap {
+			s.idx = append(s.idx, v.idx)
+		}
+		if v.val != nil && len(s.val) < scratchPoolCap {
+			s.val = append(s.val, v.val)
+		}
+		if v.dns != nil && len(s.dns) < scratchPoolCap {
+			s.dns = append(s.dns, v.dns)
+		}
+	}
+	v.idx, v.val, v.dns = nil, nil, nil
+	if s != nil && len(s.hdr) < scratchPoolCap {
+		s.hdr = append(s.hdr, v)
+	}
+}
+
+// grabVector returns an empty sparse vector header with the given
+// metadata, recycling a released header when one is available.
+func (s *Scratch) grabVector(n int, op Op, valueBytes, delta int) *Vector {
+	if s != nil && len(s.hdr) > 0 {
+		v := s.hdr[len(s.hdr)-1]
+		s.hdr = s.hdr[:len(s.hdr)-1]
+		*v = Vector{n: n, op: op, valueBytes: valueBytes, delta: delta}
+		return v
+	}
+	return &Vector{n: n, op: op, valueBytes: valueBytes, delta: delta}
+}
+
+// grabIdx returns a zero-length index buffer with capacity ≥ c, reusing a
+// pooled buffer when one fits.
+func (s *Scratch) grabIdx(c int) []int32 {
+	if s != nil {
+		for i := len(s.idx) - 1; i >= 0; i-- {
+			if cap(s.idx[i]) >= c {
+				b := s.idx[i]
+				s.idx[i] = s.idx[len(s.idx)-1]
+				s.idx = s.idx[:len(s.idx)-1]
+				return b[:0]
+			}
+		}
+	}
+	return make([]int32, 0, c)
+}
+
+// grabVal returns a zero-length value buffer with capacity ≥ c.
+func (s *Scratch) grabVal(c int) []float64 {
+	if s != nil {
+		for i := len(s.val) - 1; i >= 0; i-- {
+			if cap(s.val[i]) >= c {
+				b := s.val[i]
+				s.val[i] = s.val[len(s.val)-1]
+				s.val = s.val[:len(s.val)-1]
+				return b[:0]
+			}
+		}
+	}
+	return make([]float64, 0, c)
+}
+
+// GrabDense returns a length-n dense float64 buffer filled with the given
+// neutral element, reusing pooled storage when possible. For callers
+// assembling raw dense blocks (e.g. the DSAR densify step); return the
+// buffer with PutDense when done.
+func (s *Scratch) GrabDense(n int, neutral float64) []float64 {
+	return s.grabDense(n, neutral)
+}
+
+// PutDense returns a raw dense buffer obtained from GrabDense (or
+// otherwise exclusively owned) to the pool.
+func (s *Scratch) PutDense(b []float64) {
+	s.putDense(b)
+}
+
+// grabDense returns a length-n dense buffer filled with the neutral
+// element. Unlike make([]float64, n), recycled buffers hold stale data, so
+// the fill is unconditional.
+func (s *Scratch) grabDense(n int, neutral float64) []float64 {
+	b, fresh := s.grabDenseBuf(n)
+	if fresh && neutral == 0 {
+		return b
+	}
+	for i := range b {
+		b[i] = neutral
+	}
+	return b
+}
+
+// grabDenseRaw returns a length-n dense buffer with unspecified contents;
+// the caller must overwrite every element.
+func (s *Scratch) grabDenseRaw(n int) []float64 {
+	b, _ := s.grabDenseBuf(n)
+	return b
+}
+
+// grabDenseBuf returns a length-n buffer and whether it is freshly
+// allocated (and therefore zeroed).
+func (s *Scratch) grabDenseBuf(n int) ([]float64, bool) {
+	if s != nil {
+		for i := len(s.dns) - 1; i >= 0; i-- {
+			if cap(s.dns[i]) >= n {
+				b := s.dns[i][:n]
+				s.dns[i] = s.dns[len(s.dns)-1]
+				s.dns = s.dns[:len(s.dns)-1]
+				return b, false
+			}
+		}
+	}
+	return make([]float64, n), true
+}
+
+// putIdx returns a loose index buffer to the pool.
+func (s *Scratch) putIdx(b []int32) {
+	if s != nil && b != nil && len(s.idx) < scratchPoolCap {
+		s.idx = append(s.idx, b)
+	}
+}
+
+// putVal returns a loose value buffer to the pool.
+func (s *Scratch) putVal(b []float64) {
+	if s != nil && b != nil && len(s.val) < scratchPoolCap {
+		s.val = append(s.val, b)
+	}
+}
+
+// putDense returns a loose dense buffer to the pool.
+func (s *Scratch) putDense(b []float64) {
+	if s != nil && b != nil && len(s.dns) < scratchPoolCap {
+		s.dns = append(s.dns, b)
+	}
+}

@@ -1,0 +1,162 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestScratchReleaseAndReuse(t *testing.T) {
+	s := NewScratch()
+	v := NewSparse(100, []int32{1, 2, 3}, []float64{1, 2, 3}, OpSum)
+	idxBuf, valBuf := v.idx, v.val
+	s.Release(v)
+	if v.idx != nil || v.val != nil || v.dns != nil {
+		t.Fatal("Release must void the vector")
+	}
+	if s.Buffers() != 3 { // idx + val + the recycled header
+		t.Fatalf("pool holds %d buffers, want 3", s.Buffers())
+	}
+	// The next grab of a fitting size must reuse the released storage.
+	got := s.grabIdx(3)
+	if cap(got) != cap(idxBuf) || &got[:1][0] != &idxBuf[:1][0] {
+		t.Fatal("grabIdx did not reuse the released buffer")
+	}
+	gotV := s.grabVal(3)
+	if &gotV[:1][0] != &valBuf[:1][0] {
+		t.Fatal("grabVal did not reuse the released buffer")
+	}
+}
+
+func TestScratchNilSafety(t *testing.T) {
+	var s *Scratch
+	if b := s.grabIdx(4); cap(b) < 4 {
+		t.Fatal("nil scratch grabIdx must allocate")
+	}
+	if b := s.grabDense(8, -1); len(b) != 8 || b[0] != -1 {
+		t.Fatal("nil scratch grabDense must allocate and fill")
+	}
+	s.Release(NewSparse(10, []int32{1}, []float64{1}, OpSum)) // must not panic
+	s.Release(nil)
+	if s.Buffers() != 0 {
+		t.Fatal("nil scratch has no buffers")
+	}
+}
+
+func TestScratchGrabDenseClearsStaleData(t *testing.T) {
+	s := NewScratch()
+	d := NewDense([]float64{5, 6, 7, 8}, OpSum)
+	s.Release(d)
+	b := s.grabDense(4, 0)
+	for i, x := range b {
+		if x != 0 {
+			t.Fatalf("recycled dense buffer not cleared at %d: %g", i, x)
+		}
+	}
+	d2 := NewDense([]float64{5, 6, 7}, OpMax)
+	s.Release(d2)
+	b2 := s.grabDense(3, -1)
+	for _, x := range b2 {
+		if x != -1 {
+			t.Fatal("recycled dense buffer not filled with neutral")
+		}
+	}
+}
+
+func TestScratchPoolBounded(t *testing.T) {
+	s := NewScratch()
+	for i := 0; i < 4*scratchPoolCap; i++ {
+		s.Release(NewSparse(10, []int32{1}, []float64{1}, OpSum))
+	}
+	if s.Buffers() > 3*scratchPoolCap {
+		t.Fatalf("pool grew unboundedly: %d buffers", s.Buffers())
+	}
+}
+
+// TestAddIntoSteadyStateAllocs is the allocation-regression guard for the
+// in-place reduction step: once the pool is warm, AddInto must not
+// allocate at all for sparse merges below δ.
+func TestAddIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1 << 16
+	a := randSparseExact(rng, n, 500)
+	b := randSparseExact(rng, n, 500)
+	s := NewScratch()
+	// Warm the pool: two generations of merge buffers.
+	for i := 0; i < 4; i++ {
+		c := a.CloneInto(s)
+		c.AddInto(b, s)
+		s.Release(c)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		c := a.CloneInto(s)
+		c.AddInto(b, s)
+		s.Release(c)
+	})
+	// One header allocation for the clone's Vector struct is allowed; the
+	// idx/val buffers must come from the pool.
+	if allocs > 1 {
+		t.Fatalf("steady-state CloneInto+AddInto allocates %.1f objects/op, want ≤ 1", allocs)
+	}
+}
+
+// TestAddAllSteadyStateAllocs: the k-way merge with a warm scratch stays
+// allocation-free apart from the cursor slice.
+func TestAddAllSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 1 << 16
+	const P = 16
+	others := make([]*Vector, P-1)
+	for i := range others {
+		others[i] = randSparseExact(rng, n, 300)
+	}
+	base := randSparseExact(rng, n, 300)
+	s := NewScratch()
+	for i := 0; i < 4; i++ {
+		acc := base.CloneInto(s)
+		acc.AddAll(others, s)
+		s.Release(acc)
+	}
+	allocs := testing.AllocsPerRun(30, func() {
+		acc := base.CloneInto(s)
+		acc.AddAll(others, s)
+		s.Release(acc)
+	})
+	// Vector header + cursor slice; everything else must be pooled.
+	if allocs > 2 {
+		t.Fatalf("steady-state AddAll allocates %.1f objects/op, want ≤ 2", allocs)
+	}
+}
+
+// TestChainedAddAllocsBaseline documents what the k-way/scratch path is
+// being compared against: the chained two-way merge allocates fresh
+// buffers for every Add.
+func TestChainedAddAllocsBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 1 << 16
+	const P = 16
+	others := make([]*Vector, P-1)
+	for i := range others {
+		others[i] = randSparseExact(rng, n, 300)
+	}
+	base := randSparseExact(rng, n, 300)
+	chained := testing.AllocsPerRun(10, func() {
+		acc := base.Clone()
+		for _, o := range others {
+			acc.Add(o)
+		}
+	})
+	s := NewScratch()
+	for i := 0; i < 4; i++ {
+		acc := base.CloneInto(s)
+		acc.AddAll(others, s)
+		s.Release(acc)
+	}
+	kway := testing.AllocsPerRun(10, func() {
+		acc := base.CloneInto(s)
+		acc.AddAll(others, s)
+		s.Release(acc)
+	})
+	if kway > chained/2 {
+		t.Fatalf("k-way+scratch allocates %.1f/op vs chained %.1f/op — want ≥ 50%% reduction", kway, chained)
+	}
+}

@@ -54,10 +54,17 @@ func (v *Vector) addSparseIntoDense(other *Vector) {
 
 // mergeSparse performs the sorted two-way merge of two sparse vectors.
 func (v *Vector) mergeSparse(other *Vector) {
+	bound := len(v.idx) + len(other.idx)
+	v.idx, v.val = v.mergeSparseInto(other,
+		make([]int32, 0, bound), make([]float64, 0, bound))
+}
+
+// mergeSparseInto appends the sorted two-way merge of v and other into the
+// provided buffers and returns them (the scratch-pooled twin of
+// mergeSparse; see AddInto).
+func (v *Vector) mergeSparseInto(other *Vector, idx []int32, val []float64) ([]int32, []float64) {
 	a, av := v.idx, v.val
 	b, bv := other.idx, other.val
-	idx := make([]int32, 0, len(a)+len(b))
-	val := make([]float64, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -85,7 +92,7 @@ func (v *Vector) mergeSparse(other *Vector) {
 	val = append(val, av[i:]...)
 	idx = append(idx, b[j:]...)
 	val = append(val, bv[j:]...)
-	v.idx, v.val = idx, val
+	return idx, val
 }
 
 // AddHash is an alternative reduction used only for the merge-strategy
@@ -190,8 +197,19 @@ func (v *Vector) Concat(other *Vector) {
 		panic("stream: mismatched vectors")
 	}
 	if len(v.idx)+len(other.idx) > v.delta {
+		// Densify path. A freshly densified canonical vector holds the
+		// neutral element exactly at its absent coordinates, so the overlap
+		// accounting reduces to checking that every incoming (non-neutral)
+		// entry lands on a neutral slot — the densify path must uphold the
+		// documented overlap panic just like the merge path below.
 		v.Densify()
-		v.addSparseIntoDense(other)
+		neutral := v.op.Neutral()
+		for i, ix := range other.idx {
+			if v.dns[ix] != neutral {
+				panic("stream: Concat inputs overlap")
+			}
+			v.dns[ix] = v.op.Combine(v.dns[ix], other.val[i])
+		}
 		return
 	}
 	// Fast path: strictly ordered ranges concatenate without a merge.
@@ -214,30 +232,46 @@ func (v *Vector) Concat(other *Vector) {
 	}
 }
 
-// ExtractRange returns a new sparse vector over the same universe holding
-// only the coordinates in [lo, hi). Indices stay global. Used by the split
-// phase of the SSAR/DSAR split-allgather algorithms (§5.3.2).
+// ExtractRange returns a new vector over the same universe holding only
+// the coordinates in [lo, hi). Indices stay global. Used by the split
+// phase of the SSAR/DSAR split-allgather algorithms (§5.3.2). The result
+// is canonical: when more than δ coordinates of a dense input fall in the
+// range, it is returned in the dense representation rather than as an
+// over-long sparse vector.
 func (v *Vector) ExtractRange(lo, hi int) *Vector {
+	return v.extractRange(lo, hi, nil)
+}
+
+func (v *Vector) extractRange(lo, hi int, s *Scratch) *Vector {
 	if lo < 0 || hi > v.n || lo > hi {
 		panic("stream: bad range")
 	}
-	out := Zero(v.n, v.op)
-	out.valueBytes = v.valueBytes
-	out.delta = v.delta
+	out := s.grabVector(v.n, v.op, v.valueBytes, v.delta)
 	if v.dns != nil {
 		neutral := v.op.Neutral()
+		// The range holds at most hi−lo entries, but anything past δ
+		// densifies below, so δ+1 bounds the useful sparse capacity.
+		bound := hi - lo
+		if bound > v.delta+1 {
+			bound = v.delta + 1
+		}
+		out.idx = s.grabIdx(bound)
+		out.val = s.grabVal(bound)
 		for i := lo; i < hi; i++ {
 			if v.dns[i] != neutral {
 				out.idx = append(out.idx, int32(i))
 				out.val = append(out.val, v.dns[i])
 			}
 		}
+		// Keep the representation canonical: a dense input can contribute
+		// more than δ coordinates to the range.
+		out.maybeDensifyInto(s)
 		return out
 	}
 	loPos := searchInt32(v.idx, int32(lo))
 	hiPos := searchInt32(v.idx, int32(hi))
-	out.idx = append(out.idx, v.idx[loPos:hiPos]...)
-	out.val = append(out.val, v.val[loPos:hiPos]...)
+	out.idx = append(s.grabIdx(hiPos-loPos), v.idx[loPos:hiPos]...)
+	out.val = append(s.grabVal(hiPos-loPos), v.val[loPos:hiPos]...)
 	return out
 }
 

@@ -159,6 +159,88 @@ func TestConcatPanicsOnOverlap(t *testing.T) {
 	a.Concat(b)
 }
 
+// Regression: the densify path of Concat (taken when |H1|+|H2| > δ) used
+// to fold overlapping entries silently instead of honoring the documented
+// overlap panic.
+func TestConcatPanicsOnOverlapViaDensifyPath(t *testing.T) {
+	n := 30 // δ = 20
+	mk := func(start, count int, extra ...int32) *Vector {
+		var idx []int32
+		var val []float64
+		for i := start; i < start+count; i++ {
+			idx = append(idx, int32(i))
+			val = append(val, 1)
+		}
+		for _, e := range extra {
+			idx = append(idx, e)
+			val = append(val, 1)
+		}
+		return NewSparse(n, idx, val, OpSum)
+	}
+	a := mk(0, 12)
+	b := mk(15, 11, 5) // 12+12 > δ → densify path; index 5 overlaps a
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overlap panic on the Concat densify path")
+		}
+	}()
+	a.Concat(b)
+}
+
+// The densify path must still succeed (and stay correct) for genuinely
+// disjoint inputs whose combined size exceeds δ.
+func TestConcatDensifyPathDisjointSucceeds(t *testing.T) {
+	n := 30 // δ = 20
+	var ai, bi []int32
+	var av, bv []float64
+	for i := 0; i < 12; i++ {
+		ai = append(ai, int32(i))
+		av = append(av, float64(i+1))
+		bi = append(bi, int32(i+15))
+		bv = append(bv, float64(i+100))
+	}
+	a := NewSparse(n, ai, av, OpSum)
+	b := NewSparse(n, bi, bv, OpSum)
+	a.Concat(b)
+	if !a.IsDense() {
+		t.Fatal("combined size 24 > δ=20 must densify")
+	}
+	if a.NNZ() != 24 || a.Get(0) != 1 || a.Get(15) != 100 {
+		t.Fatalf("densify-path concat wrong: %v", a)
+	}
+}
+
+// Regression: ExtractRange on a dense input used to return a sparse vector
+// with more than δ entries — a non-canonical representation that under-
+// reports wire bytes and breaks the δ invariant downstream.
+func TestExtractRangeDenseInputStaysCanonical(t *testing.T) {
+	n := 30 // δ = 20
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	v := NewDense(vals, OpSum)
+	out := v.ExtractRange(0, 25) // 25 non-neutral coords > δ
+	if !out.IsDense() {
+		t.Fatalf("range with %d > δ=%d entries must come back dense", out.NNZ(), out.Delta())
+	}
+	for i := 0; i < 25; i++ {
+		if out.Get(i) != float64(i+1) {
+			t.Fatalf("coord %d = %g, want %g", i, out.Get(i), float64(i+1))
+		}
+	}
+	for i := 25; i < n; i++ {
+		if out.Get(i) != 0 {
+			t.Fatalf("coord %d outside range must be 0, got %g", i, out.Get(i))
+		}
+	}
+	// Below δ the sparse representation is kept.
+	small := v.ExtractRange(0, 5)
+	if small.IsDense() || small.NNZ() != 5 {
+		t.Fatalf("small range must stay sparse: %v", small)
+	}
+}
+
 func TestExtractRange(t *testing.T) {
 	v := NewSparse(100, []int32{5, 25, 50, 75}, []float64{5, 25, 50, 75}, OpSum)
 	part := v.ExtractRange(25, 75)

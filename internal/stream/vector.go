@@ -108,6 +108,15 @@ func NewDense(values []float64, op Op) *Vector {
 	return v
 }
 
+// WrapDense builds a dense vector that takes ownership of values without
+// copying (the allocation-free twin of NewDense for hot paths assembling a
+// result in place). The caller must not use the slice afterwards.
+func WrapDense(values []float64, op Op) *Vector {
+	v := Zero(len(values), op)
+	v.dns = values
+	return v
+}
+
 // FromDense builds a vector from a dense array, choosing the sparse
 // representation when the number of non-neutral entries is at most δ.
 func FromDense(values []float64, op Op) *Vector {

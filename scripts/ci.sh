@@ -2,8 +2,10 @@
 # CI floor for the repo: build everything, vet, enforce the documentation
 # floor (godoc coverage on the exported API packages + docs-vs-code drift),
 # race-check the concurrency hot spots (the message-passing substrate and
-# the collectives that run on it), run the full test suite, then record
-# the deterministic contention-model sweep as BENCH_2.json.
+# the collectives that run on it), run the full test suite, smoke-run the
+# k-way merge ablation benchmarks, then record the deterministic sweeps as
+# BENCH_2.json (contention model) and BENCH_3.json (k-way merge/scratch),
+# hard-failing if either drifts from the committed files.
 #
 # Usage: ./scripts/ci.sh
 set -euo pipefail
@@ -35,13 +37,26 @@ go test -race ./internal/comm/... ./internal/core/...
 echo "== go test ./..."
 go test ./...
 
-echo "== record BENCH_2.json (contention-model sweep; simulated metrics only, deterministic)"
+echo "== bench smoke (k-way merge + scratch ablations, 1 iteration each)"
+go test -run '^$' -bench 'BenchmarkAblationKWayMerge|BenchmarkAblationScratchAllreduce' -benchtime 1x . > /dev/null
+
 tmp_bench=$(mktemp)
-trap 'rm -f "$tmp_bench"' EXIT
+tmp_bench3=$(mktemp)
+trap 'rm -f "$tmp_bench" "$tmp_bench3"' EXIT
+
+echo "== record BENCH_2.json (contention-model sweep; simulated metrics only, deterministic)"
 go run ./cmd/sparbench -sweep contention -json > "$tmp_bench"
 if ! cmp -s "$tmp_bench" BENCH_2.json; then
   cp "$tmp_bench" BENCH_2.json
   echo "BENCH_2.json drifted from the committed sweep — regenerated it; commit the update" >&2
+  exit 1
+fi
+
+echo "== record BENCH_3.json (k-way merge/scratch ablation; deterministic alloc + sim metrics)"
+go run ./cmd/sparbench -sweep merge -json > "$tmp_bench3"
+if ! cmp -s "$tmp_bench3" BENCH_3.json; then
+  cp "$tmp_bench3" BENCH_3.json
+  echo "BENCH_3.json drifted from the committed sweep — regenerated it; commit the update" >&2
   exit 1
 fi
 

@@ -75,8 +75,22 @@ const (
 	HierDSAR = core.HierDSAR
 )
 
-// Options configures an allreduce; see core.Options.
+// Options configures an allreduce; see core.Options. Setting the Scratch
+// field (one pool per rank — see World.Scratch) makes steady-state
+// allreduce calls nearly allocation-free.
 type Options = core.Options
+
+// Scratch is a per-rank pool of reusable reduction buffers. Passing one in
+// Options.Scratch lets the collectives draw merge/densify storage from the
+// pool and recycle received streams into it, so repeated allreduce calls
+// allocate almost nothing. A Scratch belongs to ONE rank and must not be
+// shared across ranks or across concurrently running collectives; vectors
+// returned by a collective stay valid — their storage is only recycled if
+// explicitly released with Scratch.Release.
+type Scratch = stream.Scratch
+
+// NewScratch returns an empty reduction-buffer pool for one rank.
+func NewScratch() *Scratch { return stream.NewScratch() }
 
 // QuantConfig configures QSGD stochastic quantization; see quant.Config.
 type QuantConfig = quant.Config
@@ -161,12 +175,21 @@ func FromDense(values []float64) *Vector {
 
 // World is a group of P communicating ranks over a simulated network.
 type World struct {
-	inner *comm.World
+	inner     *comm.World
+	scratches []*Scratch // one pool per rank, see Scratch(rank)
 }
 
 // NewWorld creates a world of p ranks on the given network profile.
 func NewWorld(p int, profile Profile) *World {
-	return &World{inner: comm.NewWorld(p, profile)}
+	return &World{inner: comm.NewWorld(p, profile), scratches: newScratches(p)}
+}
+
+func newScratches(p int) []*Scratch {
+	out := make([]*Scratch, p)
+	for i := range out {
+		out[i] = NewScratch()
+	}
+	return out
 }
 
 // NewWorldTopo creates a world of p ranks on a two-level topology:
@@ -174,11 +197,25 @@ func NewWorld(p int, profile Profile) *World {
 // between nodes cost topo.Inter. Auto algorithm selection picks the
 // hierarchical collectives on such worlds.
 func NewWorldTopo(p int, topo Topology) *World {
-	return &World{inner: comm.NewWorldTopo(p, topo)}
+	return &World{inner: comm.NewWorldTopo(p, topo), scratches: newScratches(p)}
 }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.inner.Size() }
+
+// Scratch returns rank's reusable reduction-buffer pool. The pools persist
+// across Run calls, which is what makes them pay off:
+//
+//	results := sparcml.Run(world, func(c *sparcml.Comm) []float64 {
+//	    opts := sparcml.Options{Scratch: world.Scratch(c.Rank())}
+//	    return c.Allreduce(v, opts).ToDense()
+//	})
+//
+// Safe to call concurrently from inside Run, but always with the calling
+// rank's own id: each pool belongs to exactly one rank.
+func (w *World) Scratch(rank int) *Scratch {
+	return w.scratches[rank]
+}
 
 // Topology returns the world's two-level topology, if one was configured.
 func (w *World) Topology() (Topology, bool) { return w.inner.Topology() }
@@ -276,8 +313,9 @@ func (c *Comm) Gather(mine *Vector, root int) *Vector {
 }
 
 // Scatter splits the root's vector by the uniform dimension partition and
-// returns each rank's slice. Non-root ranks pass v == nil and must supply
-// n and op.
+// returns each rank's slice in canonical representation (dense when the
+// partition holds more than δ entries). Non-root ranks pass v == nil and
+// must supply n and op.
 func (c *Comm) Scatter(v *Vector, root, n int, op Op) *Vector {
 	return core.ScatterRanges(c.proc, v, root, n, op)
 }

@@ -211,3 +211,50 @@ func TestFacadeDrydenAllreduce(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeScratchReuse exercises the buffer-reuse quickstart: repeated
+// allreduce calls drawing from per-rank World.Scratch pools must keep
+// returning results identical to the scratch-free path, and earlier
+// results must stay intact while later rounds recycle buffers.
+func TestFacadeScratchReuse(t *testing.T) {
+	w := NewWorld(4, Aries)
+	mk := func(rank int) *Vector {
+		return NewSparse(1000, []int32{int32(rank), 500, int32(900 + rank)},
+			[]float64{1, float64(rank + 1), 2})
+	}
+	plain := Run(w, func(c *Comm) []float64 {
+		return c.Allreduce(mk(c.Rank()), Options{}).ToDense()
+	})
+	var kept *Vector
+	for round := 0; round < 4; round++ {
+		results := Run(w, func(c *Comm) *Vector {
+			opts := Options{Scratch: w.Scratch(c.Rank())}
+			return c.Allreduce(mk(c.Rank()), opts)
+		})
+		if round == 0 {
+			kept = results[0]
+		}
+		for r, res := range results {
+			got := res.ToDense()
+			for i, x := range plain[r] {
+				if got[i] != x {
+					t.Fatalf("round=%d rank=%d coord=%d: got %g want %g", round, r, i, got[i], x)
+				}
+			}
+		}
+	}
+	// The round-0 result must not have been corrupted by pool reuse.
+	for i, x := range plain[0] {
+		if kept.Get(i) != x {
+			t.Fatalf("kept result mutated at %d: %g vs %g", i, kept.Get(i), x)
+		}
+	}
+	// MergeK is part of the facade's Vector surface via the stream alias.
+	a := NewSparse(10, []int32{1}, []float64{1})
+	b := NewSparse(10, []int32{1}, []float64{-1})
+	s := NewScratch()
+	a.AddAll([]*Vector{b}, s)
+	if a.NNZ() != 0 {
+		t.Fatal("cancellation through the facade failed")
+	}
+}
