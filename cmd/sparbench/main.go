@@ -14,6 +14,7 @@
 //	sparbench -sweep hierdsar   [-n 262144] [-density 0.6] [-maxp 32] [-rpn 4] [-nic 1] [-intra nvlink] [-profile aries]
 //	sparbench -sweep contention [-intra nvlink] [-profile aries] [-json]
 //	sparbench -sweep merge      [-json]
+//	sparbench -sweep hierlevels [-json]
 //	sparbench -csv  # machine-readable output
 package main
 
@@ -49,7 +50,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sparbench", flag.ContinueOnError)
 	var (
-		sweep    = fs.String("sweep", "nodes", "sweep to run: nodes | density | hier | hierdsar | contention | merge")
+		sweep    = fs.String("sweep", "nodes", "sweep to run: nodes | density | hier | hierdsar | contention | merge | hierlevels")
 		n        = fs.Int("n", 1<<20, "vector dimension N (paper uses 16M; 2^20 default keeps memory modest)")
 		densityF = fs.Float64("density", 0.00781, "per-node density d for the nodes sweep")
 		maxP     = fs.Int("maxp", 64, "largest node count for the nodes sweep")
@@ -116,6 +117,32 @@ func run(args []string, stdout io.Writer) error {
 				fmt.Sprintf("%.1f", r.AllocReduction*100),
 				fmt.Sprint(r.BitIdentical),
 				report.FormatSeconds(r.SplitSimSeconds),
+			)
+		}
+		return tb.Emit(stdout, *csv)
+	}
+
+	if *sweep == "hierlevels" {
+		rows := experiments.HierLevelsSweep()
+		if *jsonOut {
+			return emitBench4(stdout, rows)
+		}
+		tb := report.NewTable("family", "N", "P", "density%", "flat", "2-level", "3-level", "vs-flat", "vs-2level", "auto", "auto-ok")
+		for _, r := range rows {
+			auto := fmt.Sprintf("%s@%d", r.AutoChoice, r.AutoLevels)
+			if r.AutoLevels == 0 {
+				auto = r.AutoChoice
+			}
+			tb.AddRowRaw(
+				r.Family, fmt.Sprint(r.N), fmt.Sprint(r.P),
+				fmt.Sprintf("%.4f", r.Density*100),
+				report.FormatSeconds(r.FlatSim),
+				report.FormatSeconds(r.TwoLevelSim),
+				report.FormatSeconds(r.ThreeLevelSim),
+				fmt.Sprintf("%.2f", r.SpeedupOverFlat),
+				fmt.Sprintf("%.2f", r.SpeedupOverTwoLevel),
+				auto,
+				fmt.Sprint(r.AutoMatchesCheapest),
 			)
 		}
 		return tb.Emit(stdout, *csv)
@@ -295,6 +322,29 @@ func emitBench3(w io.Writer, rows []experiments.MergeCell) error {
 			"Wall-clock snapshot at recording time (go1.24, one shared machine, k=2000, N=2^18): " +
 			"chained 1.48ms/op vs k-way+scratch 0.95ms/op at P=16; 17.5ms/op vs 5.9ms/op at P=64 " +
 			"(see BenchmarkAblationKWayMerge).",
+		Cells: rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// emitBench4 writes the BENCH_4.json document: the hierarchy-depth
+// ablation (flat vs 2-level vs 3-level schemes on a DragonflyLike
+// machine). Every metric is simulated virtual time on seeded inputs, so
+// the file is reproducible byte-for-byte — scripts/ci.sh regenerates it
+// and hard-fails on drift, exactly like BENCH_2 and BENCH_3.
+func emitBench4(w io.Writer, rows []experiments.HierLevelsRow) error {
+	doc := struct {
+		ID    string                      `json:"id"`
+		Note  string                      `json:"note"`
+		Cells []experiments.HierLevelsRow `json:"cells"`
+	}{
+		ID: "BENCH_4",
+		Note: "hierarchy-depth ablation on DragonflyLike(4,4): the same allreduce instance run " +
+			"flat, with the 2-level (node-only) hierarchical scheme, and with the full 3-level " +
+			"recursion on one world; auto_choice/auto_levels is what the level-aware cost model " +
+			"(ChooseAutoLevels) resolves to, cheapest_sim the empirically cheapest depth",
 		Cells: rows,
 	}
 	enc := json.NewEncoder(w)

@@ -40,7 +40,8 @@ type Message struct {
 type World struct {
 	p       int
 	profile simnet.Profile
-	topo    *simnet.Topology // nil for flat (single-level) worlds
+	topo    *simnet.Topology  // set only by NewWorldTopo, for the legacy accessor
+	hier    *simnet.Hierarchy // nil for flat (single-level) worlds
 	boxes   []*mailbox
 	times   []float64 // final virtual clock per rank, filled by Run
 
@@ -90,12 +91,30 @@ func NewWorld(p int, profile simnet.Profile) *World {
 // per-node NIC bandwidth-sharing factor for concurrently sending
 // node-mates (see Topology.NICFactor and Proc.Send). Panics if
 // topo.Validate fails or p <= 0.
+//
+// A topology world is exactly the two-level case of NewWorldHier; it
+// additionally answers the legacy Topology accessor.
 func NewWorldTopo(p int, topo simnet.Topology) *World {
 	if err := topo.Validate(); err != nil {
 		panic(err.Error())
 	}
-	w := NewWorld(p, topo.Inter)
+	w := NewWorldHier(p, topo.Hierarchy())
 	w.topo = &topo
+	return w
+}
+
+// NewWorldHier creates a world of p ranks on an N-level machine hierarchy:
+// every message is priced by the profile of the innermost level its two
+// ranks share (simnet.Hierarchy.ProfileFor), and pays each crossed level's
+// egress serialization factor on its bandwidth term (see Proc.Send). The
+// world's default profile (returned by Profile, used for local compute
+// costs) is the outermost level's. Panics if h.Validate fails or p <= 0.
+func NewWorldHier(p int, h simnet.Hierarchy) *World {
+	if err := h.Validate(); err != nil {
+		panic(err.Error())
+	}
+	w := NewWorld(p, h.Levels[len(h.Levels)-1].Profile)
+	w.hier = &h
 	return w
 }
 
@@ -106,7 +125,9 @@ func (w *World) Size() int { return w.p }
 // topology worlds).
 func (w *World) Profile() simnet.Profile { return w.profile }
 
-// Topology returns the world's two-level topology, if one was configured.
+// Topology returns the world's two-level topology, if the world was built
+// with NewWorldTopo. Worlds built directly from a Hierarchy report false;
+// use Hierarchy instead.
 func (w *World) Topology() (simnet.Topology, bool) {
 	if w.topo == nil {
 		return simnet.Topology{}, false
@@ -114,10 +135,20 @@ func (w *World) Topology() (simnet.Topology, bool) {
 	return *w.topo, true
 }
 
+// Hierarchy returns the world's machine hierarchy, if one was configured
+// (directly via NewWorldHier, or as the two-level hierarchy of a
+// NewWorldTopo topology).
+func (w *World) Hierarchy() (simnet.Hierarchy, bool) {
+	if w.hier == nil {
+		return simnet.Hierarchy{}, false
+	}
+	return *w.hier, true
+}
+
 // profileFor returns the profile pricing a message from src to dst.
 func (w *World) profileFor(src, dst int) simnet.Profile {
-	if w.topo != nil {
-		return w.topo.ProfileFor(src, dst)
+	if w.hier != nil {
+		return w.hier.ProfileFor(src, dst)
 	}
 	return w.profile
 }
@@ -172,10 +203,11 @@ type Proc struct {
 	group     []int
 	groupRank int
 
-	// nicUsers caches the number of this communicator's ranks that share
-	// this rank's node — the modeled count of flows contending for the
-	// node's NIC (see nicActive). Zero means not yet computed.
-	nicUsers int
+	// levelUsers caches, per hierarchy level, the number of this
+	// communicator's ranks sharing this rank's group at that level — the
+	// modeled count of flows contending for the group's egress (see
+	// activeAt). A zero entry means not yet computed.
+	levelUsers []int
 }
 
 // Rank returns this process's rank in [0, Size) — group-local on a
@@ -229,6 +261,16 @@ func (p *Proc) Topology() (simnet.Topology, bool) {
 	return p.world.Topology()
 }
 
+// Hierarchy returns the world's machine hierarchy if one is configured
+// (a two-level one on NewWorldTopo worlds). Sub-communicator views report
+// no hierarchy, for the same reason as Topology.
+func (p *Proc) Hierarchy() (simnet.Hierarchy, bool) {
+	if p.group != nil {
+		return simnet.Hierarchy{}, false
+	}
+	return p.world.Hierarchy()
+}
+
 // Sub returns a sub-communicator view of this rank over the given world
 // ranks (ascending, distinct, containing this rank). The view starts at
 // the parent's current virtual time and has an independent clock; fold its
@@ -259,6 +301,22 @@ func (p *Proc) Sub(ranks []int) *Proc {
 	return s
 }
 
+// SubLevel returns the sub-communicator of all ranks sharing this rank's
+// level-l group: SubLevel(0) is this rank's node, SubLevel(1) its rack or
+// Dragonfly group, and SubLevel(Depth-1) the whole world. The view follows
+// the Sub contract (independent clock, fold back with Join, no nesting).
+// Panics on a world without a hierarchy or an out-of-range level.
+func (p *Proc) SubLevel(l int) *Proc {
+	h := p.world.hier
+	if h == nil {
+		panic("comm: SubLevel requires a hierarchy world")
+	}
+	if l < 0 || l >= h.Depth() {
+		panic(fmt.Sprintf("comm: SubLevel %d outside hierarchy of depth %d", l, h.Depth()))
+	}
+	return p.Sub(h.GroupRanks(p.rank, l, p.world.p))
+}
+
 // Now returns the rank's current virtual time.
 func (p *Proc) Now() float64 { return p.clock.Now() }
 
@@ -281,45 +339,54 @@ func (p *Proc) NextTagBase() int {
 // within one collective offset into this range.
 const tagStride = 1 << 20
 
-// nicActive returns how many ranks of this Proc's communicator live on
-// this rank's node — the modeled number of flows sharing the node's NIC
-// when the communicator drives inter-node traffic. The communicator group
-// is the activity proxy: collectives keep every member of the communicator
-// they run on busy in lockstep, so a world-communicator phase contends
-// with all node-mates while a leader sub-communicator phase (one rank per
-// node) is contention-free. The count is static per communicator view,
-// which keeps message pricing deterministic (no cross-goroutine state).
-func (p *Proc) nicActive() int {
-	if p.nicUsers == 0 {
-		topo := p.world.topo
+// activeAt returns how many ranks of this Proc's communicator share this
+// rank's level-l group — the modeled number of flows contending for the
+// group's egress when the communicator drives traffic out of it. The
+// communicator group is the activity proxy: collectives keep every member
+// of the communicator they run on busy in lockstep, so a
+// world-communicator phase contends with all group-mates while a leader
+// sub-communicator phase (one rank per group) is contention-free. The
+// count is static per communicator view, which keeps message pricing
+// deterministic (no cross-goroutine state).
+func (p *Proc) activeAt(l int) int {
+	h := p.world.hier
+	if p.levelUsers == nil {
+		p.levelUsers = make([]int, h.Depth())
+	}
+	if p.levelUsers[l] == 0 {
 		if p.group == nil {
-			p.nicUsers = len(topo.NodeRanks(p.rank, p.world.p))
+			p.levelUsers[l] = len(h.GroupRanks(p.rank, l, p.world.p))
 		} else {
+			mine := h.GroupOf(p.rank, l)
 			for _, r := range p.group {
-				if topo.SameNode(r, p.rank) {
-					p.nicUsers++
+				if h.GroupOf(r, l) == mine {
+					p.levelUsers[l]++
 				}
 			}
 		}
 	}
-	return p.nicUsers
+	return p.levelUsers[l]
 }
 
 // Send transmits payload of the given modeled size to rank `to`. The
 // sender's clock advances by the full α+β·bytes transfer (message
 // injection occupies the sender, which is what gives the split phase its
 // (P−1)α latency term in §5.3.2); the receiver will observe the same
-// completion time. On topology worlds with a NICSerial cap, inter-node
-// sends additionally pay the per-node NIC bandwidth-sharing factor
-// (Topology.NICFactor) for the ranks of this communicator co-located on
-// the sender's node.
+// completion time. On hierarchy worlds the message pays, for every level
+// it escapes below the shared one, that level's egress serialization
+// factor (simnet.Hierarchy.SerialFactor) for the ranks of this
+// communicator co-located in the sender's group — on a two-level topology
+// world exactly the per-node NIC factor of Topology.NICFactor.
 func (p *Proc) Send(to, tag int, payload any, bytes int) {
 	wto := p.worldRank(to)
 	start := p.clock.Now()
 	factor := 1.0
-	topo := p.world.topo
-	if topo != nil && topo.NICSerial > 0 && !topo.SameNode(p.rank, wto) {
-		factor = topo.NICFactor(p.nicActive())
+	level := 0
+	if h := p.world.hier; h != nil {
+		level = h.SharedLevel(p.rank, wto)
+		for l := 0; l < level; l++ {
+			factor *= h.SerialFactor(l, p.activeAt(l))
+		}
 	}
 	cost := p.world.profileFor(p.rank, wto).ContendedTransferTime(bytes, factor)
 	p.clock.Advance(cost)
@@ -327,7 +394,7 @@ func (p *Proc) Send(to, tag int, payload any, bytes int) {
 	p.world.bytes.Add(int64(bytes))
 	if tr := p.world.tracer.Load(); tr != nil {
 		tr.record(TraceEvent{Src: p.rank, Dst: wto, Tag: tag, Bytes: bytes,
-			SendTime: start, Arrival: p.clock.Now(), NICFactor: factor})
+			SendTime: start, Arrival: p.clock.Now(), NICFactor: factor, Level: level})
 	}
 	p.deliver(wto, Message{Src: p.rank, Tag: tag, Payload: payload, Bytes: bytes, Arrival: p.clock.Now()})
 }
@@ -381,7 +448,8 @@ func (p *Proc) SendRecv(peer, tag int, payload any, bytes int) Message {
 // Tag ranges must be allocated on the parent (in program order) before
 // forking, so concurrent operations never collide.
 func (p *Proc) Fork() *Proc {
-	f := &Proc{rank: p.rank, world: p.world, group: p.group, groupRank: p.groupRank, nicUsers: p.nicUsers}
+	f := &Proc{rank: p.rank, world: p.world, group: p.group, groupRank: p.groupRank,
+		levelUsers: append([]int(nil), p.levelUsers...)}
 	f.clock.Observe(p.clock.Now())
 	return f
 }

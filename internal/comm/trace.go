@@ -20,10 +20,17 @@ type TraceEvent struct {
 	Bytes int
 	// SendTime and Arrival are virtual times in seconds.
 	SendTime, Arrival float64
-	// NICFactor is the per-node NIC bandwidth-sharing multiplier the
-	// message's bandwidth term was priced with (1 for intra-node messages
-	// and for worlds without a NICSerial cap; see simnet.Topology).
+	// NICFactor is the total egress bandwidth-sharing multiplier the
+	// message's bandwidth term was priced with: the product of the
+	// serialization factors of every hierarchy level the message escaped
+	// (1 for intra-node messages and for worlds without Serial caps; on a
+	// two-level topology world exactly the per-node NIC factor, hence the
+	// name). See simnet.Hierarchy.SerialFactor.
 	NICFactor float64
+	// Level is the hierarchy level the message was priced at — the
+	// innermost level shared by sender and receiver (0 for node-local
+	// messages and for flat worlds). See simnet.Hierarchy.SharedLevel.
+	Level int
 }
 
 // Tracer collects TraceEvents from a world. Safe for concurrent use.

@@ -123,6 +123,15 @@ type Options struct {
 	// variants — but it is forwarded into the hierarchical collectives and
 	// their cost predictions.
 	SmallDataBytes int
+	// Levels caps how many machine-hierarchy levels the hierarchical
+	// algorithms exploit: 0 (the default) uses the world's full hierarchy,
+	// d >= 2 truncates the recursion to the innermost d levels (up/down
+	// sweeps over levels 0..d-2, top phase among the level-(d-2) leaders),
+	// and 1 degrades to the flat algorithm. Auto sets it itself — the
+	// level-aware cost model picks the cheapest depth (ChooseAutoLevels) —
+	// so explicit values are mainly for ablations such as the hierlevels
+	// sweep.
+	Levels int
 	// Scratch, when non-nil, supplies the reusable buffer pool the
 	// collectives draw merge/densify storage from and recycle received
 	// streams into, making steady-state allreduce calls nearly
@@ -148,7 +157,9 @@ func Allreduce(p *comm.Proc, v *stream.Vector, opts Options) *stream.Vector {
 }
 
 func allreduceTagged(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Vector {
-	switch resolve(p, v, opts, base) {
+	alg, levels := resolve(p, v, opts, base)
+	opts.Levels = levels
+	switch alg {
 	case SSARRecDouble:
 		return ssarRecDouble(p, v, opts.Scratch, base)
 	case SSARSplitAllgather:
@@ -172,20 +183,21 @@ func allreduceTagged(p *comm.Proc, v *stream.Vector, opts Options, base int) *st
 	}
 }
 
-// resolve maps Auto to a concrete algorithm (§5.3: "In practice, allreduce
-// implementations switch between different implementations depending on
-// the message size and the number of processes").
+// resolve maps Auto to a concrete algorithm and hierarchy depth (§5.3:
+// "In practice, allreduce implementations switch between different
+// implementations depending on the message size and the number of
+// processes").
 //
 // Per-rank non-zero counts may differ, but every rank must run the *same*
 // algorithm, so Auto first agrees on the maximum k with a tiny
 // max-allreduce (one 8-byte word, log2(P) rounds) — the k = maxᵢ|Hᵢ| of
 // the paper's analysis — and hands the shared value to the cost-model
-// comparator ChooseAuto. Everything else the scenario is built from
-// (dimension, δ, topology, options) is identical on every rank, and the
+// comparator ChooseAutoLevels. Everything else the scenario is built from
+// (dimension, δ, hierarchy, options) is identical on every rank, and the
 // model is pure deterministic float arithmetic, so all ranks agree.
-func resolve(p *comm.Proc, v *stream.Vector, opts Options, base int) Algorithm {
+func resolve(p *comm.Proc, v *stream.Vector, opts Options, base int) (Algorithm, int) {
 	if opts.Algorithm != Auto {
-		return opts.Algorithm
+		return opts.Algorithm, opts.Levels
 	}
 	kmax := int(AllreduceDenseRecDouble(p, []float64{float64(v.NNZ())},
 		stream.OpMax, stream.DefaultValueBytes, base+resolveTagOffset)[0])
@@ -194,11 +206,14 @@ func resolve(p *comm.Proc, v *stream.Vector, opts Options, base int) Algorithm {
 		ValueBytes: v.ValueBytes(), Delta: v.Delta(),
 		Profile: p.Profile(), Quant: opts.Quant,
 		SmallDataBytes: opts.SmallDataBytes,
+		Levels:         opts.Levels,
 	}
 	if topo, ok := p.Topology(); ok {
 		s.Topo = &topo
+	} else if h, ok := p.Hierarchy(); ok {
+		s.Hier = &h
 	}
-	return ChooseAuto(s)
+	return ChooseAutoLevels(s)
 }
 
 // resolveTagOffset reserves the top half of each collective's tag range

@@ -9,19 +9,19 @@ import (
 	"repro/internal/stream"
 )
 
-// This file implements the analytic α–β(+NIC) cost model behind Auto: a
-// closed-form estimate of each allreduce algorithm's simulated completion
-// time under the same assumptions the simulator charges — per-message
-// latency α, per-byte bandwidth β (scaled by the per-node NIC contention
-// factor for inter-node messages, see simnet.Topology.NICFactor), and
-// per-element compute γ. Fill-in follows the paper's uniform-support
-// expectation E[K] (§5.2, Figure 7); non-uniform (clustered) supports are
-// a known overestimate tracked in ROADMAP.md. The exact formulas, one per
-// algorithm, are documented in docs/ARCHITECTURE.md and must be kept in
-// sync with this file.
+// This file implements the analytic, level-aware α–β(+contention) cost
+// model behind Auto: a closed-form estimate of each allreduce algorithm's
+// simulated completion time under the same assumptions the simulator
+// charges — per-message latency α, per-byte bandwidth β (scaled by the
+// egress serialization factor of every hierarchy level a message escapes,
+// see simnet.Hierarchy.SerialFactor), and per-element compute γ. Fill-in
+// follows the paper's uniform-support expectation E[K] (§5.2, Figure 7);
+// non-uniform (clustered) supports are priced by the Support knob. The
+// exact formulas, one per algorithm, are documented in
+// docs/ARCHITECTURE.md and must be kept in sync with this file.
 
 // CostScenario describes one allreduce instance for the analytic cost
-// model: the agreed problem shape plus the network it runs on. All byte
+// model: the agreed problem shape plus the machine it runs on. All byte
 // quantities are wire bytes; every Predict result is in simulated seconds.
 // Every rank resolving Auto must build an identical scenario (K is the
 // globally agreed maximum per-rank non-zero count), so the deterministic
@@ -40,20 +40,30 @@ type CostScenario struct {
 	// zero means stream.Delta(N, ValueBytes).
 	Delta int
 	// Profile prices every message on flat worlds and local compute
-	// everywhere (γ terms). On topology scenarios it should equal
-	// Topo.Inter, matching comm.NewWorldTopo.
+	// everywhere (γ terms). On hierarchy scenarios it should equal the
+	// outermost level's profile, matching comm.NewWorldHier.
 	Profile simnet.Profile
-	// Topo, when non-nil, prices messages by node locality (rank distance
-	// below RanksPerNode is intra-node) and applies the NICSerial
-	// contention factor to inter-node bandwidth.
+	// Topo, when non-nil, prices messages by the two-level topology —
+	// shorthand for Hier set to Topo.Hierarchy(), kept for the
+	// NewWorldTopo surface.
 	Topo *simnet.Topology
+	// Hier, when non-nil, prices messages by the N-level machine
+	// hierarchy: each message uses the profile of the innermost level its
+	// ranks share and pays the egress serialization factor of every level
+	// it escapes. Takes precedence over Topo.
+	Hier *simnet.Hierarchy
+	// Levels caps the hierarchical algorithms' modeled recursion depth,
+	// mirroring Options.Levels: 0 prices the full hierarchy; d >= 2 prices
+	// the depth-d truncation (ChooseAutoLevels searches the depths).
+	Levels int
 	// Quant, when non-nil, prices the dense allgather stage of the DSAR
 	// algorithms at the QSGD wire size (Bits/8 + 4/Bucket bytes per
 	// element) instead of ValueBytes.
 	Quant *quant.Config
-	// SmallDataBytes is the rec-double/split wire-size boundary HierSSAR's
-	// leader phase selects by; zero means DefaultSmallDataBytes. The flat
-	// algorithms are priced directly and do not consult it.
+	// SmallDataBytes is the rec-double/split wire-size boundary the
+	// hierarchical SSAR top phase selects by; zero means
+	// DefaultSmallDataBytes. The flat algorithms are priced directly and
+	// do not consult it.
 	SmallDataBytes int
 	// Support selects the index-distribution assumption behind the fill-in
 	// expectation E[K]. The default SupportUniform is the paper's
@@ -94,11 +104,11 @@ const DefaultHotMass = 0.7
 // PredictSeconds returns the modeled completion time in simulated seconds
 // of one allreduce under the scenario. Supported algorithms are the Auto
 // candidates: SSARRecDouble, SSARSplitAllgather, DSARSplitAllgather,
-// HierSSAR, and HierDSAR (the hierarchical two degrade to their flat
-// counterparts when the scenario has no exploitable topology); other
-// algorithms panic. The estimate tracks the simulator's charging rules on
-// uniform supports and is intended for ranking algorithms, not for exact
-// time prediction.
+// HierSSAR, and HierDSAR (the hierarchical two — priced at the scenario's
+// Levels depth — degrade to their flat counterparts when the scenario has
+// no exploitable hierarchy); other algorithms panic. The estimate tracks
+// the simulator's charging rules on uniform supports and is intended for
+// ranking algorithms, not for exact time prediction.
 func PredictSeconds(alg Algorithm, s CostScenario) float64 {
 	if s.N <= 0 || s.P <= 0 || s.K < 0 {
 		panic("core: CostScenario needs N > 0, P > 0, K >= 0")
@@ -111,49 +121,74 @@ func PredictSeconds(alg Algorithm, s CostScenario) float64 {
 	case DSARSplitAllgather:
 		return s.predictDSAR()
 	case HierSSAR:
-		if !s.hier() {
+		h, L, ok := s.hierAt()
+		if !ok {
 			return s.predictSplitAllgather()
 		}
-		return s.predictHierSSAR()
+		return s.predictHierSSAR(h, L)
 	case HierDSAR:
-		if !s.hier() {
+		h, L, ok := s.hierAt()
+		if !ok {
 			return s.predictDSAR()
 		}
-		return s.predictHierDSAR()
+		return s.predictHierDSAR(h, L)
 	default:
 		panic("core: no cost model for " + alg.String())
 	}
 }
 
-// ChooseAuto returns the algorithm Auto resolves to under the scenario.
-// The paper's δ gate first fixes the result representation — expected
-// fill-in E[K] ≥ δ means the reduced vector densifies, so only the DSAR
-// family (which also honors quantization) is eligible; below δ only the
-// sparse-result SSAR family is. Within the regime the candidates —
-// including the hierarchical variants when the topology has more than one
-// node and more than one rank per node — are priced by PredictSeconds and
-// the cheapest wins (ties keep the earliest candidate, flat before
-// hierarchical).
+// ChooseAuto returns the algorithm Auto resolves to under the scenario;
+// see ChooseAutoLevels for the depth it pairs with it.
 func ChooseAuto(s CostScenario) Algorithm {
-	var candidates []Algorithm
+	alg, _ := ChooseAutoLevels(s)
+	return alg
+}
+
+// ChooseAutoLevels returns the algorithm Auto resolves to under the
+// scenario together with the hierarchy depth the hierarchical algorithms
+// should run at (0 for flat choices). The paper's δ gate first fixes the
+// result representation — expected fill-in E[K] ≥ δ means the reduced
+// vector densifies, so only the DSAR family (which also honors
+// quantization) is eligible; below δ only the sparse-result SSAR family
+// is. Within the regime the candidates — the flat algorithm plus, when the
+// machine hierarchy is exploitable, the hierarchical algorithm at every
+// usable depth from 2 tiers up to the full hierarchy — are priced by
+// PredictSeconds and the cheapest wins (ties keep the earliest candidate:
+// flat before hierarchical, shallower before deeper).
+func ChooseAutoLevels(s CostScenario) (Algorithm, int) {
+	type cand struct {
+		alg    Algorithm
+		levels int
+	}
+	var candidates []cand
+	var depths []int
+	if h, ok := s.hierarchy(); ok {
+		for d := 2; d <= hierDepth(h, s.Levels); d++ {
+			if hierExploitable(h, d, s.P) {
+				depths = append(depths, d)
+			}
+		}
+	}
 	if s.fill(s.P) >= float64(s.deltaOr()) {
-		candidates = []Algorithm{DSARSplitAllgather}
-		if s.hier() {
-			candidates = append(candidates, HierDSAR)
+		candidates = append(candidates, cand{DSARSplitAllgather, 0})
+		for _, d := range depths {
+			candidates = append(candidates, cand{HierDSAR, d})
 		}
 	} else {
-		candidates = []Algorithm{SSARRecDouble, SSARSplitAllgather}
-		if s.hier() {
-			candidates = append(candidates, HierSSAR)
+		candidates = append(candidates, cand{SSARRecDouble, 0}, cand{SSARSplitAllgather, 0})
+		for _, d := range depths {
+			candidates = append(candidates, cand{HierSSAR, d})
 		}
 	}
 	best, bestT := candidates[0], math.Inf(1)
-	for _, alg := range candidates {
-		if t := PredictSeconds(alg, s); t < bestT {
-			best, bestT = alg, t
+	for _, c := range candidates {
+		sc := s
+		sc.Levels = c.levels
+		if t := PredictSeconds(c.alg, sc); t < bestT {
+			best, bestT = c, t
 		}
 	}
-	return best
+	return best.alg, best.levels
 }
 
 func (s CostScenario) valueBytesOr() int {
@@ -177,10 +212,28 @@ func (s CostScenario) smallOr() int {
 	return s.SmallDataBytes
 }
 
-// hier reports whether the scenario has a topology the hierarchical
-// algorithms can exploit (more than one rank per node, more than one node).
-func (s CostScenario) hier() bool {
-	return s.Topo != nil && s.Topo.RanksPerNode > 1 && s.Topo.RanksPerNode < s.P
+// hierarchy returns the scenario's machine hierarchy: Hier when set,
+// otherwise the two-level hierarchy of Topo.
+func (s CostScenario) hierarchy() (simnet.Hierarchy, bool) {
+	if s.Hier != nil {
+		return *s.Hier, true
+	}
+	if s.Topo != nil {
+		return s.Topo.Hierarchy(), true
+	}
+	return simnet.Hierarchy{}, false
+}
+
+// hierAt resolves the hierarchy and the effective recursion depth of the
+// hierarchical algorithms under the scenario's Levels cap, reporting false
+// when no exploitable hierarchy remains.
+func (s CostScenario) hierAt() (simnet.Hierarchy, int, bool) {
+	h, ok := s.hierarchy()
+	if !ok {
+		return h, 0, false
+	}
+	L := hierDepth(h, s.Levels)
+	return h, L, hierExploitable(h, L, s.P)
 }
 
 // fill returns E[K] for the union of `groups` rank supports under the
@@ -235,31 +288,57 @@ func modelMsg(prof simnet.Profile, bytes, factor float64) float64 {
 		(prof.BetaPerByte+prof.SoftwarePerByte)*bytes*factor
 }
 
-// link returns the profile and NIC contention factor pricing an exchange
-// at rank distance `dist` when the whole world communicator is active:
-// intra-node (factor 1) below RanksPerNode, inter-node with all node-mates
-// contending otherwise.
-func (s CostScenario) link(dist int) (simnet.Profile, float64) {
-	if s.Topo == nil {
-		return s.Profile, 1
+// spanCapped returns the level-l group span clipped to the world size.
+func (s CostScenario) spanCapped(h simnet.Hierarchy, l int) int {
+	span := h.Span(l)
+	if span > s.P {
+		span = s.P
 	}
-	if dist < s.Topo.RanksPerNode {
-		return s.Topo.Intra, 1
-	}
-	active := s.Topo.RanksPerNode
-	if active > s.P {
-		active = s.P
-	}
-	return s.Topo.Inter, s.Topo.NICFactor(active)
+	return span
 }
 
-// interLeader returns the inter-node profile with the leader-phase
-// contention factor: one active rank per node, hence factor 1.
-func (s CostScenario) interLeader() simnet.Profile {
-	if s.Topo == nil {
-		return s.Profile
+// link returns the profile and egress contention factor pricing an
+// exchange at rank distance `dist` when the whole world communicator is
+// active: the profile of the innermost level spanning the distance, times
+// each crossed level's serialization factor with all of the sender's
+// group-mates contending.
+func (s CostScenario) link(dist int) (simnet.Profile, float64) {
+	h, ok := s.hierarchy()
+	if !ok {
+		return s.Profile, 1
 	}
-	return s.Topo.Inter
+	l := 0
+	for l < h.Depth()-1 && dist >= h.Span(l) {
+		l++
+	}
+	f := 1.0
+	for j := 0; j < l; j++ {
+		f *= h.SerialFactor(j, s.spanCapped(h, j))
+	}
+	return h.Levels[l].Profile, f
+}
+
+// topLink returns the profile and contention factor pricing a top-phase
+// exchange between leaders `d` leader-slots apart when the leaders are one
+// per `stride` ranks: the communicator places ⌈span/stride⌉ ranks in each
+// crossed level's group, so a full-depth top phase (stride = the outermost
+// grouped span) pays factor 1 while a truncated one still pays the caps of
+// the levels it ignores — the cost that makes deeper recursion win.
+func (s CostScenario) topLink(h simnet.Hierarchy, d, stride int) (simnet.Profile, float64) {
+	dist := d * stride
+	l := 0
+	for l < h.Depth()-1 && dist >= h.Span(l) {
+		l++
+	}
+	f := 1.0
+	for j := 0; j < l; j++ {
+		active := (s.spanCapped(h, j) + stride - 1) / stride
+		if active < 1 {
+			active = 1
+		}
+		f *= h.SerialFactor(j, active)
+	}
+	return h.Levels[l].Profile, f
 }
 
 // mergeCost prices combining `pairs` sparse index–value pairs, or one
@@ -272,35 +351,54 @@ func (s CostScenario) mergeCost(pairs float64, dense bool) float64 {
 }
 
 // predictRecDouble prices SSAR_Recursive_double: log2(P) exchange+merge
-// stages whose payload is the accumulated union E[K_d].
+// stages whose payload is the accumulated union E[K_d], plus — on
+// non-power-of-two worlds — the fold of the excess ranks onto the first
+// ones (their input in, the full result back, at rank distance 2^⌊log2 P⌋).
 func (s CostScenario) predictRecDouble() float64 {
 	t := 0.0
-	for d := 1; d < s.P; d *= 2 {
+	p2 := largestPow2(s.P)
+	if s.P > p2 {
+		prof, f := s.link(p2)
+		t += modelMsg(prof, s.wire(float64(s.K)), f)
+		t += s.mergeCost(2*float64(s.K), s.fill(2) > float64(s.deltaOr()))
+	}
+	for d := 1; d < p2; d *= 2 {
 		kt := s.fill(d)
 		prof, f := s.link(d)
 		t += modelMsg(prof, s.wire(kt), f)
 		t += s.mergeCost(2*kt, s.fill(2*d) > float64(s.deltaOr()))
+	}
+	if s.P > p2 {
+		prof, f := s.link(p2)
+		t += modelMsg(prof, s.wire(s.fill(s.P)), f)
 	}
 	return t
 }
 
 // splitPhaseCost prices the shared split phase: P−1 direct sends of one
 // dimension-partition slice (≈ K/P non-zeros) each — serialized at the
-// sender, which is the (P−1)·α term — plus the single k-way merge
-// reducing this rank's partition: every received pair is touched once, so
-// the charge is the P·K/P ≈ K total input pairs rather than the chained
-// two-way merges' Σᵢ(|accᵢ|+|Hᵢ|).
+// sender, which is the (P−1)·α term — bucketed by the hierarchy level each
+// destination sits at (each bucket paying the egress factors of the levels
+// it crosses), plus the single k-way merge reducing this rank's partition:
+// every received pair is touched once, so the charge is the P·K/P ≈ K
+// total input pairs rather than the chained two-way merges' Σᵢ(|accᵢ|+|Hᵢ|).
 func (s CostScenario) splitPhaseCost() float64 {
 	slice := float64(s.K) / float64(s.P)
 	t := 0.0
-	if s.Topo != nil {
-		rpn := s.Topo.RanksPerNode
-		if rpn > s.P {
-			rpn = s.P
+	if h, ok := s.hierarchy(); ok {
+		prev := 1
+		f := 1.0
+		for l := 0; l < h.Depth(); l++ {
+			span := s.spanCapped(h, l)
+			if cnt := span - prev; cnt > 0 {
+				t += float64(cnt) * modelMsg(h.Levels[l].Profile, s.wire(slice), f)
+			}
+			if span >= s.P {
+				break
+			}
+			f *= h.SerialFactor(l, span)
+			prev = span
 		}
-		_, f := s.link(rpn) // inter-node, all ranks active
-		t += float64(rpn-1) * modelMsg(s.Topo.Intra, s.wire(slice), 1)
-		t += float64(s.P-rpn) * modelMsg(s.Topo.Inter, s.wire(slice), f)
 	} else {
 		t += float64(s.P-1) * modelMsg(s.Profile, s.wire(slice), 1)
 	}
@@ -310,15 +408,27 @@ func (s CostScenario) splitPhaseCost() float64 {
 
 // predictSplitAllgather prices SSAR_Split_allgather: the split phase plus
 // a concatenating sparse allgather whose payload doubles each stage up to
-// the reduced size E[K_P].
+// the reduced size E[K_P] (with the non-power-of-two fold in and out of
+// the allgather priced like predictRecDouble's).
 func (s CostScenario) predictSplitAllgather() float64 {
 	t := s.splitPhaseCost()
-	part := s.fill(s.P) / float64(s.P)
-	for d := 1; d < s.P; d *= 2 {
+	p2 := largestPow2(s.P)
+	part := s.fill(s.P) / float64(p2)
+	if s.P > p2 {
+		slice := s.fill(s.P) / float64(s.P)
+		prof, f := s.link(p2)
+		t += modelMsg(prof, s.wire(slice), f)
+		t += s.mergeCost(2*slice, false)
+	}
+	for d := 1; d < p2; d *= 2 {
 		kt := part * float64(d)
 		prof, f := s.link(d)
 		t += modelMsg(prof, s.wire(kt), f)
 		t += s.mergeCost(2*kt, 2*kt > float64(s.deltaOr()))
+	}
+	if s.P > p2 {
+		prof, f := s.link(p2)
+		t += modelMsg(prof, s.wire(s.fill(s.P)), f)
 	}
 	return t
 }
@@ -334,85 +444,173 @@ func (s CostScenario) predictDSAR() float64 {
 	if s.Quant != nil {
 		t += g*block + g*float64(s.N) // encode own block, decode all
 	}
-	for d := 1; d < s.P; d *= 2 {
-		bytes := float64(d)*block*s.densePerElem() + float64(stream.HeaderBytes)
+	p2 := largestPow2(s.P)
+	if s.P > p2 {
+		prof, f := s.link(p2)
+		t += modelMsg(prof, block*s.densePerElem()+float64(stream.HeaderBytes), f)
+	}
+	for d := 1; d < p2; d *= 2 {
+		bytes := float64(d)*(float64(s.N)/float64(p2))*s.densePerElem() + float64(stream.HeaderBytes)
 		prof, f := s.link(d)
 		t += modelMsg(prof, bytes, f)
 	}
-	return t
-}
-
-// intraReduceCost prices the binomial-tree sparse reduce of r node-local
-// inputs to the node leader: ⌈log2 r⌉ rounds on the intra profile with
-// payloads growing as E[K_d].
-func (s CostScenario) intraReduceCost(r int) float64 {
-	t := 0.0
-	for d := 1; d < r; d *= 2 {
-		kt := s.fill(d)
-		t += modelMsg(s.Topo.Intra, s.wire(kt), 1)
-		t += s.mergeCost(2*kt, s.fill(2*d) > float64(s.deltaOr()))
+	if s.P > p2 {
+		prof, f := s.link(p2)
+		t += modelMsg(prof, float64(s.N)*s.densePerElem()+float64(stream.HeaderBytes), f)
 	}
 	return t
 }
 
-// intraBcastCost prices the binomial-tree broadcast of the final result
-// (wire size `bytes`) within one node of r ranks: ⌈log2 r⌉ sequential
-// intra-node hops on the critical path.
-func (s CostScenario) intraBcastCost(r int, bytes float64) float64 {
+// stageChildren returns the participant count of the level-l up-sweep
+// stage (leaders of level-(l-1) subgroups per level-l group, nominal
+// shape) and the rank span each participant already aggregates.
+func (s CostScenario) stageChildren(h simnet.Hierarchy, l int) (c, base int) {
+	base = 1
+	if l > 0 {
+		base = h.Span(l - 1)
+	}
+	span := s.spanCapped(h, l)
+	return (span + base - 1) / base, base
+}
+
+// stageReduceCost prices the level-l up-sweep stage of the recursive
+// hierarchical schemes: a binomial-tree sparse reduce of the level's
+// participants to the group leader — ⌈log2 c⌉ rounds on the level's
+// profile with payloads growing as the union E[K_(d·base)] of the ranks
+// already aggregated below. One participant per subgroup drives the
+// exchange, so no egress factor applies.
+func (s CostScenario) stageReduceCost(h simnet.Hierarchy, l int) float64 {
+	c, base := s.stageChildren(h, l)
+	t := 0.0
+	for d := 1; d < c; d *= 2 {
+		kt := s.fill(d * base)
+		t += modelMsg(h.Levels[l].Profile, s.wire(kt), 1)
+		t += s.mergeCost(2*kt, s.fill(2*d*base) > float64(s.deltaOr()))
+	}
+	return t
+}
+
+// stageBcastCost prices the level-l down-sweep stage: the binomial-tree
+// broadcast of the final result (wire size `bytes`) to the level's
+// participants — ⌈log2 c⌉ sequential hops on the critical path.
+func (s CostScenario) stageBcastCost(h simnet.Hierarchy, l int, bytes float64) float64 {
+	c, _ := s.stageChildren(h, l)
 	rounds := 0
-	for d := 1; d < r; d *= 2 {
+	for d := 1; d < c; d *= 2 {
 		rounds++
 	}
-	return float64(rounds) * modelMsg(s.Topo.Intra, bytes, 1)
+	return float64(rounds) * modelMsg(h.Levels[l].Profile, bytes, 1)
 }
 
-// predictHierSSAR prices SSAR_Hierarchical: intra-node reduce, a leader
-// allreduce over the inter-node network (rec-double or split allgather by
-// the same wire-size rule the implementation applies, contention-free
-// because one rank per node drives the NIC), and the intra-node broadcast
-// of the result.
-func (s CostScenario) predictHierSSAR() float64 {
-	r := s.Topo.RanksPerNode
-	m := (s.P + r - 1) / r
-	t := s.intraReduceCost(r)
-	kp := s.fill(r) // per-leader non-zeros after the intra reduce
-	inter := s.interLeader()
+// topSplitSendCost prices the direct-exchange half of a top-phase split
+// over m leaders (one per `stride` ranks): m−1 sends of one
+// leader-partition slice each, bucketed by the innermost level spanning
+// each destination, every bucket paying the egress factors of the levels
+// it crosses with one contending flow per co-located leader. The caller
+// adds the k-way merge of the m slices separately.
+func (s CostScenario) topSplitSendCost(h simnet.Hierarchy, m, stride int, slice float64) float64 {
+	t := 0.0
+	prev := 1
+	f := 1.0
+	for l := 0; l < h.Depth(); l++ {
+		span := s.spanCapped(h, l)
+		if span <= stride {
+			continue // one leader per group here and below: no destinations
+		}
+		u := (span + stride - 1) / stride // leaders per level-l group
+		if u > m {
+			u = m
+		}
+		if cnt := u - prev; cnt > 0 {
+			t += float64(cnt) * modelMsg(h.Levels[l].Profile, s.wire(slice), f)
+		}
+		if u >= m {
+			break
+		}
+		f *= h.SerialFactor(l, u)
+		prev = u
+	}
+	return t
+}
+
+// predictHierSSAR prices the recursive SSAR_Hierarchical at depth L:
+// per-level up-sweep reduces, a top-phase sparse allreduce among the
+// level-(L-2) leaders (rec-double or split allgather by the same wire-size
+// rule the implementation applies), and the mirrored down-sweep broadcast.
+func (s CostScenario) predictHierSSAR(h simnet.Hierarchy, L int) float64 {
+	stride := h.Span(L - 2)
+	m := (s.P + stride - 1) / stride
+	t := 0.0
+	for l := 0; l <= L-2; l++ {
+		t += s.stageReduceCost(h, l)
+	}
+	kp := s.fill(stride) // per-leader non-zeros after the up sweep
 	wireK := stream.HeaderBytes + int(kp)*(stream.IndexBytes+s.valueBytesOr())
+	p2m := largestPow2(m)
 	if wireK <= s.smallOr() {
-		// Leader recursive doubling: payload is the union of r·d inputs.
-		for d := 1; d < m; d *= 2 {
-			kt := s.fill(r * d)
-			t += modelMsg(inter, s.wire(kt), 1)
-			t += s.mergeCost(2*kt, s.fill(2*r*d) > float64(s.deltaOr()))
+		// Top-phase recursive doubling: payload is the union of stride·d
+		// inputs, with the non-power-of-two leader fold in and out.
+		if m > p2m {
+			prof, f := s.topLink(h, p2m, stride)
+			t += modelMsg(prof, s.wire(kp), f)
+			t += s.mergeCost(2*kp, s.fill(2*stride) > float64(s.deltaOr()))
+		}
+		for d := 1; d < p2m; d *= 2 {
+			groups := (stride*d*m + p2m - 1) / p2m // folded leaders aggregate m/p2m inputs
+			kt := s.fill(groups)
+			prof, f := s.topLink(h, d, stride)
+			t += modelMsg(prof, s.wire(kt), f)
+			t += s.mergeCost(2*kt, s.fill(2*groups) > float64(s.deltaOr()))
+		}
+		if m > p2m {
+			prof, f := s.topLink(h, p2m, stride)
+			t += modelMsg(prof, s.wire(s.fill(s.P)), f)
 		}
 	} else {
-		// Leader split allgather over m partitions (k-way merge: the m
+		// Top-phase split allgather over m partitions (k-way merge: the m
 		// slices of one leader partition are touched once each).
 		slice := kp / float64(m)
-		t += float64(m-1) * modelMsg(inter, s.wire(slice), 1)
-		part := s.fill(s.P) / float64(m)
+		t += s.topSplitSendCost(h, m, stride, slice)
+		part := s.fill(s.P) / float64(p2m)
 		t += s.mergeCost(float64(m)*slice, false)
-		for d := 1; d < m; d *= 2 {
+		if m > p2m {
+			fslice := s.fill(s.P) / float64(m)
+			prof, f := s.topLink(h, p2m, stride)
+			t += modelMsg(prof, s.wire(fslice), f)
+			t += s.mergeCost(2*fslice, false)
+		}
+		for d := 1; d < p2m; d *= 2 {
 			kt := part * float64(d)
-			t += modelMsg(inter, s.wire(kt), 1)
+			prof, f := s.topLink(h, d, stride)
+			t += modelMsg(prof, s.wire(kt), f)
 			t += s.mergeCost(2*kt, 2*kt > float64(s.deltaOr()))
 		}
+		if m > p2m {
+			prof, f := s.topLink(h, p2m, stride)
+			t += modelMsg(prof, s.wire(s.fill(s.P)), f)
+		}
 	}
-	return t + s.intraBcastCost(r, s.wire(s.fill(s.P)))
+	bytes := s.wire(s.fill(s.P))
+	for l := L - 2; l >= 0; l-- {
+		t += s.stageBcastCost(h, l, bytes)
+	}
+	return t
 }
 
-// predictHierDSAR prices DSAR_Hierarchical: intra-node reduce, a leader
-// DSAR over m node partitions (sparse split, densify, dense/quantized
-// allgather — all contention-free at one flow per NIC), and the intra-node
-// broadcast of the dense result.
-func (s CostScenario) predictHierDSAR() float64 {
-	r := s.Topo.RanksPerNode
-	m := (s.P + r - 1) / r
-	t := s.intraReduceCost(r)
-	kp := s.fill(r)
-	inter := s.interLeader()
+// predictHierDSAR prices the recursive DSAR_Hierarchical at depth L:
+// per-level up-sweep reduces, a top-phase DSAR over the m leader
+// partitions (sparse split, densify, dense/quantized allgather), and the
+// down-sweep broadcast of the dense result.
+func (s CostScenario) predictHierDSAR(h simnet.Hierarchy, L int) float64 {
+	stride := h.Span(L - 2)
+	m := (s.P + stride - 1) / stride
+	t := 0.0
+	for l := 0; l <= L-2; l++ {
+		t += s.stageReduceCost(h, l)
+	}
+	kp := s.fill(stride)
 	slice := kp / float64(m)
-	t += float64(m-1) * modelMsg(inter, s.wire(slice), 1)
+	t += s.topSplitSendCost(h, m, stride, slice)
 	t += s.mergeCost(float64(m)*slice, false)
 	g := s.Profile.GammaPerElem
 	block := float64(s.N) / float64(m)
@@ -420,10 +618,23 @@ func (s CostScenario) predictHierDSAR() float64 {
 	if s.Quant != nil {
 		t += g*block + g*float64(s.N)
 	}
-	for d := 1; d < m; d *= 2 {
-		bytes := float64(d)*block*s.densePerElem() + float64(stream.HeaderBytes)
-		t += modelMsg(inter, bytes, 1)
+	p2m := largestPow2(m)
+	if m > p2m {
+		prof, f := s.topLink(h, p2m, stride)
+		t += modelMsg(prof, block*s.densePerElem()+float64(stream.HeaderBytes), f)
+	}
+	for d := 1; d < p2m; d *= 2 {
+		bytes := float64(d)*(float64(s.N)/float64(p2m))*s.densePerElem() + float64(stream.HeaderBytes)
+		prof, f := s.topLink(h, d, stride)
+		t += modelMsg(prof, bytes, f)
+	}
+	if m > p2m {
+		prof, f := s.topLink(h, p2m, stride)
+		t += modelMsg(prof, float64(s.N)*s.densePerElem()+float64(stream.HeaderBytes), f)
 	}
 	dense := float64(stream.HeaderBytes) + float64(s.N)*float64(s.valueBytesOr())
-	return t + s.intraBcastCost(r, dense)
+	for l := L - 2; l >= 0; l-- {
+		t += s.stageBcastCost(h, l, dense)
+	}
+	return t
 }

@@ -32,6 +32,22 @@ func simulateUniform(t *testing.T, n, k, P int, topo *simnet.Topology, prof simn
 	return w.MaxTime()
 }
 
+// simulateUniformHier is simulateUniform on an N-level hierarchy world
+// with an explicit recursion depth.
+func simulateUniformHier(t *testing.T, n, k, P int, h simnet.Hierarchy, levels int, alg Algorithm) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n) + int64(k)*31 + int64(P)*7))
+	inputs := make([]*stream.Vector, P)
+	for r := range inputs {
+		inputs[r] = randSparse(rng, n, k)
+	}
+	w := comm.NewWorldHier(P, h)
+	comm.Run(w, func(p *comm.Proc) any {
+		return Allreduce(p, inputs[p.Rank()], Options{Algorithm: alg, Levels: levels})
+	})
+	return w.MaxTime()
+}
+
 // TestPredictTracksSimulator: on uniform supports the model must stay
 // within a modest relative error of the simulated time for every priced
 // algorithm, across flat, topology, and NIC-contended scenarios. The
@@ -67,6 +83,43 @@ func TestPredictTracksSimulator(t *testing.T) {
 			if r := math.Abs(model-sim) / sim; r > 0.35 {
 				t.Errorf("%s/%s: model %.3gs vs sim %.3gs (rel err %.0f%%)",
 					tc.name, alg, model, sim, r*100)
+			}
+		}
+	}
+}
+
+// TestPredictTracksSimulator3Level: the level-aware closed forms must
+// track the simulator on a 3-level DragonflyLike machine too, for every
+// priced algorithm at every recursion depth.
+func TestPredictTracksSimulator3Level(t *testing.T) {
+	h := simnet.DragonflyLike(4, 4)
+	cases := []struct {
+		name    string
+		n, k, P int
+	}{
+		{"dfly-sparse", 1 << 20, 100, 64},
+		{"dfly-dense", 1 << 16, 40000, 64},
+		{"dfly-ragged", 1 << 18, 2000, 27},
+	}
+	for _, tc := range cases {
+		s := CostScenario{N: tc.n, P: tc.P, K: tc.k, Profile: simnet.AriesGlobal, Hier: &h}
+		for _, alg := range []Algorithm{SSARRecDouble, SSARSplitAllgather, DSARSplitAllgather} {
+			model := PredictSeconds(alg, s)
+			sim := simulateUniformHier(t, tc.n, tc.k, tc.P, h, 0, alg)
+			if r := math.Abs(model-sim) / sim; r > 0.35 {
+				t.Errorf("%s/%s: model %.3gs vs sim %.3gs (rel err %.0f%%)", tc.name, alg, model, sim, r*100)
+			}
+		}
+		for _, alg := range []Algorithm{HierSSAR, HierDSAR} {
+			for _, levels := range []int{2, 3} {
+				sc := s
+				sc.Levels = levels
+				model := PredictSeconds(alg, sc)
+				sim := simulateUniformHier(t, tc.n, tc.k, tc.P, h, levels, alg)
+				if r := math.Abs(model-sim) / sim; r > 0.35 {
+					t.Errorf("%s/%s@%d: model %.3gs vs sim %.3gs (rel err %.0f%%)",
+						tc.name, alg, levels, model, sim, r*100)
+				}
 			}
 		}
 	}

@@ -156,16 +156,26 @@ func AllreduceRing(p *comm.Proc, x []float64, op stream.Op, valueBytes, base int
 		rLo, rHi := partition(n, P, recvBlk)
 		combineDense(p, acc[rLo:rHi], in, op)
 	}
-	// Allgather ring: circulate the reduced blocks.
+	// Allgather ring: circulate the reduced blocks. Each rank copies its
+	// own reduced block once to put it on the wire; after that the same
+	// slice travels the whole ring — every receiver lands it directly in
+	// its destination storage (acc) and forwards the received slice
+	// unchanged, instead of re-copying the block at every stage. The
+	// forwarded slice is never written by anyone, so the hand-off is safe.
+	var fwd []float64
 	for s := 0; s < P-1; s++ {
 		sendBlk := ((rank+1-s)%P + P) % P
 		recvBlk := ((rank-s)%P + P) % P
 		sLo, sHi := partition(n, P, sendBlk)
-		out := append([]float64(nil), acc[sLo:sHi]...)
+		out := fwd
+		if s == 0 {
+			out = append([]float64(nil), acc[sLo:sHi]...)
+		}
 		p.Send(next, base+P+s, out, (sHi-sLo)*valueBytes)
 		in := p.Recv(prev, base+P+s).Payload.([]float64)
 		rLo, _ := partition(n, P, recvBlk)
 		copy(acc[rLo:rLo+len(in)], in)
+		fwd = in
 	}
 	return acc
 }
@@ -217,6 +227,79 @@ func AllgatherDense(p *comm.Proc, mine []float64, valueBytes, base int) [][]floa
 		p.Send(rank+p2, base+1, parts, totalLen(parts)*valueBytes)
 	}
 	return parts
+}
+
+// AllgatherDenseInto gathers each rank's block of the uniform dimension
+// partition of dst to every rank via recursive doubling, landing received
+// blocks directly in dst at their partition offsets instead of retaining
+// them for a final assembly copy. mine must hold this rank's fully reduced
+// partition; its ownership transfers to the collective (it is sent to
+// peers and must not be mutated or recycled afterwards — hence it must not
+// alias dst, which the caller may mutate once the collective returns).
+// Received slices are forwarded to later-stage peers unchanged; no slice
+// of dst ever goes on the wire. Cost: ~log2(P)·α + (P−1)/P·N·isize·β, the
+// same schedule as AllgatherDense.
+func AllgatherDenseInto(p *comm.Proc, mine, dst []float64, valueBytes, base int) {
+	rank, P := p.Rank(), p.Size()
+	n := len(dst)
+	lo, hi := partition(n, P, rank)
+	if len(mine) != hi-lo {
+		panic("core: AllgatherDenseInto block does not match this rank's partition")
+	}
+	copy(dst[lo:hi], mine)
+	// wire holds each block's standalone wire slice for forwarding.
+	wire := make([][]float64, P)
+	wire[rank] = mine
+	land := func(b int, v []float64) {
+		bLo, _ := partition(n, P, b)
+		copy(dst[bLo:bLo+len(v)], v)
+		wire[b] = v
+	}
+	p2 := largestPow2(P)
+	rem := P - p2
+
+	if rem > 0 {
+		if rank >= p2 {
+			p.Send(rank-p2, base, mine, len(mine)*valueBytes)
+			res := p.Recv(rank-p2, base+1).Payload.([][]float64)
+			for b, v := range res {
+				if b != rank {
+					land(b, v)
+				}
+			}
+			return
+		}
+		if rank < rem {
+			land(rank+p2, p.Recv(rank+p2, base).Payload.([]float64))
+		}
+	}
+
+	owned := []int{rank}
+	if rem > 0 && rank < rem {
+		owned = append(owned, rank+p2)
+	}
+	for stage, dist := 0, 1; dist < p2; stage, dist = stage+1, dist*2 {
+		peer := rank ^ dist
+		bytes := 0
+		out := make(map[int][]float64, len(owned))
+		for _, b := range owned {
+			out[b] = wire[b]
+			bytes += len(wire[b]) * valueBytes
+		}
+		m := p.SendRecv(peer, base+2+stage, out, bytes)
+		for b, v := range m.Payload.(map[int][]float64) {
+			land(b, v)
+			owned = append(owned, b)
+		}
+	}
+
+	if rem > 0 && rank < rem {
+		bytes := 0
+		for _, v := range wire {
+			bytes += len(v) * valueBytes
+		}
+		p.Send(rank+p2, base+1, wire, bytes)
+	}
 }
 
 // Bcast broadcasts root's vector to all ranks via a binomial tree,

@@ -2,156 +2,226 @@ package core
 
 import (
 	"repro/internal/comm"
+	"repro/internal/simnet"
 	"repro/internal/stream"
 )
 
-// This file implements HierSSAR, the hierarchical sparse allreduce for
-// two-level topologies (multi-GPU nodes, Dragonfly groups). The paper's
-// analysis (§5.2–5.3) assumes a flat α–β network; on real machines
-// intra-node links are an order of magnitude cheaper than the network, and
-// production allreduce libraries exploit that with two-level schemes. The
-// hierarchical composition is:
+// This file implements the recursive hierarchical sparse allreduces
+// HierSSAR and HierDSAR for N-level machine hierarchies (multi-GPU nodes,
+// Dragonfly groups, global links — simnet.Hierarchy). The paper's analysis
+// (§5.2–5.3) assumes a flat α–β network; on real machines each tier of
+// links is an order of magnitude more expensive than the one below, and
+// production allreduce libraries exploit that with multi-level schemes.
+// One recursion rule composes across arbitrarily many tiers:
 //
-//  1. intra-node sparse reduce to the node leader (binomial tree over the
-//     node sub-communicator, priced at the cheap intra-node profile),
-//  2. sparse allreduce among the node leaders over the inter-node network,
-//     reusing the flat SSAR machinery (recursive doubling for small agreed
-//     sizes, split allgather otherwise) on a leader sub-communicator,
-//  3. intra-node broadcast of the reduced vector (binomial tree).
+//  1. Up sweep — for each level l from innermost out: the leaders of the
+//     level-(l-1) subgroups (all ranks, at level 0) sparse-reduce to their
+//     level-l group leader (binomial tree, priced at the level-l profile).
+//  2. Top phase — the leaders of the outermost grouped level run a flat
+//     sparse allreduce among themselves over the top-tier links: for
+//     HierSSAR recursive doubling or split allgather by agreed size, for
+//     HierDSAR a DSAR (sparse split over the leader partition, densify,
+//     dense — optionally QSGD-quantized — allgather).
+//  3. Down sweep — the reduced vector is broadcast back through the same
+//     groups, outermost level first (binomial trees).
 //
 // Compared to flat SSAR_Split_allgather on P ranks, the direct-exchange
-// latency term shrinks from (P−1)·α to (P/r−1)·α on the expensive network
-// (r = ranks per node), at the cost of one cheap intra-node reduce and
-// broadcast — a win whenever the intra links are meaningfully faster.
+// latency term shrinks from (P−1)·α on the top-tier network to one term
+// per tier, each over that tier's group count and priced at that tier's
+// links; and because exactly one rank per group drives traffic out of it
+// during leader phases, those phases are free of the per-level egress
+// serialization (Serial caps) that the flat algorithms pay in full.
+// Unquantized, both algorithms are bit-identical to their flat
+// counterparts (exact dyadic sums commute); without an exploitable
+// hierarchy both degrade to the flat algorithms, so they are safe to
+// request unconditionally.
 
-// Tag-space offsets for the phases of one HierSSAR invocation, all within
-// the collective's tag range and below the Auto-agreement offset.
+// Tag-space layout for the phases of one hierarchical invocation, all
+// within the collective's tag range and below the Auto-agreement offset
+// (resolveTagOffset): per-level reduce stages from 0, the top-phase
+// agreement and collective ranges above them, per-level broadcast stages
+// at the top. With simnet.MaxLevels = 8 levels of hierStageStride tags
+// each, every range stays disjoint for worlds up to ~16k ranks per stage.
 const (
-	hierIntraReduceTag = 0
-	hierLeaderAgreeTag = 1 << 16
-	hierLeaderTag      = 1 << 17
-	hierIntraBcastTag  = 1<<17 + 1<<16
+	hierStageStride    = 1 << 14
+	hierLeaderAgreeTag = 1 << 17
+	hierLeaderTag      = 1<<17 + 1<<16
+	hierBcastBase      = 1 << 18
 )
 
-// hierSSAR implements the hierarchical sparse allreduce. Without a
-// topology (or with one that yields a single node, or one rank per node)
-// there is no hierarchy to exploit and it degrades to the flat split
-// allgather, so the algorithm is safe to request unconditionally.
-func hierSSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Vector {
-	sc := opts.Scratch
-	topo, ok := p.Topology()
-	P := p.Size()
-	if !ok || topo.RanksPerNode <= 1 || topo.RanksPerNode >= P {
-		return ssarSplitAllgather(p, v, sc, base)
-	}
-	rank := p.Rank()
-	members := topo.NodeRanks(rank, P)
-	leaders := topo.LeaderRanks(P)
-	isLeader := topo.Leader(rank) == rank
+// hierReduceTag returns the tag base of the level-l up-sweep reduce.
+func hierReduceTag(l int) int { return l * hierStageStride }
 
-	// Phase 1: intra-node sparse reduce to the node leader. Non-leaders
-	// hold nil afterwards and wait for the phase-3 broadcast.
-	var acc *stream.Vector
-	if len(members) == 1 {
-		acc = v.CloneInto(sc)
-	} else {
-		sub := p.Sub(members)
-		acc = reduceTagged(sub, v, 0, sc, base+hierIntraReduceTag)
+// hierBcastTag returns the tag base of the level-l down-sweep broadcast.
+func hierBcastTag(l int) int { return hierBcastBase + l*hierStageStride }
+
+// hierDepth returns the number of hierarchy levels the hierarchical
+// algorithms should exploit: the full depth, truncated by the Levels
+// option when set (a depth-d truncation runs the up/down sweeps over the
+// innermost d−1 grouped levels only and the top phase among the leaders of
+// level d−2 — depth 1 means flat).
+func hierDepth(h simnet.Hierarchy, optLevels int) int {
+	L := h.Depth()
+	if optLevels > 0 && optLevels < L {
+		L = optLevels
+	}
+	return L
+}
+
+// hierExploitable reports whether the depth-L scheme on a world of P ranks
+// differs from the flat algorithm: there must be a real grouping below the
+// top (Span(L-2) > 1) that does not already swallow the whole world at the
+// innermost level (Span(0) < P).
+func hierExploitable(h simnet.Hierarchy, L, P int) bool {
+	return L >= 2 && h.Span(L-2) > 1 && h.Span(0) < P
+}
+
+// hierStage records one up-sweep stage this rank participated in, for the
+// mirrored down-sweep broadcast.
+type hierStage struct {
+	level int
+	group []int
+}
+
+// hierUpSweep runs the per-level reduce stages 0..L-2 for this rank.
+// It returns this rank's surviving accumulation (nil once the rank handed
+// its data to a group leader — such ranks wait for the down sweep) and the
+// stages it entered. The returned vector is v itself when every stage this
+// rank saw was trivial; otherwise it is pool-owned and the caller must
+// release it after the top phase consumes it.
+func hierUpSweep(p *comm.Proc, v *stream.Vector, h simnet.Hierarchy, L int, sc *stream.Scratch, base int) (*stream.Vector, []hierStage) {
+	rank, P := p.Rank(), p.Size()
+	cur := v
+	var stages []hierStage
+	for l := 0; l <= L-2; l++ {
+		group := h.StageRanks(rank, l, P)
+		if len(group) <= 1 {
+			// This rank is the sole participant at this level (ragged tail
+			// or GroupSize 1): it is already its own level-l leader.
+			continue
+		}
+		stages = append(stages, hierStage{l, group})
+		sub := p.Sub(group)
+		out := reduceTagged(sub, cur, 0, sc, base+hierReduceTag(l))
 		p.Join(sub)
-	}
-
-	// Phase 2: sparse allreduce among node leaders over the inter-node
-	// network. The leaders first agree on the maximum accumulated size
-	// (the k = maxᵢ|Hᵢ| of the paper's analysis, one 8-byte word) and pick
-	// the flat SSAR variant the paper's guidance prescribes for it.
-	var result *stream.Vector
-	if isLeader {
-		if len(leaders) == 1 {
-			result = acc
-		} else {
-			lsub := p.Sub(leaders)
-			kmax := int(AllreduceDenseRecDouble(lsub, []float64{float64(acc.NNZ())},
-				stream.OpMax, stream.DefaultValueBytes, base+hierLeaderAgreeTag)[0])
-			small := opts.SmallDataBytes
-			if small == 0 {
-				small = DefaultSmallDataBytes
-			}
-			wire := stream.HeaderBytes + kmax*(stream.IndexBytes+acc.ValueBytes())
-			if wire <= small {
-				result = ssarRecDouble(lsub, acc, sc, base+hierLeaderTag)
-			} else {
-				result = ssarSplitAllgather(lsub, acc, sc, base+hierLeaderTag)
-			}
-			p.Join(lsub)
-			sc.Release(acc) // the leader allreduce cloned it
+		if cur != v {
+			sc.Release(cur) // reduceTagged cloned it; the old accumulation is dead
+		}
+		cur = out
+		if cur == nil {
+			break // handed off to the group leader; wait for the down sweep
 		}
 	}
+	return cur, stages
+}
 
-	// Phase 3: intra-node broadcast of the reduced vector.
-	if len(members) > 1 {
-		sub := p.Sub(members)
-		result = bcastVectorTagged(sub, result, 0, sc, base+hierIntraBcastTag)
+// hierDownSweep broadcasts the reduced vector back through the up-sweep
+// stages, outermost first. Ranks that handed off mid-sweep enter with a
+// nil result and receive it at their last stage.
+func hierDownSweep(p *comm.Proc, result *stream.Vector, stages []hierStage, sc *stream.Scratch, base int) *stream.Vector {
+	for i := len(stages) - 1; i >= 0; i-- {
+		st := stages[i]
+		sub := p.Sub(st.group)
+		result = bcastVectorTagged(sub, result, 0, sc, base+hierBcastTag(st.level))
 		p.Join(sub)
 	}
 	return result
 }
 
-// hierDSAR implements the hierarchical dynamic sparse allreduce: the same
-// intra-node reduce and broadcast phases as hierSSAR, with the leader
-// phase replaced by a DSAR among node leaders — sparse split over the
-// node-count partition, densify at each leader, dense (optionally
-// QSGD-quantized) allgather over the inter-node network. Because one rank
-// per node drives the network in phase 2, the leader exchange is free of
-// per-node NIC contention, which is what makes the scheme win on
-// NICSerial-capped topologies in the dense regime. Unquantized results
-// are bit-identical to flat DSAR (both compute exact sums densely); with
-// quantization each node-partition is encoded once by its owning leader,
+// hierSSAR implements the recursive hierarchical sparse allreduce. Without
+// an exploitable hierarchy it degrades to the flat split allgather.
+func hierSSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Vector {
+	sc := opts.Scratch
+	h, ok := p.Hierarchy()
+	P := p.Size()
+	L := 0
+	if ok {
+		L = hierDepth(h, opts.Levels)
+	}
+	if !ok || !hierExploitable(h, L, P) {
+		return ssarSplitAllgather(p, v, sc, base)
+	}
+	cur, stages := hierUpSweep(p, v, h, L, sc, base)
+
+	// Top phase: sparse allreduce among the leaders of the outermost
+	// grouped level. The leaders first agree on the maximum accumulated
+	// size (the k = maxᵢ|Hᵢ| of the paper's analysis, one 8-byte word) and
+	// pick the flat SSAR variant the paper's guidance prescribes for it.
+	var result *stream.Vector
+	if cur != nil {
+		leaders := h.LeadersAt(L-2, P)
+		if len(leaders) == 1 {
+			if cur == v {
+				cur = v.CloneInto(sc)
+			}
+			result = cur
+		} else {
+			lsub := p.Sub(leaders)
+			kmax := int(AllreduceDenseRecDouble(lsub, []float64{float64(cur.NNZ())},
+				stream.OpMax, stream.DefaultValueBytes, base+hierLeaderAgreeTag)[0])
+			small := opts.SmallDataBytes
+			if small == 0 {
+				small = DefaultSmallDataBytes
+			}
+			wire := stream.HeaderBytes + kmax*(stream.IndexBytes+cur.ValueBytes())
+			if wire <= small {
+				result = ssarRecDouble(lsub, cur, sc, base+hierLeaderTag)
+			} else {
+				result = ssarSplitAllgather(lsub, cur, sc, base+hierLeaderTag)
+			}
+			p.Join(lsub)
+			if cur != v {
+				sc.Release(cur) // the leader allreduce cloned it
+			}
+		}
+	}
+
+	return hierDownSweep(p, result, stages, sc, base)
+}
+
+// hierDSAR implements the recursive hierarchical dynamic sparse allreduce:
+// the same up and down sweeps as hierSSAR with the top phase replaced by a
+// DSAR among the outermost-level leaders — sparse split over the leader
+// partition, densify at each leader, dense (optionally QSGD-quantized)
+// allgather over the top-tier links. Because one rank per group drives
+// traffic out of it in the top phase, the exchange is free of per-level
+// egress serialization, which is what makes the scheme win on
+// Serial-capped hierarchies in the dense regime. Unquantized results are
+// bit-identical to flat DSAR (both compute exact sums densely); with
+// quantization each leader partition is encoded once by its owning leader,
 // so all ranks still decode identical bytes, but the bucket boundaries
 // differ from flat DSAR's P-way partition and the two quantized variants
 // are only statistically, not bitwise, equal. Without an exploitable
-// topology it degrades to flat DSAR, so it is safe to request
+// hierarchy it degrades to flat DSAR, so it is safe to request
 // unconditionally.
 func hierDSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Vector {
 	sc := opts.Scratch
-	topo, ok := p.Topology()
+	h, ok := p.Hierarchy()
 	P := p.Size()
-	if !ok || topo.RanksPerNode <= 1 || topo.RanksPerNode >= P {
+	L := 0
+	if ok {
+		L = hierDepth(h, opts.Levels)
+	}
+	if !ok || !hierExploitable(h, L, P) {
 		return dsarSplitAllgather(p, v, opts, base)
 	}
-	rank := p.Rank()
-	members := topo.NodeRanks(rank, P)
-	leaders := topo.LeaderRanks(P)
-	isLeader := topo.Leader(rank) == rank
+	cur, stages := hierUpSweep(p, v, h, L, sc, base)
 
-	// Phase 1: intra-node sparse reduce to the node leader.
-	var acc *stream.Vector
-	if len(members) == 1 {
-		acc = v.CloneInto(sc)
-	} else {
-		sub := p.Sub(members)
-		acc = reduceTagged(sub, v, 0, sc, base+hierIntraReduceTag)
-		p.Join(sub)
-	}
-
-	// Phase 2: DSAR among node leaders. Each leader owns one of
-	// len(leaders) dimension partitions, densifies it after the sparse
-	// split, and the dense (optionally quantized) partitions are
-	// allgathered — one NIC flow per node.
+	// Top phase: DSAR among the outermost-level leaders. Each leader owns
+	// one of the leader-count dimension partitions, densifies it after the
+	// sparse split, and the dense (optionally quantized) partitions are
+	// allgathered — one egress flow per group.
 	var result *stream.Vector
-	if isLeader {
-		lsub := p.Sub(leaders)
-		result = dsarSplitAllgather(lsub, acc, opts, base+hierLeaderTag)
+	if cur != nil {
+		lsub := p.Sub(h.LeadersAt(L-2, P))
+		result = dsarSplitAllgather(lsub, cur, opts, base+hierLeaderTag)
 		p.Join(lsub)
-		sc.Release(acc) // the leader DSAR extracted slices; the input is dead
+		if cur != v {
+			sc.Release(cur) // the leader DSAR extracted slices; the input is dead
+		}
 	}
 
-	// Phase 3: intra-node broadcast of the dense result.
-	if len(members) > 1 {
-		sub := p.Sub(members)
-		result = bcastVectorTagged(sub, result, 0, sc, base+hierIntraBcastTag)
-		p.Join(sub)
-	}
-	return result
+	return hierDownSweep(p, result, stages, sc, base)
 }
 
 // bcastVectorTagged broadcasts the root's sparse vector to every rank of

@@ -82,6 +82,14 @@ func TestCrossAlgorithmEquivalence(t *testing.T) {
 			return comm.NewWorldTopo(P, simnet.Topology{RanksPerNode: 3,
 				Intra: simnet.NVLinkLike, Inter: simnet.Aries, NICSerial: 2})
 		}},
+		// Three-level hierarchy worlds (nodes of 3 in groups of 2, capped
+		// egress at both tiers): divisible, ragged last node, ragged last
+		// group, and ragged at every tier. The per-level serialization
+		// reprices bandwidth but must never change any reduction bit.
+		{"hier3/P=12", 12, func(P int) *comm.World { return comm.NewWorldHier(P, testHier3) }},
+		{"hier3/P=13/ragged-node", 13, func(P int) *comm.World { return comm.NewWorldHier(P, testHier3) }},
+		{"hier3/P=9/ragged-group", 9, func(P int) *comm.World { return comm.NewWorldHier(P, testHier3) }},
+		{"hier3/P=17/ragged-both", 17, func(P int) *comm.World { return comm.NewWorldHier(P, testHier3) }},
 	}
 	rng := rand.New(rand.NewSource(12345))
 	for _, wc := range worlds {

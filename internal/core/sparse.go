@@ -215,30 +215,29 @@ func dsarSplitAllgather(p *comm.Proc, v *stream.Vector, opts Options, base int) 
 	n := v.Dim()
 	lo, hi := partition(n, P, rank)
 
-	// Densify my partition into a contiguous block (scratch-pooled: the
-	// block dies once its contents are allgathered or encoded).
-	block := sc.GrabDense(hi-lo, v.Op().Neutral())
-	if reduced.IsDense() {
-		copy(block, reduced.ToDense()[lo:hi])
-	} else {
-		idx, val := reduced.Pairs()
-		for i, ix := range idx {
-			block[ix-int32(lo)] = val[i]
+	// Densify my partition into a contiguous block. Every coordinate of the
+	// result is covered by exactly one partition, so no neutral pre-fill of
+	// the result array is needed — gathered blocks land directly in it.
+	densify := func(block []float64) {
+		if reduced.IsDense() {
+			copy(block, reduced.ToDense()[lo:hi])
+		} else {
+			idx, val := reduced.Pairs()
+			for i, ix := range idx {
+				block[ix-int32(lo)] = val[i]
+			}
 		}
+		sc.Release(reduced)
+		p.Compute(p.Profile().DenseReduceTime(len(block)))
 	}
-	sc.Release(reduced)
-	p.Compute(p.Profile().DenseReduceTime(len(block)))
-
 	result := make([]float64, n)
-	if neutral := v.Op().Neutral(); neutral != 0 {
-		for i := range result {
-			result[i] = neutral
-		}
-	}
 
 	agBase := base + P + 8
 	if opts.Quant != nil {
-		// Quantize my block; exchange quantized blocks; decode all.
+		// Quantize my block; exchange quantized blocks; decode all. The
+		// block dies once encoded, so it is scratch-pooled.
+		block := sc.GrabDense(hi-lo, v.Op().Neutral())
+		densify(block)
 		rng := rand.New(rand.NewSource(opts.Seed ^ int64(rank+1)*0x5851F42D4C957F2D))
 		q := quant.Encode(block, *opts.Quant, rng)
 		sc.PutDense(block)                              // Encode copies into its own storage
@@ -251,12 +250,18 @@ func dsarSplitAllgather(p *comm.Proc, v *stream.Vector, opts Options, base int) 
 		}
 		p.Compute(p.Profile().DenseReduceTime(n)) // decode pass
 	} else {
-		parts := AllgatherDense(p, block, v.ValueBytes(), agBase)
-		sc.PutDense(block) // AllgatherDense copies the local block
-		for r, part := range parts {
-			rLo, _ := partition(n, P, r)
-			copy(result[rLo:rLo+len(part)], part)
+		// The block goes on the wire itself (AllgatherDenseInto takes
+		// ownership), so it is a dedicated allocation, not pool storage;
+		// received peer blocks land directly in the result array with no
+		// per-part assembly copies.
+		block := make([]float64, hi-lo)
+		if neutral := v.Op().Neutral(); neutral != 0 {
+			for i := range block {
+				block[i] = neutral
+			}
 		}
+		densify(block)
+		AllgatherDenseInto(p, block, result, v.ValueBytes(), agBase)
 	}
 	// The assembled array becomes the result's backing storage directly —
 	// the caller owns it, so it is never recycled into the scratch.

@@ -1,0 +1,182 @@
+package simnet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// threeTier is a 4-ranks/node, 3-nodes/group Dragonfly-ish test hierarchy.
+var threeTier = Hierarchy{Levels: []Level{
+	{GroupSize: 4, Profile: NVLinkLike, Serial: 1},
+	{GroupSize: 3, Profile: Aries, Serial: 2},
+	{Profile: AriesGlobal},
+}}
+
+func TestHierarchyValidate(t *testing.T) {
+	if err := threeTier.Validate(); err != nil {
+		t.Fatalf("valid hierarchy rejected: %v", err)
+	}
+	bad := []Hierarchy{
+		{},
+		{Levels: []Level{{GroupSize: 0, Profile: NVLinkLike}, {Profile: Aries}, {Profile: AriesGlobal}}},
+		{Levels: []Level{{GroupSize: 4, Profile: Profile{}}, {Profile: Aries}}},
+		{Levels: []Level{{GroupSize: 4, Profile: NVLinkLike, Serial: -1}, {Profile: Aries}}},
+		{Levels: make([]Level, MaxLevels+1)},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Fatalf("bad hierarchy %d accepted", i)
+		}
+	}
+	if err := (Topology{RanksPerNode: 4, Intra: NVLinkLike, Inter: Aries}).Hierarchy().Validate(); err != nil {
+		t.Fatalf("Topology.Hierarchy must validate: %v", err)
+	}
+}
+
+func TestHierarchySpanAndGroups(t *testing.T) {
+	h := threeTier
+	if got := h.Span(0); got != 4 {
+		t.Fatalf("Span(0) = %d, want 4", got)
+	}
+	if got := h.Span(1); got != 12 {
+		t.Fatalf("Span(1) = %d, want 12", got)
+	}
+	if got := h.Span(2); got != math.MaxInt {
+		t.Fatalf("Span(2) = %d, want MaxInt", got)
+	}
+	if got := h.GroupOf(13, 0); got != 3 {
+		t.Fatalf("GroupOf(13, 0) = %d, want 3", got)
+	}
+	if got := h.GroupOf(13, 1); got != 1 {
+		t.Fatalf("GroupOf(13, 1) = %d, want 1", got)
+	}
+	if got := h.Leader(13, 1); got != 12 {
+		t.Fatalf("Leader(13, 1) = %d, want 12", got)
+	}
+	// Ragged world of 14 ranks: last node {12, 13} and last group {12, 13}
+	// are both short.
+	if got := h.GroupRanks(13, 0, 14); !reflect.DeepEqual(got, []int{12, 13}) {
+		t.Fatalf("GroupRanks(13, 0, 14) = %v", got)
+	}
+	if got := h.GroupRanks(5, 1, 14); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}) {
+		t.Fatalf("GroupRanks(5, 1, 14) = %v", got)
+	}
+	if got := h.LeadersAt(0, 14); !reflect.DeepEqual(got, []int{0, 4, 8, 12}) {
+		t.Fatalf("LeadersAt(0, 14) = %v", got)
+	}
+	if got := h.LeadersAt(1, 14); !reflect.DeepEqual(got, []int{0, 12}) {
+		t.Fatalf("LeadersAt(1, 14) = %v", got)
+	}
+	if got := h.LeadersAt(2, 14); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("LeadersAt(2, 14) = %v", got)
+	}
+	// Stage participants: node members at level 0, node leaders of the
+	// group at level 1, group leaders of the world at level 2.
+	if got := h.StageRanks(6, 0, 14); !reflect.DeepEqual(got, []int{4, 5, 6, 7}) {
+		t.Fatalf("StageRanks(6, 0, 14) = %v", got)
+	}
+	if got := h.StageRanks(6, 1, 14); !reflect.DeepEqual(got, []int{0, 4, 8}) {
+		t.Fatalf("StageRanks(6, 1, 14) = %v", got)
+	}
+	if got := h.StageRanks(13, 1, 14); !reflect.DeepEqual(got, []int{12}) {
+		t.Fatalf("StageRanks(13, 1, 14) = %v", got)
+	}
+	if got := h.StageRanks(6, 2, 14); !reflect.DeepEqual(got, []int{0, 12}) {
+		t.Fatalf("StageRanks(6, 2, 14) = %v", got)
+	}
+}
+
+func TestHierarchySharedLevelAndProfile(t *testing.T) {
+	h := threeTier
+	cases := []struct{ a, b, level int }{
+		{0, 0, 0}, {0, 3, 0}, {13, 12, 0}, // same node
+		{0, 4, 1}, {3, 11, 1}, // same group, different node
+		{0, 12, 2}, {11, 23, 2}, // different groups
+	}
+	for _, c := range cases {
+		if got := h.SharedLevel(c.a, c.b); got != c.level {
+			t.Fatalf("SharedLevel(%d, %d) = %d, want %d", c.a, c.b, got, c.level)
+		}
+		if got := h.ProfileFor(c.a, c.b).Name; got != h.Levels[c.level].Profile.Name {
+			t.Fatalf("ProfileFor(%d, %d) = %s, want level-%d profile", c.a, c.b, got, c.level)
+		}
+	}
+}
+
+func TestHierarchySerialFactor(t *testing.T) {
+	h := threeTier
+	if got := h.SerialFactor(0, 1); got != 1 {
+		t.Fatalf("one flow under a cap of 1 = %g, want 1", got)
+	}
+	if got := h.SerialFactor(0, 4); got != 4 {
+		t.Fatalf("4 flows through a cap of 1 = %g, want 4", got)
+	}
+	if got := h.SerialFactor(1, 2); got != 1 {
+		t.Fatalf("2 flows under a cap of 2 = %g, want 1", got)
+	}
+	if got := h.SerialFactor(1, 3); got != 1.5 {
+		t.Fatalf("3 flows through a cap of 2 = %g, want 1.5", got)
+	}
+	if got := h.SerialFactor(2, 100); got != 1 {
+		t.Fatalf("uncapped level factor = %g, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("active < 1 must panic")
+		}
+	}()
+	h.SerialFactor(0, 0)
+}
+
+// TestTopologyHierarchyEquivalence: the two-level hierarchy derived from a
+// Topology must agree with the topology's own locality and pricing.
+func TestTopologyHierarchyEquivalence(t *testing.T) {
+	topo := Topology{RanksPerNode: 3, Intra: NVLinkLike, Inter: Aries, NICSerial: 2}
+	h := topo.Hierarchy()
+	const p = 11
+	for a := 0; a < p; a++ {
+		for b := 0; b < p; b++ {
+			if got, want := h.ProfileFor(a, b).Name, topo.ProfileFor(a, b).Name; got != want {
+				t.Fatalf("ProfileFor(%d, %d) = %s, topology says %s", a, b, got, want)
+			}
+			wantLevel := 1
+			if topo.SameNode(a, b) {
+				wantLevel = 0
+			}
+			if got := h.SharedLevel(a, b); got != wantLevel {
+				t.Fatalf("SharedLevel(%d, %d) = %d, want %d", a, b, got, wantLevel)
+			}
+		}
+		if got, want := h.Leader(a, 0), topo.Leader(a); got != want {
+			t.Fatalf("Leader(%d) = %d, topology says %d", a, got, want)
+		}
+		if got, want := h.GroupRanks(a, 0, p), topo.NodeRanks(a, p); !reflect.DeepEqual(got, want) {
+			t.Fatalf("GroupRanks(%d) = %v, topology says %v", a, got, want)
+		}
+	}
+	if got, want := h.LeadersAt(0, p), topo.LeaderRanks(p); !reflect.DeepEqual(got, want) {
+		t.Fatalf("LeadersAt(0) = %v, topology says %v", got, want)
+	}
+	for active := 1; active <= 5; active++ {
+		if got, want := h.SerialFactor(0, active), topo.NICFactor(active); got != want {
+			t.Fatalf("SerialFactor(0, %d) = %g, NICFactor says %g", active, got, want)
+		}
+	}
+}
+
+func TestDragonflyLikePreset(t *testing.T) {
+	h := DragonflyLike(4, 8)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("DragonflyLike must validate: %v", err)
+	}
+	if h.Depth() != 3 || h.Span(0) != 4 || h.Span(1) != 32 {
+		t.Fatalf("DragonflyLike shape wrong: depth=%d spans=%d/%d", h.Depth(), h.Span(0), h.Span(1))
+	}
+	if h.Levels[2].Profile.Name != AriesGlobal.Name {
+		t.Fatalf("outermost profile = %s, want %s", h.Levels[2].Profile.Name, AriesGlobal.Name)
+	}
+	if _, err := ProfileByName("aries-global"); err != nil {
+		t.Fatalf("AriesGlobal must be resolvable by name: %v", err)
+	}
+}

@@ -76,7 +76,7 @@ var (
 
 // ProfileByName returns a built-in profile.
 func ProfileByName(name string) (Profile, error) {
-	for _, p := range []Profile{Aries, InfiniBandFDR, GigE, SparkLike, NVLinkLike} {
+	for _, p := range []Profile{Aries, InfiniBandFDR, GigE, SparkLike, NVLinkLike, AriesGlobal} {
 		if p.Name == name {
 			return p, nil
 		}

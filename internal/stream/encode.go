@@ -28,15 +28,24 @@ var errShortBuffer = errors.New("stream: short buffer")
 // Encode serializes the vector. The universe size and operation are not
 // part of the wire format; Decode requires them (collectives know both).
 func (v *Vector) Encode() []byte {
+	return v.EncodeInto(nil)
+}
+
+// EncodeInto is Encode drawing the output buffer from sc, so steady-state
+// encode/decode round-trips stop allocating: return the buffer with
+// Scratch.PutBytes once its bytes are on the wire. A nil pool degrades to
+// plain allocation.
+func (v *Vector) EncodeInto(sc *Scratch) []byte {
 	if v.dns != nil {
-		buf := make([]byte, HeaderBytes+8*v.n)
+		buf := sc.grabBytes(HeaderBytes + 8*v.n)
 		buf[0] = flagDense
+		buf[1], buf[2], buf[3], buf[4] = 0, 0, 0, 0
 		for i, x := range v.dns {
 			binary.LittleEndian.PutUint64(buf[HeaderBytes+8*i:], math.Float64bits(x))
 		}
 		return buf
 	}
-	buf := make([]byte, HeaderBytes+12*len(v.idx))
+	buf := sc.grabBytes(HeaderBytes + 12*len(v.idx))
 	buf[0] = flagSparse
 	binary.LittleEndian.PutUint32(buf[1:], uint32(len(v.idx)))
 	off := HeaderBytes
@@ -50,16 +59,28 @@ func (v *Vector) Encode() []byte {
 
 // Decode deserializes a vector of dimension n for operation op from buf.
 func Decode(buf []byte, n int, op Op) (*Vector, error) {
+	return DecodeInto(buf, n, op, nil)
+}
+
+// DecodeInto is Decode drawing the vector's header and storage from sc, so
+// steady-state round-trips stop allocating: release the result with
+// Scratch.Release once it is merged. buf is only read; a nil pool degrades
+// to plain allocation.
+func DecodeInto(buf []byte, n int, op Op, sc *Scratch) (*Vector, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stream: dimension must be positive, got %d", n)
+	}
 	if len(buf) < HeaderBytes {
 		return nil, errShortBuffer
 	}
-	v := Zero(n, op)
+	v := sc.grabVector(n, op, DefaultValueBytes, Delta(n, DefaultValueBytes))
 	switch buf[0] {
 	case flagDense:
 		if len(buf) != HeaderBytes+8*n {
+			sc.Release(v)
 			return nil, fmt.Errorf("stream: dense payload is %d bytes, want %d", len(buf), HeaderBytes+8*n)
 		}
-		v.dns = make([]float64, n)
+		v.dns = sc.grabDenseRaw(n)
 		for i := range v.dns {
 			v.dns[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[HeaderBytes+8*i:]))
 		}
@@ -67,24 +88,27 @@ func Decode(buf []byte, n int, op Op) (*Vector, error) {
 	case flagSparse:
 		nnz := int(binary.LittleEndian.Uint32(buf[1:]))
 		if len(buf) != HeaderBytes+12*nnz {
+			sc.Release(v)
 			return nil, fmt.Errorf("stream: sparse payload is %d bytes, want %d", len(buf), HeaderBytes+12*nnz)
 		}
-		v.idx = make([]int32, nnz)
-		v.val = make([]float64, nnz)
+		v.idx = sc.grabIdx(nnz)
+		v.val = sc.grabVal(nnz)
 		off := HeaderBytes
 		var prev int32 = -1
 		for i := 0; i < nnz; i++ {
 			ix := int32(binary.LittleEndian.Uint32(buf[off:]))
 			if ix <= prev || int(ix) >= n {
+				sc.Release(v)
 				return nil, fmt.Errorf("stream: corrupt index %d at position %d", ix, i)
 			}
 			prev = ix
-			v.idx[i] = ix
-			v.val[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+			v.idx = append(v.idx, ix)
+			v.val = append(v.val, math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:])))
 			off += 12
 		}
 		return v, nil
 	default:
+		sc.Release(v)
 		return nil, fmt.Errorf("stream: unknown format flag %d", buf[0])
 	}
 }

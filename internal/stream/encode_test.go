@@ -62,6 +62,62 @@ func TestDecodeRejectsUnsortedIndices(t *testing.T) {
 	}
 }
 
+// TestEncodeDecodeIntoPooled: the scratch-aware codec must agree
+// byte-for-byte with the allocating one, in both representations, and
+// DecodeInto must return canonical vectors drawn from the pool.
+func TestEncodeDecodeIntoPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	sc := NewScratch()
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(256)
+		v := randVector(rng, n, rng.Float64(), OpSum)
+		buf := v.EncodeInto(sc)
+		plain := v.Encode()
+		if string(buf) != string(plain) {
+			t.Fatalf("trial %d: EncodeInto bytes differ from Encode", trial)
+		}
+		got, err := DecodeInto(buf, n, OpSum, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.IsDense() != v.IsDense() || !got.Equal(v) {
+			t.Fatalf("trial %d: pooled round trip changed the vector", trial)
+		}
+		sc.PutBytes(buf)
+		sc.Release(got)
+	}
+	if _, err := DecodeInto([]byte{flagSparse, 1, 0, 0, 0, 9, 9, 9, 9, 0, 0, 0, 0, 0, 0, 0, 0}, 5, OpSum, sc); err == nil {
+		t.Fatal("corrupt index must still error through the pooled path")
+	}
+}
+
+// TestEncodeDecodeIntoZeroAlloc is the satellite acceptance check: with a
+// warm pool, a full encode → decode → release round trip performs zero
+// steady-state allocations in either representation.
+func TestEncodeDecodeIntoZeroAlloc(t *testing.T) {
+	sparse := NewSparse(4096, []int32{1, 17, 400, 4000}, []float64{1, 2, 3, 4}, OpSum)
+	dense := NewSparse(64, []int32{0, 1, 2}, []float64{1, 2, 3}, OpSum)
+	dense.Densify()
+	for name, v := range map[string]*Vector{"sparse": sparse, "dense": dense} {
+		sc := NewScratch()
+		roundTrip := func() {
+			buf := v.EncodeInto(sc)
+			got, err := DecodeInto(buf, v.Dim(), v.Op(), sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.PutBytes(buf)
+			sc.Release(got)
+		}
+		for i := 0; i < 4; i++ { // warm the pool to steady state
+			roundTrip()
+		}
+		if allocs := testing.AllocsPerRun(20, roundTrip); allocs != 0 {
+			t.Fatalf("%s: pooled round trip allocates %.0f objects per op, want 0", name, allocs)
+		}
+	}
+}
+
 func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -4,8 +4,9 @@
 # race-check the concurrency hot spots (the message-passing substrate and
 # the collectives that run on it), run the full test suite, smoke-run the
 # k-way merge ablation benchmarks, then record the deterministic sweeps as
-# BENCH_2.json (contention model) and BENCH_3.json (k-way merge/scratch),
-# hard-failing if either drifts from the committed files.
+# BENCH_2.json (contention model), BENCH_3.json (k-way merge/scratch), and
+# BENCH_4.json (hierarchy-depth ablation), hard-failing if any drifts from
+# the committed files.
 #
 # Usage: ./scripts/ci.sh
 set -euo pipefail
@@ -42,7 +43,8 @@ go test -run '^$' -bench 'BenchmarkAblationKWayMerge|BenchmarkAblationScratchAll
 
 tmp_bench=$(mktemp)
 tmp_bench3=$(mktemp)
-trap 'rm -f "$tmp_bench" "$tmp_bench3"' EXIT
+tmp_bench4=$(mktemp)
+trap 'rm -f "$tmp_bench" "$tmp_bench3" "$tmp_bench4"' EXIT
 
 echo "== record BENCH_2.json (contention-model sweep; simulated metrics only, deterministic)"
 go run ./cmd/sparbench -sweep contention -json > "$tmp_bench"
@@ -57,6 +59,14 @@ go run ./cmd/sparbench -sweep merge -json > "$tmp_bench3"
 if ! cmp -s "$tmp_bench3" BENCH_3.json; then
   cp "$tmp_bench3" BENCH_3.json
   echo "BENCH_3.json drifted from the committed sweep — regenerated it; commit the update" >&2
+  exit 1
+fi
+
+echo "== record BENCH_4.json (hierarchy-depth ablation; simulated metrics only, deterministic)"
+go run ./cmd/sparbench -sweep hierlevels -json > "$tmp_bench4"
+if ! cmp -s "$tmp_bench4" BENCH_4.json; then
+  cp "$tmp_bench4" BENCH_4.json
+  echo "BENCH_4.json drifted from the committed sweep — regenerated it; commit the update" >&2
   exit 1
 fi
 

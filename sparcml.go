@@ -115,7 +115,37 @@ type Profile = simnet.Profile
 //	    RanksPerNode: 4, Intra: sparcml.NVLinkLike, Inter: sparcml.Aries,
 //	    NICSerial: 1, // one full-rate flow per node NIC
 //	})
+//
+// A Topology is exactly the two-level case of the general Hierarchy
+// (Topology.Hierarchy converts); deeper machines use NewWorldHier.
 type Topology = simnet.Topology
+
+// Hierarchy describes an N-level machine as an ordered list of Levels from
+// innermost (intra-node links) to outermost (global links): Span(l)
+// consecutive ranks share a level-l group, a message is priced by the
+// profile of the innermost level its two ranks share, and each level's
+// Serial cap models the group's egress bandwidth serialization. Use with
+// NewWorldHier:
+//
+//	world := sparcml.NewWorldHier(64, sparcml.DragonflyLike(4, 4))
+//
+// Auto selects the recursive hierarchical collectives — and their depth —
+// on such worlds whenever the level-aware cost model prices them cheapest.
+type Hierarchy = simnet.Hierarchy
+
+// Level is one tier of a Hierarchy: GroupSize units of the previous level
+// per group, the Profile pricing messages whose innermost shared group is
+// at this level, and the group's egress Serial cap.
+type Level = simnet.Level
+
+// DragonflyLike returns the three-tier hierarchy of a Dragonfly machine in
+// the class of Piz Daint: NVLink-like links inside nodes of ranksPerNode
+// ranks behind a single full-rate NIC, Aries links between the
+// nodesPerGroup nodes of one group behind a tapered two-flow uplink, and
+// AriesGlobal links between groups.
+func DragonflyLike(ranksPerNode, nodesPerGroup int) Hierarchy {
+	return simnet.DragonflyLike(ranksPerNode, nodesPerGroup)
+}
 
 // CostScenario describes an allreduce instance for the analytic α–β(+NIC)
 // cost model that drives Auto selection; see core.CostScenario for field
@@ -135,6 +165,14 @@ func ChooseAuto(s CostScenario) Algorithm {
 	return core.ChooseAuto(s)
 }
 
+// ChooseAutoLevels is ChooseAuto returning additionally the hierarchy
+// depth the chosen algorithm should run at (Options.Levels; 0 for flat
+// choices): on a multi-tier Hierarchy world the cost model prices the
+// hierarchical algorithms at every usable depth and picks the cheapest.
+func ChooseAutoLevels(s CostScenario) (Algorithm, int) {
+	return core.ChooseAutoLevels(s)
+}
+
 // Built-in network profiles.
 var (
 	// Aries models Piz Daint's Cray Aries interconnect.
@@ -148,6 +186,9 @@ var (
 	// NVLinkLike models an intra-node GPU interconnect, the natural Intra
 	// profile of a Topology.
 	NVLinkLike = simnet.NVLinkLike
+	// AriesGlobal models the tapered global links between Dragonfly
+	// groups, the natural outermost profile of a three-tier Hierarchy.
+	AriesGlobal = simnet.AriesGlobal
 )
 
 // NewSparse builds a sparse vector of dimension n from index–value pairs
@@ -200,6 +241,15 @@ func NewWorldTopo(p int, topo Topology) *World {
 	return &World{inner: comm.NewWorldTopo(p, topo), scratches: newScratches(p)}
 }
 
+// NewWorldHier creates a world of p ranks on an N-level machine hierarchy:
+// every message is priced by the profile of the innermost level its ranks
+// share and pays each crossed level's egress serialization factor. Auto
+// picks the recursive hierarchical collectives — at the cheapest modeled
+// depth — on such worlds.
+func NewWorldHier(p int, h Hierarchy) *World {
+	return &World{inner: comm.NewWorldHier(p, h), scratches: newScratches(p)}
+}
+
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.inner.Size() }
 
@@ -217,8 +267,14 @@ func (w *World) Scratch(rank int) *Scratch {
 	return w.scratches[rank]
 }
 
-// Topology returns the world's two-level topology, if one was configured.
+// Topology returns the world's two-level topology, if one was configured
+// with NewWorldTopo.
 func (w *World) Topology() (Topology, bool) { return w.inner.Topology() }
+
+// Hierarchy returns the world's machine hierarchy, if one was configured
+// (directly via NewWorldHier, or as the two-level hierarchy of a
+// NewWorldTopo topology).
+func (w *World) Hierarchy() (Hierarchy, bool) { return w.inner.Hierarchy() }
 
 // SimTime returns the maximum simulated completion time across ranks for
 // the most recent Run.

@@ -60,6 +60,59 @@ func TestFacadeTopologyWorld(t *testing.T) {
 	}
 }
 
+func TestFacadeHierarchyWorld(t *testing.T) {
+	// The README 3-tier quickstart: a DragonflyLike machine of 64 ranks.
+	w := NewWorldHier(64, DragonflyLike(4, 4))
+	h, ok := w.Hierarchy()
+	if !ok || h.Depth() != 3 || h.Span(1) != 16 {
+		t.Fatal("hierarchy world must report its 3-tier hierarchy")
+	}
+	if _, ok := w.Topology(); ok {
+		t.Fatal("hierarchy world must not report a two-level topology")
+	}
+	results := Run(w, func(c *Comm) *Vector {
+		v := NewSparse(100000, []int32{int32(c.Rank()), 200}, []float64{1, 2})
+		return c.Allreduce(v, Options{Scratch: w.Scratch(c.Rank())})
+	})
+	for r, res := range results {
+		if res.Get(200) != 128 {
+			t.Fatalf("rank %d: shared coordinate = %g, want 128", r, res.Get(200))
+		}
+		for i := 0; i < 64; i++ {
+			if res.Get(i) != 1 {
+				t.Fatalf("rank %d: coordinate %d = %g, want 1", r, i, res.Get(i))
+			}
+		}
+	}
+	if w.SimTime() <= 0 {
+		t.Fatal("simulated time must be positive")
+	}
+	// The level-aware cost model must resolve Auto to a hierarchical
+	// algorithm with an explicit depth on this machine.
+	alg, levels := ChooseAutoLevels(CostScenario{
+		N: 100000, P: 64, K: 2, Profile: AriesGlobal, Hier: &h,
+	})
+	if alg != HierSSAR || levels < 2 {
+		t.Fatalf("ChooseAutoLevels on DragonflyLike = %v@%d, want a hierarchical pick", alg, levels)
+	}
+	// A custom 2-level hierarchy must behave like the equivalent topology.
+	topo := Topology{RanksPerNode: 2, Intra: NVLinkLike, Inter: Aries}
+	hw := NewWorldHier(8, topo.Hierarchy())
+	tw := NewWorldTopo(8, topo)
+	prog := func(c *Comm) *Vector {
+		v := NewSparse(100, []int32{int32(c.Rank()), 50}, []float64{1, 2})
+		return c.Allreduce(v, Options{})
+	}
+	hres, tres := Run(hw, prog), Run(tw, prog)
+	if !hres[0].Equal(tres[0]) {
+		t.Fatal("two-level hierarchy world must match the topology world")
+	}
+	if hw.SimTime() != tw.SimTime() {
+		t.Fatalf("two-level hierarchy sim time %g must equal topology world's %g",
+			hw.SimTime(), tw.SimTime())
+	}
+}
+
 func TestFacadeNonblockingAndBarrier(t *testing.T) {
 	w := NewWorld(2, GigE)
 	Run(w, func(c *Comm) any {
