@@ -15,6 +15,7 @@
 //	sparbench -sweep contention [-intra nvlink] [-profile aries] [-json]
 //	sparbench -sweep merge      [-json]
 //	sparbench -sweep hierlevels [-json]
+//	sparbench -sweep adapt      [-json]
 //	sparbench -csv  # machine-readable output
 package main
 
@@ -50,7 +51,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sparbench", flag.ContinueOnError)
 	var (
-		sweep    = fs.String("sweep", "nodes", "sweep to run: nodes | density | hier | hierdsar | contention | merge | hierlevels")
+		sweep    = fs.String("sweep", "nodes", "sweep to run: nodes | density | hier | hierdsar | contention | merge | hierlevels | adapt")
 		n        = fs.Int("n", 1<<20, "vector dimension N (paper uses 16M; 2^20 default keeps memory modest)")
 		densityF = fs.Float64("density", 0.00781, "per-node density d for the nodes sweep")
 		maxP     = fs.Int("maxp", 64, "largest node count for the nodes sweep")
@@ -143,6 +144,29 @@ func run(args []string, stdout io.Writer) error {
 				fmt.Sprintf("%.2f", r.SpeedupOverTwoLevel),
 				auto,
 				fmt.Sprint(r.AutoMatchesCheapest),
+			)
+		}
+		return tb.Emit(stdout, *csv)
+	}
+
+	if *sweep == "adapt" {
+		rows := experiments.AdaptSweep()
+		if *jsonOut {
+			return emitBench5(stdout, rows)
+		}
+		tb := report.NewTable("workload", "N", "P", "calls", "k-range", "static-uniform", "static-clustered", "adaptive", "vs-uniform", "vs-best", "switches", "clustered-calls", "final")
+		for _, r := range rows {
+			tb.AddRowRaw(
+				r.Workload, fmt.Sprint(r.N), fmt.Sprint(r.P), fmt.Sprint(r.Calls),
+				fmt.Sprintf("%d..%d", r.KStart, r.KEnd),
+				report.FormatSeconds(r.StaticUniformSim),
+				report.FormatSeconds(r.StaticClusteredSim),
+				report.FormatSeconds(r.AdaptiveSim),
+				fmt.Sprintf("%.3f", r.AdaptiveVsUniform),
+				fmt.Sprintf("%.3f", r.AdaptiveVsBestStatic),
+				fmt.Sprint(r.AdaptiveSwitches),
+				fmt.Sprint(r.AdaptiveClusteredCalls),
+				r.FinalChoice,
 			)
 		}
 		return tb.Emit(stdout, *csv)
@@ -345,6 +369,36 @@ func emitBench4(w io.Writer, rows []experiments.HierLevelsRow) error {
 			"flat, with the 2-level (node-only) hierarchical scheme, and with the full 3-level " +
 			"recursion on one world; auto_choice/auto_levels is what the level-aware cost model " +
 			"(ChooseAutoLevels) resolves to, cheapest_sim the empirically cheapest depth",
+		Cells: rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// emitBench5 writes the BENCH_5.json document: the runtime-adaptation
+// ablation (static-uniform vs static-clustered vs adaptive Auto on
+// stationary and drifting workloads). Every metric is simulated virtual
+// time on seeded inputs, so the file is reproducible byte-for-byte —
+// scripts/ci.sh regenerates it and hard-fails on drift, exactly like
+// BENCH_2–4.
+func emitBench5(w io.Writer, rows []experiments.AdaptRow) error {
+	doc := struct {
+		ID    string                 `json:"id"`
+		Note  string                 `json:"note"`
+		Cells []experiments.AdaptRow `json:"cells"`
+	}{
+		ID: "BENCH_5",
+		Note: "runtime-adaptation ablation: the same call schedule run under static-uniform Auto " +
+			"(the default), static-clustered Auto (Options.Support pinned to the 10%/70% default " +
+			"shape), and the adaptive controller (internal/adapt: ShapeSketch support detection + " +
+			"LinkCalibrator + hysteresis). Acceptance: adaptive_vs_uniform > 1 on the clustered and " +
+			"drifting cells, within agreement-overhead noise (~1%, two tiny allreduces per call) of " +
+			"1 on stationary uniform, and adaptive_vs_best_static within the same noise of >= 1 on " +
+			"the drifting cells. Sketch overhead wall-clock snapshot at recording time (go1.24, one " +
+			"shared machine): ~8us per observed call vs ~1.3ms per P=16 k-way split-phase merge " +
+			"(~0.6%, within the 2% budget; ~0.1% at P=64) — see BenchmarkAblationSketchOverhead, " +
+			"re-measure with go test -bench (wall time is machine-dependent and cannot be drift-gated).",
 		Cells: rows,
 	}
 	enc := json.NewEncoder(w)

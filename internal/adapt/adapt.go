@@ -1,0 +1,331 @@
+// Package adapt is the runtime adaptation layer that makes Auto algorithm
+// selection self-calibrating: instead of pricing every allreduce with the
+// assumed worst-case uniform support model and hand-set α–β network
+// constants, it observes the actual input streams and transfers and feeds
+// measured quantities back into the cost model.
+//
+// Three pieces compose:
+//
+//   - ShapeSketch — a cheap observe-only sketch of each call's input
+//     support (k/n EWMA, bucketed index-position histogram → hot-fraction
+//     / hot-mass / divergence estimates), updated inline with the call.
+//   - LinkCalibrator — an online per-hierarchy-level least-squares fit of
+//     the α–β link constants from comm.TraceEvents.
+//   - Controller — the per-rank decision wrapper threading both into
+//     core.ChooseAutoLevels with hysteresis, so algorithm/depth switches
+//     need a sustained, material predicted gain instead of thrashing
+//     between adjacent calls.
+//
+// Determinism and agreement: every rank must hold its own Controller, all
+// constructed with the same Config, and route the same calls through them
+// in the same program order (exactly the discipline collectives already
+// require). Local estimates are combined with two tiny dense allreduces
+// per decided call — a max for the per-rank non-zero count, a sum for the
+// shape and calibration statistics — so every rank derives the decision
+// from identical agreed inputs and the hysteresis state machines stay in
+// lockstep. No rank ever acts on a neighbor's raw estimate.
+package adapt
+
+import (
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+// Config tunes a Controller. The zero value selects all defaults; every
+// rank of a world must use an identical Config.
+type Config struct {
+	// Decay is the sketch EWMA weight of a new observation (default
+	// DefaultDecay).
+	Decay float64
+	// MaxSamples caps the indices one sketch observation inspects
+	// (default DefaultMaxSamples).
+	MaxSamples int
+	// ClusterThreshold is the agreed mean sketch divergence above which
+	// the cost model switches to the clustered support model (default
+	// DefaultClusterThreshold). Uniform supports measure ≈0.05–0.1 at the
+	// default sketch resolution; the clustered test pattern ≈0.6.
+	ClusterThreshold float64
+	// MinClusterK is the smallest agreed per-rank non-zero count at which
+	// the clustered classification is trusted — below it the histogram is
+	// too noisy and the uniform worst case is kept (default
+	// DefaultMinClusterK).
+	MinClusterK int
+	// SwitchMargin is the hysteresis band: a candidate must be predicted
+	// at least this fraction cheaper than the incumbent choice before a
+	// switch is considered (default DefaultSwitchMargin).
+	SwitchMargin float64
+	// HoldCalls is how many consecutive decided calls the candidate must
+	// clear the margin before the switch happens (default
+	// DefaultHoldCalls). A step change in the workload therefore converges
+	// to the new choice within HoldCalls decided calls.
+	HoldCalls int
+	// MinCalibSamples is the per-level transfer count below which the
+	// calibrated α–β constants are not used (default
+	// DefaultMinCalibSamples).
+	MinCalibSamples int
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultClusterThreshold = 0.25
+	DefaultMinClusterK      = 256
+	DefaultSwitchMargin     = 0.10
+	DefaultHoldCalls        = 2
+	DefaultMinCalibSamples  = 8
+)
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Decay == 0 {
+		c.Decay = DefaultDecay
+	}
+	if c.MaxSamples == 0 {
+		c.MaxSamples = DefaultMaxSamples
+	}
+	if c.ClusterThreshold == 0 {
+		c.ClusterThreshold = DefaultClusterThreshold
+	}
+	if c.MinClusterK == 0 {
+		c.MinClusterK = DefaultMinClusterK
+	}
+	if c.SwitchMargin == 0 {
+		c.SwitchMargin = DefaultSwitchMargin
+	}
+	if c.HoldCalls == 0 {
+		c.HoldCalls = DefaultHoldCalls
+	}
+	if c.MinCalibSamples == 0 {
+		c.MinCalibSamples = DefaultMinCalibSamples
+	}
+	return c
+}
+
+// Controller is one rank's handle on the adaptation subsystem: an
+// AutoAdaptive allreduce that sketches each input, keeps link constants
+// calibrated, agrees on the measured scenario with the other ranks, and
+// resolves the algorithm and hierarchy depth through the cost model with
+// hysteresis. Construct one per rank (NewController, or the facade's
+// World.EnableAdaptation) and treat it like a Scratch: owned by that
+// rank's goroutine, never shared.
+type Controller struct {
+	cfg    Config
+	sketch *ShapeSketch
+	calib  *LinkCalibrator
+	tracer *comm.Tracer
+
+	started               bool
+	curAlg, pendAlg       core.Algorithm
+	curLevels, pendLevels int
+	pendCount             int
+
+	switches       int
+	clusteredCalls int
+	lastSupport    core.SupportModel
+}
+
+// NewController returns a fresh per-rank controller.
+func NewController(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{cfg: cfg, sketch: NewShapeSketch(cfg.MaxSamples, cfg.Decay)}
+}
+
+// AttachTracer enables link calibration: the controller will consume this
+// rank's own sends from tr before each decision. Call once, before the
+// first Allreduce; the tracer is typically the world's
+// (comm.World.EnableTrace), shared by all ranks' controllers — each reads
+// only its own events. Bound the tracer's memory with
+// Tracer.LimitPerRank when the workload is long-running.
+func (a *Controller) AttachTracer(tr *comm.Tracer, worldRank int) {
+	a.tracer = tr
+	a.calib = NewLinkCalibrator(worldRank)
+}
+
+// Sketch returns the controller's shape sketch (for inspection).
+func (a *Controller) Sketch() *ShapeSketch { return a.sketch }
+
+// Calibrator returns the controller's link calibrator, nil until a tracer
+// is attached.
+func (a *Controller) Calibrator() *LinkCalibrator { return a.calib }
+
+// Choice returns the current algorithm/depth the controller is holding
+// (meaningful after the first Allreduce).
+func (a *Controller) Choice() (core.Algorithm, int) { return a.curAlg, a.curLevels }
+
+// Switches returns how many times the held algorithm/depth changed after
+// the initial adoption — the quantity the hysteresis tests bound.
+func (a *Controller) Switches() int { return a.switches }
+
+// ClusteredCalls returns how many decided calls selected the clustered
+// support model.
+func (a *Controller) ClusteredCalls() int { return a.clusteredCalls }
+
+// Support returns the support model the last decision used.
+func (a *Controller) Support() core.SupportModel { return a.lastSupport }
+
+// Allreduce performs a sparse allreduce of v with the adaptive decision
+// layer in front: the call is sketched, the measured scenario is agreed
+// across ranks, core.ChooseAutoLevels picks algorithm and depth from it,
+// hysteresis filters the pick, and the concrete algorithm runs. Semantics
+// (result values, bit-exactness guarantees) are those of core.Allreduce
+// for whichever algorithm runs — adaptation is observe-and-choose only.
+//
+// If opts pins a concrete algorithm (opts.Algorithm != Auto) the call is
+// passed through unchanged, though still observed, so a mixed workload
+// keeps the sketch warm.
+func (a *Controller) Allreduce(p *comm.Proc, v *stream.Vector, opts core.Options) *stream.Vector {
+	a.sketch.Observe(v)
+	if opts.Algorithm != core.Auto {
+		return core.Allreduce(p, v, opts)
+	}
+	if a.calib != nil {
+		a.calib.ConsumeOwn(a.tracer)
+	}
+	s := a.agreeScenario(p, v, opts)
+	candAlg, candLevels := core.ChooseAutoLevels(s)
+	alg, levels := a.decide(candAlg, candLevels, s)
+	opts.Algorithm, opts.Levels = alg, levels
+	opts.Support, opts.HotFraction, opts.HotMass = s.Support, s.HotFraction, s.HotMass
+	return core.Allreduce(p, v, opts)
+}
+
+// agreeScenario builds the measured cost scenario every rank agrees on:
+// the globally maximal per-rank non-zero count (one max-allreduce, as
+// core's static Auto performs), plus the mean sketch shape and the mean
+// fitted link constants (one sum-allreduce), substituted into
+// core.ScenarioFor's scenario.
+func (a *Controller) agreeScenario(p *comm.Proc, v *stream.Vector, opts core.Options) core.CostScenario {
+	P := float64(p.Size())
+	kmax := core.AllreduceDense(p, []float64{float64(v.NNZ())}, stream.OpMax)[0]
+
+	h, hasHier := p.Hierarchy()
+	depth := 1
+	if hasHier {
+		depth = h.Depth()
+	}
+	st := a.sketch.Stats()
+	// Layout: [hotFrac, hotMass, div, then per level: okFlag, alpha, beta].
+	local := make([]float64, 3+3*depth)
+	local[0], local[1], local[2] = st.HotFraction, st.HotMass, st.Divergence
+	if a.calib != nil {
+		for l := 0; l < depth; l++ {
+			if alpha, beta, ok := a.calib.Fit(l); ok && a.calib.Samples(l) >= a.cfg.MinCalibSamples {
+				local[3+3*l] = 1
+				local[4+3*l] = alpha
+				local[5+3*l] = beta
+			}
+		}
+	}
+	agreed := core.AllreduceDense(p, local, stream.OpSum)
+
+	s := core.ScenarioFor(p, v, opts, int(kmax))
+	if s.Topo != nil {
+		// Normalize to the hierarchy form so per-level calibration has one
+		// substitution point (a Topology prices exactly like its two-level
+		// hierarchy).
+		th := s.Topo.Hierarchy()
+		s.Hier, s.Topo = &th, nil
+	}
+
+	// Support model: agreed mean divergence above the threshold selects
+	// the clustered closed form, parameterized by the agreed mean hot
+	// shape. Low-sample calls keep the uniform worst case.
+	avgDiv := agreed[2] / P
+	if avgDiv >= a.cfg.ClusterThreshold && int(kmax) >= a.cfg.MinClusterK {
+		s.Support = core.SupportClustered
+		s.HotFraction = clamp(agreed[0]/P, 1.0/sketchBuckets, 1)
+		s.HotMass = clamp(agreed[1]/P, 0, 0.999)
+		a.clusteredCalls++
+	} else {
+		s.Support = core.SupportUniform
+		s.HotFraction, s.HotMass = 0, 0
+	}
+	a.lastSupport = s.Support
+
+	// Link constants: for each level where at least one rank has a usable
+	// fit, replace the hand-set α–β with the mean fitted values. The
+	// hierarchy is copied before any substitution — the world's own must
+	// never be mutated.
+	copied := false
+	for l := 0; l < depth; l++ {
+		okCnt := agreed[3+3*l]
+		if okCnt < 1 {
+			continue
+		}
+		alpha, beta := agreed[4+3*l]/okCnt, agreed[5+3*l]/okCnt
+		if s.Hier != nil {
+			if !copied {
+				hc := *s.Hier
+				hc.Levels = append([]simnet.Level(nil), hc.Levels...)
+				s.Hier = &hc
+				copied = true
+			}
+			s.Hier.Levels[l].Profile = calibrated(s.Hier.Levels[l].Profile, alpha, beta)
+			if l == depth-1 {
+				s.Profile = calibrated(s.Profile, alpha, beta)
+			}
+		} else {
+			s.Profile = calibrated(s.Profile, alpha, beta)
+		}
+	}
+	return s
+}
+
+// calibrated returns base with measured message constants substituted
+// (software terms folded into them) and compute terms kept.
+func calibrated(base simnet.Profile, alpha, beta float64) simnet.Profile {
+	base.Alpha = alpha
+	base.BetaPerByte = beta
+	base.SoftwareOverhead = 0
+	base.SoftwarePerByte = 0
+	return base
+}
+
+// decide applies hysteresis to the cost model's candidate: the incumbent
+// choice is kept unless the candidate has been predicted at least
+// SwitchMargin cheaper for HoldCalls consecutive decisions. All inputs
+// are agreed quantities, so every rank's state machine transitions
+// identically.
+func (a *Controller) decide(candAlg core.Algorithm, candLevels int, s core.CostScenario) (core.Algorithm, int) {
+	if !a.started {
+		a.started = true
+		a.curAlg, a.curLevels = candAlg, candLevels
+		return a.curAlg, a.curLevels
+	}
+	if candAlg == a.curAlg && candLevels == a.curLevels {
+		a.pendCount = 0
+		return a.curAlg, a.curLevels
+	}
+	scCur, scCand := s, s
+	scCur.Levels = a.curLevels
+	scCand.Levels = candLevels
+	tCur := core.PredictSeconds(a.curAlg, scCur)
+	tCand := core.PredictSeconds(candAlg, scCand)
+	if tCand <= (1-a.cfg.SwitchMargin)*tCur {
+		if candAlg == a.pendAlg && candLevels == a.pendLevels {
+			a.pendCount++
+		} else {
+			a.pendAlg, a.pendLevels, a.pendCount = candAlg, candLevels, 1
+		}
+		if a.pendCount >= a.cfg.HoldCalls {
+			a.curAlg, a.curLevels = candAlg, candLevels
+			a.pendCount = 0
+			a.switches++
+		}
+	} else {
+		a.pendCount = 0
+	}
+	return a.curAlg, a.curLevels
+}
+
+// clamp bounds x to [lo, hi].
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

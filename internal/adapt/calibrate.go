@@ -1,0 +1,143 @@
+package adapt
+
+import (
+	"repro/internal/comm"
+	"repro/internal/simnet"
+)
+
+// LinkCalibrator fits per-hierarchy-level α–β link constants online from
+// observed transfers. Every comm.TraceEvent carries the message's wire
+// size, the hierarchy level it was priced at, the egress serialization
+// factor it paid, and its virtual send/arrival times; under the α–β model
+// each transfer satisfies
+//
+//	arrival − send = α' + β' · bytes · factor
+//
+// with α' = α + per-message software overhead and β' = β + per-byte
+// software cost — exactly the (Alpha, BetaPerByte) pair the cost model's
+// message pricing consumes once the software terms are folded in. The
+// calibrator accumulates the running least-squares sums per level, so the
+// fit is O(1) per event and exact whenever the observed level really is
+// priced by one affine law (which the simulator guarantees; on a real
+// network the fit is the usual noisy regression).
+//
+// A calibrator belongs to one rank and consumes only that rank's own
+// sends (comm.Tracer.EventsOf): a rank's own events are always a complete,
+// deterministic prefix of its send history, regardless of what other
+// ranks are doing concurrently, which keeps per-rank fits reproducible.
+// Cross-rank agreement on the fitted constants is the Controller's job.
+type LinkCalibrator struct {
+	src      int // world rank whose sends are consumed
+	consumed int // own events already folded into the sums
+	gen      int // tracer reset generation the cursor belongs to
+	fits     []linkFit
+}
+
+// linkFit holds one level's running least-squares sums over samples
+// (x = bytes·factor, y = transfer seconds).
+type linkFit struct {
+	n, sx, sy, sxx, sxy float64
+}
+
+// NewLinkCalibrator returns an empty calibrator for the given world rank.
+func NewLinkCalibrator(worldRank int) *LinkCalibrator {
+	return &LinkCalibrator{src: worldRank}
+}
+
+// ConsumeOwn folds this rank's not-yet-consumed sends from the tracer
+// into the per-level fits — an O(new events) incremental read
+// (comm.Tracer.EventsOfSince), not a rescan of the history. Safe to call
+// at any point of a collective schedule: only events the calibrator's
+// own rank produced are read. A Tracer.Reset in between (detected by the
+// reset generation, however many events were re-recorded since) discards
+// the fits along with the cursor, so epochs are never mixed.
+func (c *LinkCalibrator) ConsumeOwn(tr *comm.Tracer) {
+	if tr == nil {
+		return
+	}
+	events, gen := tr.EventsOfSince(c.src, c.consumed)
+	if gen != c.gen {
+		c.gen, c.consumed, c.fits = gen, 0, nil
+		events, _ = tr.EventsOfSince(c.src, 0)
+	}
+	c.ObserveEvents(events)
+	c.consumed += len(events)
+}
+
+// ObserveEvents folds the given trace events into the per-level fits
+// (no ownership filtering — callers that already hold a coherent event
+// set, e.g. a post-run analysis, can feed it directly).
+func (c *LinkCalibrator) ObserveEvents(events []comm.TraceEvent) {
+	for _, e := range events {
+		for e.Level >= len(c.fits) {
+			c.fits = append(c.fits, linkFit{})
+		}
+		f := &c.fits[e.Level]
+		x := float64(e.Bytes) * e.NICFactor
+		y := e.Arrival - e.SendTime
+		f.n++
+		f.sx += x
+		f.sy += y
+		f.sxx += x * x
+		f.sxy += x * y
+	}
+}
+
+// Samples returns how many transfers have been observed at the level.
+func (c *LinkCalibrator) Samples(level int) int {
+	if level < 0 || level >= len(c.fits) {
+		return 0
+	}
+	return int(c.fits[level].n)
+}
+
+// Fit returns the fitted (alpha, beta) of the level in seconds and
+// seconds-per-byte. ok is false while the fit is unusable: fewer than two
+// samples, no spread in message sizes (α and β cannot be separated), or a
+// degenerate negative slope/intercept.
+func (c *LinkCalibrator) Fit(level int) (alpha, beta float64, ok bool) {
+	if level < 0 || level >= len(c.fits) {
+		return 0, 0, false
+	}
+	f := c.fits[level]
+	if f.n < 2 {
+		return 0, 0, false
+	}
+	denom := f.n*f.sxx - f.sx*f.sx
+	if denom <= 1e-9*f.sxx {
+		return 0, 0, false
+	}
+	beta = (f.n*f.sxy - f.sx*f.sy) / denom
+	alpha = (f.sy - beta*f.sx) / f.n
+	if alpha < 0 {
+		if alpha < -1e-12 {
+			return 0, 0, false
+		}
+		alpha = 0 // exact-fit cancellation noise
+	}
+	if beta <= 0 {
+		return 0, 0, false
+	}
+	return alpha, beta, true
+}
+
+// CalibratedProfile returns base with its message terms replaced by the
+// level's fitted constants: Alpha and BetaPerByte carry the measured
+// values (software overheads are folded into them, so those fields are
+// zeroed) while the compute terms (γ, sparse factor), which transfers
+// cannot reveal, are kept from base. ok is false — and base returned
+// unchanged — while the level has fewer than minSamples usable samples or
+// no valid fit. This is the deliberate single-rank convenience (post-run
+// analysis, custom decision layers); the Controller does not call it —
+// its decisions substitute the raw fitted constants only after averaging
+// them across ranks, so no rank ever prices with its own unagreed fit.
+func (c *LinkCalibrator) CalibratedProfile(base simnet.Profile, level, minSamples int) (simnet.Profile, bool) {
+	if c.Samples(level) < minSamples {
+		return base, false
+	}
+	alpha, beta, ok := c.Fit(level)
+	if !ok {
+		return base, false
+	}
+	return calibrated(base, alpha, beta), true
+}

@@ -35,8 +35,11 @@ type TraceEvent struct {
 
 // Tracer collects TraceEvents from a world. Safe for concurrent use.
 type Tracer struct {
-	mu     sync.Mutex
-	events []TraceEvent
+	mu      sync.Mutex
+	events  []TraceEvent
+	bySrc   map[int][]int32 // per-source indices into events, in send order
+	perRank int             // max recorded events per source rank; 0 = unlimited
+	gen     int             // reset generation, bumped by Reset
 }
 
 // EnableTrace attaches a tracer to the world; every subsequent Send is
@@ -52,8 +55,31 @@ func (w *World) DisableTrace() {
 	w.tracer.Store((*Tracer)(nil))
 }
 
+// LimitPerRank caps how many events the tracer records per *source* rank;
+// once a rank has limit recorded sends, its further sends are dropped.
+// A per-rank (rather than global) cap keeps long-running traced worlds —
+// e.g. a training loop with adaptation enabled — at bounded memory while
+// staying deterministic: whether a given rank's k-th send is recorded
+// depends only on k, never on cross-rank goroutine interleaving, so
+// consumers reading their own rank's events (Tracer.EventsOf) see a
+// reproducible prefix. The cap applies against the events already
+// recorded, whenever they were recorded; limit <= 0 removes the cap.
+func (t *Tracer) LimitPerRank(limit int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.perRank = limit
+}
+
 func (t *Tracer) record(e TraceEvent) {
 	t.mu.Lock()
+	if t.bySrc == nil {
+		t.bySrc = make(map[int][]int32)
+	}
+	if t.perRank > 0 && len(t.bySrc[e.Src]) >= t.perRank {
+		t.mu.Unlock()
+		return
+	}
+	t.bySrc[e.Src] = append(t.bySrc[e.Src], int32(len(t.events)))
 	t.events = append(t.events, e)
 	t.mu.Unlock()
 }
@@ -72,10 +98,48 @@ func (t *Tracer) Events() []TraceEvent {
 	return out
 }
 
-// Reset clears recorded events.
+// EventsOf returns the recorded events sent by the given world rank, in
+// send order. Unlike Events, the result is well-defined even while other
+// ranks are still sending: a rank's own sends are recorded synchronously
+// inside Send, so when that rank calls EventsOf(itsRank) the slice is a
+// complete, stable prefix of its send history — the property the
+// adapt-layer link calibrator relies on for deterministic per-rank fits.
+func (t *Tracer) EventsOf(src int) []TraceEvent {
+	events, _ := t.EventsOfSince(src, 0)
+	return events
+}
+
+// EventsOfSince is the incremental form of EventsOf: it returns only the
+// given rank's events from index `from` on (O(new events), not a rescan
+// of the history), together with the tracer's reset generation. A
+// consumer holding a cursor compares the generation against the one it
+// last saw: a change means Reset ran in between, so its cursor indexes a
+// discarded history and it must restart from zero.
+func (t *Tracer) EventsOfSince(src, from int) (events []TraceEvent, generation int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	own := t.bySrc[src]
+	if from < 0 {
+		from = 0
+	}
+	if from < len(own) {
+		events = make([]TraceEvent, 0, len(own)-from)
+		for _, i := range own[from:] {
+			events = append(events, t.events[i])
+		}
+	}
+	return events, t.gen
+}
+
+// Reset clears recorded events and bumps the reset generation (see
+// EventsOfSince).
 func (t *Tracer) Reset() {
 	t.mu.Lock()
 	t.events = t.events[:0]
+	if t.bySrc != nil {
+		clear(t.bySrc)
+	}
+	t.gen++
 	t.mu.Unlock()
 }
 

@@ -90,3 +90,149 @@ func TestTracerDumpAndReset(t *testing.T) {
 		t.Fatal("reset failed")
 	}
 }
+
+// TestTracerEventsOf: per-source filtering returns a rank's sends in send
+// order, complete regardless of other ranks' concurrent activity.
+func TestTracerEventsOf(t *testing.T) {
+	w := NewWorld(3, simnet.Profile{Alpha: 1e-6})
+	tr := w.EnableTrace()
+	Run(w, func(p *Proc) any {
+		peer := (p.Rank() + 1) % 3
+		for i := 0; i < 4; i++ {
+			p.Send(peer, 100+i, nil, 8*(i+1))
+		}
+		from := (p.Rank() + 2) % 3
+		for i := 0; i < 4; i++ {
+			p.Recv(from, 100+i)
+		}
+		return nil
+	})
+	for src := 0; src < 3; src++ {
+		own := tr.EventsOf(src)
+		if len(own) != 4 {
+			t.Fatalf("src %d: %d events, want 4", src, len(own))
+		}
+		for i, e := range own {
+			if e.Src != src {
+				t.Fatalf("src %d: foreign event %+v", src, e)
+			}
+			if e.Bytes != 8*(i+1) {
+				t.Fatalf("src %d: events out of send order: %+v", src, own)
+			}
+		}
+	}
+	if got := tr.EventsOf(99); got != nil {
+		t.Fatalf("unknown source should have no events, got %v", got)
+	}
+}
+
+// TestTracerLimitPerRank: the per-rank cap keeps exactly the first limit
+// sends of each rank — a deterministic prefix, unlike a global cap.
+func TestTracerLimitPerRank(t *testing.T) {
+	w := NewWorld(2, simnet.Profile{Alpha: 1e-6})
+	tr := w.EnableTrace()
+	tr.LimitPerRank(3)
+	Run(w, func(p *Proc) any {
+		peer := 1 - p.Rank()
+		for i := 0; i < 10; i++ {
+			p.Send(peer, 200+i, nil, 8*(i+1))
+		}
+		for i := 0; i < 10; i++ {
+			p.Recv(peer, 200+i)
+		}
+		return nil
+	})
+	for src := 0; src < 2; src++ {
+		own := tr.EventsOf(src)
+		if len(own) != 3 {
+			t.Fatalf("src %d: %d events recorded, want the capped 3", src, len(own))
+		}
+		for i, e := range own {
+			if e.Bytes != 8*(i+1) {
+				t.Fatalf("src %d: cap must keep the FIRST sends, got %+v", src, own)
+			}
+		}
+	}
+	// Reset clears the per-rank counts too: recording resumes.
+	tr.Reset()
+	Run(w, func(p *Proc) any {
+		peer := 1 - p.Rank()
+		p.Send(peer, 300, nil, 8)
+		p.Recv(peer, 300)
+		return nil
+	})
+	if got := len(tr.EventsOf(0)); got != 1 {
+		t.Fatalf("after reset: %d events, want 1", got)
+	}
+}
+
+// TestTracerLimitReEnable: disabling the cap and re-enabling it later
+// must enforce against the true recorded counts, not counts from the
+// first capped epoch.
+func TestTracerLimitReEnable(t *testing.T) {
+	w := NewWorld(2, simnet.Profile{Alpha: 1e-6})
+	tr := w.EnableTrace()
+	send := func(rounds, tagBase int) {
+		Run(w, func(p *Proc) any {
+			peer := 1 - p.Rank()
+			for i := 0; i < rounds; i++ {
+				p.Send(peer, tagBase+i, nil, 8)
+			}
+			for i := 0; i < rounds; i++ {
+				p.Recv(peer, tagBase+i)
+			}
+			return nil
+		})
+	}
+	tr.LimitPerRank(2)
+	send(5, 100) // capped at 2
+	tr.LimitPerRank(0)
+	send(5, 200) // uncapped: 5 more
+	tr.LimitPerRank(3)
+	send(5, 300) // already 7 >= 3 recorded: nothing more
+	if got := len(tr.EventsOf(0)); got != 7 {
+		t.Fatalf("recorded %d events for rank 0, want 2 capped + 5 uncapped = 7", got)
+	}
+}
+
+// TestTracerEventsOfSince: the incremental read hands out only the new
+// suffix, and the generation exposes Resets even after the source has
+// re-recorded more events than the caller's cursor.
+func TestTracerEventsOfSince(t *testing.T) {
+	w := NewWorld(2, simnet.Profile{Alpha: 1e-6})
+	tr := w.EnableTrace()
+	send := func(rounds, tagBase int) {
+		Run(w, func(p *Proc) any {
+			peer := 1 - p.Rank()
+			for i := 0; i < rounds; i++ {
+				p.Send(peer, tagBase+i, nil, 8*(i+1))
+			}
+			for i := 0; i < rounds; i++ {
+				p.Recv(peer, tagBase+i)
+			}
+			return nil
+		})
+	}
+	send(3, 100)
+	first, gen0 := tr.EventsOfSince(0, 0)
+	if len(first) != 3 {
+		t.Fatalf("initial read: %d events, want 3", len(first))
+	}
+	rest, gen1 := tr.EventsOfSince(0, 3)
+	if len(rest) != 0 || gen1 != gen0 {
+		t.Fatalf("cursor read should be empty at the same generation, got %d events gen %d", len(rest), gen1)
+	}
+	tr.Reset()
+	send(5, 200) // MORE events than the old cursor: a naive len check would miss the reset
+	after, gen2 := tr.EventsOfSince(0, 3)
+	if gen2 == gen0 {
+		t.Fatal("reset must bump the generation")
+	}
+	if len(after) != 2 {
+		t.Fatalf("post-reset read from stale cursor 3: %d events, want 2 (of the 5 new)", len(after))
+	}
+	all, _ := tr.EventsOfSince(0, 0)
+	if len(all) != 5 {
+		t.Fatalf("post-reset full read: %d events, want 5", len(all))
+	}
+}

@@ -132,6 +132,18 @@ type Options struct {
 	// so explicit values are mainly for ablations such as the hierlevels
 	// sweep.
 	Levels int
+	// Support selects the index-distribution assumption Auto's cost model
+	// uses for the fill-in expectation E[K] (see CostScenario.Support for
+	// the estimators' validity ranges). The default SupportUniform is the
+	// paper's worst case; SupportClustered prices blocked hot-set supports.
+	// The runtime adaptation layer (internal/adapt) sets this per call from
+	// the observed input shape; setting it statically pins the assumption,
+	// which is how the BENCH_5 static-clustered ablation arm is built.
+	Support SupportModel
+	// HotFraction and HotMass parameterize SupportClustered, exactly as in
+	// CostScenario; zero values take the defaults. Ignored under
+	// SupportUniform.
+	HotFraction, HotMass float64
 	// Scratch, when non-nil, supplies the reusable buffer pool the
 	// collectives draw merge/densify storage from and recycle received
 	// streams into, making steady-state allreduce calls nearly
@@ -201,19 +213,34 @@ func resolve(p *comm.Proc, v *stream.Vector, opts Options, base int) (Algorithm,
 	}
 	kmax := int(AllreduceDenseRecDouble(p, []float64{float64(v.NNZ())},
 		stream.OpMax, stream.DefaultValueBytes, base+resolveTagOffset)[0])
+	return ChooseAutoLevels(ScenarioFor(p, v, opts, kmax))
+}
+
+// ScenarioFor builds the CostScenario Auto prices a call with: the
+// vector's shape and wire settings, the communicator's size, profile and
+// machine hierarchy, and the options' quantization/support/depth knobs,
+// with K set to the globally agreed maximum per-rank non-zero count. It
+// is exported for decision layers that run the agreement themselves and
+// want to adjust the scenario before choosing — the runtime adaptation
+// controller substitutes its measured support model and calibrated link
+// constants into exactly this scenario.
+func ScenarioFor(p *comm.Proc, v *stream.Vector, opts Options, kmax int) CostScenario {
 	s := CostScenario{
 		N: v.Dim(), P: p.Size(), K: kmax,
 		ValueBytes: v.ValueBytes(), Delta: v.Delta(),
 		Profile: p.Profile(), Quant: opts.Quant,
 		SmallDataBytes: opts.SmallDataBytes,
 		Levels:         opts.Levels,
+		Support:        opts.Support,
+		HotFraction:    opts.HotFraction,
+		HotMass:        opts.HotMass,
 	}
 	if topo, ok := p.Topology(); ok {
 		s.Topo = &topo
 	} else if h, ok := p.Hierarchy(); ok {
 		s.Hier = &h
 	}
-	return ChooseAutoLevels(s)
+	return s
 }
 
 // resolveTagOffset reserves the top half of each collective's tag range

@@ -68,8 +68,18 @@ type CostScenario struct {
 	// Support selects the index-distribution assumption behind the fill-in
 	// expectation E[K]. The default SupportUniform is the paper's
 	// worst-case uniform model; SupportClustered uses the blocked hot-set
-	// closed form (density.ExpectedKClustered), which avoids the uniform
-	// model's systematic E[K] overestimate on clustered gradient supports.
+	// closed form (density.ExpectedKClustered).
+	//
+	// Validity ranges: on genuinely clustered supports (the `clustered`
+	// test pattern: a 10% hot block absorbing 70% of the mass) the
+	// clustered form tracks the measured union within ~15%, while the
+	// uniform form overestimates it by ~1.65× — enough to flip the δ
+	// regime gate toward the dense-result family near the boundary
+	// (TestSupportModelGateBoundary pins the band). Conversely, applying
+	// SupportClustered to uniform supports *under*estimates E[K] by a
+	// comparable factor and flips the gate the other way; neither model is
+	// safe to hand-set without knowing the input shape, which is what the
+	// internal/adapt ShapeSketch measures at runtime.
 	Support SupportModel
 	// HotFraction and HotMass parameterize SupportClustered: the fraction
 	// of the dimension space forming the shared hot region and the

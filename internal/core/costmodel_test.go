@@ -278,3 +278,78 @@ func TestClusteredSupportModelRemovesSkew(t *testing.T) {
 		t.Fatalf("measured union %.0f is not actually below δ=%d", measured, delta)
 	}
 }
+
+// TestSupportModelGateBoundary is the boundary-value companion to
+// TestClusteredSupportModelRemovesSkew: it locates, by bisection, the
+// exact per-rank non-zero count at which each support model's expected
+// fill-in crosses δ — the point where the δ regime gate flips Auto from
+// the sparse-result to the dense-result family — and pins (a) that the
+// flip is a clean boundary (k−1 routes sparse, k routes dense, for both
+// models), and (b) the documented skew: the uniform worst case reaches
+// the gate at roughly a third of the clustered form's k, the band in
+// which the two models disagree about the decision.
+func TestSupportModelGateBoundary(t *testing.T) {
+	n, P := 1<<16, 16
+	delta := stream.Delta(n, stream.DefaultValueBytes)
+	gateK := func(support SupportModel) int {
+		lo, hi := 1, n // fill is monotone in k; find min k with E[K] >= δ
+		for lo < hi {
+			mid := (lo + hi) / 2
+			var ek float64
+			if support == SupportClustered {
+				ek = density.ExpectedKClustered(n, mid, P, DefaultHotFraction, DefaultHotMass)
+			} else {
+				ek = density.ExpectedKUniform(n, mid, P)
+			}
+			if ek >= float64(delta) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}
+	family := func(k int, support SupportModel) string {
+		alg := ChooseAuto(CostScenario{N: n, P: P, K: k, Profile: simnet.Aries, Support: support})
+		switch alg {
+		case DSARSplitAllgather, HierDSAR:
+			return "dense"
+		default:
+			return "sparse"
+		}
+	}
+
+	kU, kC := gateK(SupportUniform), gateK(SupportClustered)
+	if kU >= kC {
+		t.Fatalf("uniform gate k=%d must sit below clustered gate k=%d", kU, kC)
+	}
+	// The uniform form's ~1.65x E[K] overestimate on clustered supports
+	// translates to reaching δ at roughly a third of the clustered k here.
+	if ratio := float64(kC) / float64(kU); ratio < 1.5 || ratio > 5 {
+		t.Fatalf("gate-k ratio %.2f outside the documented skew band [1.5, 5]", ratio)
+	}
+	// Boundary values: one non-zero below each gate stays sparse, the
+	// gate itself flips dense — for the model that owns the gate.
+	for _, tc := range []struct {
+		support SupportModel
+		k       int
+		name    string
+	}{
+		{SupportUniform, kU, "uniform"},
+		{SupportClustered, kC, "clustered"},
+	} {
+		if got := family(tc.k-1, tc.support); got != "sparse" {
+			t.Fatalf("%s model at gate-1 (k=%d) routed %s, want sparse", tc.name, tc.k-1, got)
+		}
+		if got := family(tc.k, tc.support); got != "dense" {
+			t.Fatalf("%s model at gate (k=%d) routed %s, want dense", tc.name, tc.k, got)
+		}
+	}
+	// Inside the disagreement band the two models flip the DECISION, not
+	// just the estimate: same instance, different family.
+	mid := (kU + kC) / 2
+	if family(mid, SupportUniform) != "dense" || family(mid, SupportClustered) != "sparse" {
+		t.Fatalf("k=%d inside (kU=%d, kC=%d) should split the models' decisions", mid, kU, kC)
+	}
+	t.Logf("δ=%d: uniform gate k=%d, clustered gate k=%d (ratio %.2f)", delta, kU, kC, float64(kC)/float64(kU))
+}

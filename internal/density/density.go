@@ -61,6 +61,16 @@ func ExpectedKInclusionExclusion(n, k, p int) float64 {
 // is substantially below ExpectedKUniform — the uniform worst case
 // overestimates clustered fill-in and, through the cost model, skews Auto
 // toward the dense regime.
+//
+// Validity range: against the measured union of the `clustered` test
+// pattern (hotFrac = 0.1, hotMass = 0.7) the closed form is accurate to
+// ~15% across the sparse regime, where ExpectedKUniform overestimates the
+// same unions by ~1.65×. The estimate is only as good as its (hotFrac,
+// hotMass) parameters — with a mismatched shape (e.g. the defaults applied
+// to uniform supports, where the form *under*estimates E[K]) the error can
+// flip the δ regime gate near the boundary exactly as the uniform form
+// does in the other direction; see core.CostScenario.Support and the
+// boundary-value test TestSupportModelGateBoundary.
 func ExpectedKClustered(n, k, p int, hotFrac, hotMass float64) float64 {
 	if n <= 0 || k < 0 || p <= 0 {
 		panic("density: invalid parameters")

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRunAdaptCellDeterministic checks one reduced adaptation cell is
+// fully deterministic (the property the BENCH_5 drift gate relies on)
+// and internally consistent.
+func TestRunAdaptCellDeterministic(t *testing.T) {
+	wl := adaptWorkload{
+		name: "clustered", calls: 6, hotFrac: 0.05,
+		kAt:    func(int) int { return (1 << 16) / 25 },
+		biasAt: func(int) float64 { return 0.9 },
+	}
+	a := RunAdaptCell(1<<16, 16, 4, 1, wl, 42)
+	b := RunAdaptCell(1<<16, 16, 4, 1, wl, 42)
+	if a != b {
+		t.Fatalf("adapt cell not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.StaticUniformSim <= 0 || a.StaticClusteredSim <= 0 || a.AdaptiveSim <= 0 {
+		t.Fatalf("non-positive simulated times: %+v", a)
+	}
+	if a.AdaptiveClusteredCalls == 0 {
+		t.Fatal("strongly clustered cell should select the clustered support model")
+	}
+	wantBest := math.Min(a.StaticUniformSim, a.StaticClusteredSim) / a.AdaptiveSim
+	if math.Abs(wantBest-a.AdaptiveVsBestStatic) > 1e-12 {
+		t.Fatalf("ratio bookkeeping wrong: %v vs %v", wantBest, a.AdaptiveVsBestStatic)
+	}
+}

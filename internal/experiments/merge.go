@@ -45,30 +45,42 @@ type MergeCell struct {
 	SplitSimSeconds float64 `json:"split_allgather_sim_seconds"`
 }
 
+// biasedSparse draws one sparse stream of k distinct indices: each draw
+// lands in the leading `hot` coordinates with probability `bias`,
+// uniformly in [0, n) otherwise. Shared by the merge (BENCH_3) and
+// adaptation (BENCH_5) cells; bias 0 consumes no bias draws, keeping the
+// uniform cells' rng streams stable.
+func biasedSparse(rng *rand.Rand, n, k, hot int, bias float64) *stream.Vector {
+	seen := map[int32]bool{}
+	idx := make([]int32, 0, k)
+	val := make([]float64, 0, k)
+	for len(idx) < k {
+		var ix int32
+		if bias > 0 && rng.Float64() < bias {
+			ix = int32(rng.Intn(hot))
+		} else {
+			ix = int32(rng.Intn(n))
+		}
+		if seen[ix] {
+			continue
+		}
+		seen[ix] = true
+		idx = append(idx, ix)
+		val = append(val, float64(rng.Intn(64)-32)/8+0.125)
+	}
+	return stream.NewSparse(n, idx, val, stream.OpSum)
+}
+
 // mergeInputs builds P deterministic sparse streams for a cell.
 func mergeInputs(seed int64, n, k, P int, pattern string) []*stream.Vector {
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]*stream.Vector, P)
 	for r := range out {
-		seen := map[int32]bool{}
-		idx := make([]int32, 0, k)
-		val := make([]float64, 0, k)
-		hot := n / 10
-		for len(idx) < k {
-			var ix int32
-			if pattern == "clustered" && rng.Float64() < 0.7 {
-				ix = int32(rng.Intn(hot))
-			} else {
-				ix = int32(rng.Intn(n))
-			}
-			if seen[ix] {
-				continue
-			}
-			seen[ix] = true
-			idx = append(idx, ix)
-			val = append(val, float64(rng.Intn(64)-32)/8+0.125)
+		bias := 0.0
+		if pattern == "clustered" {
+			bias = 0.7
 		}
-		out[r] = stream.NewSparse(n, idx, val, stream.OpSum)
+		out[r] = biasedSparse(rng, n, k, n/10, bias)
 	}
 	return out
 }

@@ -1,0 +1,62 @@
+package stream
+
+import "testing"
+
+// recordingObserver captures what Observe hands out.
+type recordingObserver struct {
+	sparseN, denseN int
+	idx             []int32
+	dns             []float64
+	neutral         float64
+}
+
+func (r *recordingObserver) ObserveSparse(n int, idx []int32) {
+	r.sparseN, r.idx = n, idx
+}
+
+func (r *recordingObserver) ObserveDense(n int, dns []float64, neutral float64) {
+	r.denseN, r.dns, r.neutral = n, dns, neutral
+}
+
+// TestObserveRepresentations: the observer sees the live backing storage
+// of whichever representation the vector is in, with no copying and no
+// mutation.
+func TestObserveRepresentations(t *testing.T) {
+	v := NewSparse(100, []int32{3, 7, 50}, []float64{1, 2, 3}, OpSum)
+	var r recordingObserver
+	v.Observe(&r)
+	if r.sparseN != 100 || len(r.idx) != 3 || r.idx[2] != 50 {
+		t.Fatalf("sparse observation wrong: n=%d idx=%v", r.sparseN, r.idx)
+	}
+	if r.denseN != 0 {
+		t.Fatal("sparse vector must not be observed densely")
+	}
+	idx, _ := v.Pairs()
+	if &r.idx[0] != &idx[0] {
+		t.Fatal("sparse observation must alias the backing storage, not copy it")
+	}
+
+	v.Densify()
+	var d recordingObserver
+	v.Observe(&d)
+	if d.denseN != 100 || len(d.dns) != 100 || d.dns[50] != 3 || d.neutral != 0 {
+		t.Fatalf("dense observation wrong: n=%d len=%d", d.denseN, len(d.dns))
+	}
+
+	prod := NewSparse(10, []int32{1}, []float64{4}, OpProd)
+	prod.Densify()
+	var p recordingObserver
+	prod.Observe(&p)
+	if p.neutral != 1 {
+		t.Fatalf("OpProd neutral = %g, want 1", p.neutral)
+	}
+}
+
+// TestObserveEmpty: observing an empty vector feeds an empty index slice.
+func TestObserveEmpty(t *testing.T) {
+	var r recordingObserver
+	Zero(5, OpSum).Observe(&r)
+	if r.sparseN != 5 || len(r.idx) != 0 {
+		t.Fatalf("empty observation wrong: n=%d idx=%v", r.sparseN, r.idx)
+	}
+}

@@ -11,6 +11,7 @@ package train
 import (
 	"math/rand"
 
+	"repro/internal/adapt"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/quant"
@@ -116,6 +117,18 @@ type Config struct {
 	// using non-blocking calls", §8.3). Requires the task's model to
 	// implement LayerSpans; ignored otherwise.
 	LayerWise bool
+	// Adapt, when non-nil, routes MethodTopK's fused gradient allreduces
+	// through the runtime adaptation controller instead of static Auto:
+	// each call is sketched, and algorithm/depth are chosen from the
+	// measured support shape and calibrated link constants with
+	// hysteresis. One controller per rank, all built with the same
+	// adapt.Config (the facade's World.EnableAdaptation does this). TopK
+	// SGD is the canonical adaptive workload: the residual's density and
+	// clustering drift as training progresses, so a static support
+	// assumption is wrong for part of every run. Ignored by the dense and
+	// BMUF methods and by the layer-wise path (nonblocking per-layer calls
+	// would need one controller per layer to stay in lockstep).
+	Adapt *adapt.Controller
 	// LRSchedule, when non-nil, multiplies LR by LRSchedule(epoch) — the
 	// paper's Table 3 schedules ("we start with a learning rate of 1,
 	// which is divided by 10 at 30 and 60 epochs") and the diminishing
@@ -228,7 +241,12 @@ func Run(p *comm.Proc, task Task, cfg Config) []Point {
 				} else {
 					contrib := residual.Extract(cfg.Bucket, cfg.K)
 					t0 := p.Now()
-					sum := core.Allreduce(p, contrib, opts)
+					var sum *stream.Vector
+					if cfg.Adapt != nil {
+						sum = cfg.Adapt.Allreduce(p, contrib, opts)
+					} else {
+						sum = core.Allreduce(p, contrib, opts)
+					}
 					commTime += p.Now() - t0
 					bytesSent += int64(contrib.WireBytes())
 					applyUpdateVec(params, sum)

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/adapt"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/data"
@@ -300,5 +301,59 @@ func TestScheduledTrainingConverges(t *testing.T) {
 	final := hist[0][len(hist[0])-1]
 	if final.Top1 < 0.9 {
 		t.Fatalf("scheduled training top-1 %g, want ≥0.9", final.Top1)
+	}
+}
+
+// TestTopKAdaptiveTraining drives the runtime adaptation layer from the
+// TopK SGD loop — the canonical adaptive workload: residual density and
+// clustering drift as training progresses. The adaptive run must converge
+// like the static one, keep replicas consistent, and actually exercise
+// the decision layer (a concrete algorithm held, calibration samples
+// consumed).
+func TestTopKAdaptiveTraining(t *testing.T) {
+	P := 4
+	w := comm.NewWorldTopo(P, simnet.Topology{
+		RanksPerNode: 2, Intra: simnet.NVLinkLike, Inter: simnet.Aries, NICSerial: 1,
+	})
+	tr := w.EnableTrace()
+	tr.LimitPerRank(4096)
+	ctrls := make([]*adapt.Controller, P)
+	for r := range ctrls {
+		ctrls[r] = adapt.NewController(adapt.Config{})
+		ctrls[r].AttachTracer(tr, r)
+	}
+	hist := comm.Run(w, func(p *comm.Proc) []Point {
+		cfg := Config{
+			Method: MethodTopK, LR: 0.05 / 4,
+			BatchPerNode: 32, Epochs: 8,
+			Bucket: 512, K: 16, Algorithm: core.Auto, Seed: 1,
+			Adapt: ctrls[p.Rank()],
+		}
+		return Run(p, denseBlobTask(p.Rank(), P), cfg)
+	})
+	final := hist[0][len(hist[0])-1]
+	if final.Top1 < 0.85 {
+		t.Fatalf("adaptive TopK final top-1 %g, want ≥0.85", final.Top1)
+	}
+	for r := 1; r < P; r++ {
+		for e := range hist[r] {
+			if hist[r][e].Loss != hist[0][e].Loss || hist[r][e].Top1 != hist[0][e].Top1 {
+				t.Fatalf("rank %d epoch %d history diverged from rank 0 — replicas inconsistent", r, e)
+			}
+		}
+	}
+	alg, _ := ctrls[0].Choice()
+	if alg == core.Auto {
+		t.Fatal("controller never resolved a concrete algorithm")
+	}
+	if ctrls[0].Calibrator().Samples(0) == 0 {
+		t.Fatal("no calibration samples consumed during training")
+	}
+	for r := 1; r < P; r++ {
+		algR, lvR := ctrls[r].Choice()
+		alg0, lv0 := ctrls[0].Choice()
+		if algR != alg0 || lvR != lv0 {
+			t.Fatalf("rank %d controller holds %s@%d, rank 0 %s@%d — must agree", r, algR, lvR, alg0, lv0)
+		}
 	}
 }

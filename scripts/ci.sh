@@ -4,9 +4,13 @@
 # race-check the concurrency hot spots (the message-passing substrate and
 # the collectives that run on it), run the full test suite, smoke-run the
 # k-way merge ablation benchmarks, then record the deterministic sweeps as
-# BENCH_2.json (contention model), BENCH_3.json (k-way merge/scratch), and
-# BENCH_4.json (hierarchy-depth ablation), hard-failing if any drifts from
-# the committed files.
+# BENCH_2.json (contention model), BENCH_3.json (k-way merge/scratch),
+# BENCH_4.json (hierarchy-depth ablation), and BENCH_5.json (runtime
+# adaptation ablation), hard-failing if any drifts from the committed
+# files. BENCH_5's acceptance invariants (adaptive beats static-uniform on
+# clustered/drifting workloads, within noise elsewhere) are enforced by
+# TestBench5AcceptanceCriteria against the committed file during the test
+# phase, so a drift that regresses them fails twice.
 #
 # Usage: ./scripts/ci.sh
 set -euo pipefail
@@ -27,24 +31,25 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo "== doccheck (exported symbols need doc comments)"
-go run ./tools/doccheck . ./internal/simnet ./internal/comm ./internal/core
+go run ./tools/doccheck . ./internal/simnet ./internal/comm ./internal/core ./internal/adapt
 
 echo "== docdrift (docs tables must name real identifiers)"
 go run ./tools/docdrift -root . docs/COLLECTIVES.md docs/ARCHITECTURE.md
 
-echo "== go test -race (comm + core)"
-go test -race ./internal/comm/... ./internal/core/...
+echo "== go test -race (comm + core + adapt)"
+go test -race ./internal/comm/... ./internal/core/... ./internal/adapt/...
 
 echo "== go test ./..."
 go test ./...
 
-echo "== bench smoke (k-way merge + scratch ablations, 1 iteration each)"
-go test -run '^$' -bench 'BenchmarkAblationKWayMerge|BenchmarkAblationScratchAllreduce' -benchtime 1x . > /dev/null
+echo "== bench smoke (k-way merge + scratch + sketch-overhead ablations, 1 iteration each)"
+go test -run '^$' -bench 'BenchmarkAblationKWayMerge|BenchmarkAblationScratchAllreduce|BenchmarkAblationSketchOverhead' -benchtime 1x . > /dev/null
 
 tmp_bench=$(mktemp)
 tmp_bench3=$(mktemp)
 tmp_bench4=$(mktemp)
-trap 'rm -f "$tmp_bench" "$tmp_bench3" "$tmp_bench4"' EXIT
+tmp_bench5=$(mktemp)
+trap 'rm -f "$tmp_bench" "$tmp_bench3" "$tmp_bench4" "$tmp_bench5"' EXIT
 
 echo "== record BENCH_2.json (contention-model sweep; simulated metrics only, deterministic)"
 go run ./cmd/sparbench -sweep contention -json > "$tmp_bench"
@@ -67,6 +72,14 @@ go run ./cmd/sparbench -sweep hierlevels -json > "$tmp_bench4"
 if ! cmp -s "$tmp_bench4" BENCH_4.json; then
   cp "$tmp_bench4" BENCH_4.json
   echo "BENCH_4.json drifted from the committed sweep — regenerated it; commit the update" >&2
+  exit 1
+fi
+
+echo "== record BENCH_5.json (runtime-adaptation ablation; simulated metrics only, deterministic)"
+go run ./cmd/sparbench -sweep adapt -json > "$tmp_bench5"
+if ! cmp -s "$tmp_bench5" BENCH_5.json; then
+  cp "$tmp_bench5" BENCH_5.json
+  echo "BENCH_5.json drifted from the committed sweep — regenerated it; commit the update" >&2
   exit 1
 fi
 

@@ -23,6 +23,7 @@
 package sparcml
 
 import (
+	"repro/internal/adapt"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/quant"
@@ -91,6 +92,33 @@ type Scratch = stream.Scratch
 
 // NewScratch returns an empty reduction-buffer pool for one rank.
 func NewScratch() *Scratch { return stream.NewScratch() }
+
+// SupportModel selects the index-distribution assumption behind the cost
+// model's fill-in expectation E[K]; see core.CostScenario.Support for the
+// estimators' validity ranges.
+type SupportModel = core.SupportModel
+
+// Support models for CostScenario.Support / Options.Support.
+const (
+	// SupportUniform is the paper's worst-case uniform support model.
+	SupportUniform = core.SupportUniform
+	// SupportClustered is the blocked hot-set support model
+	// (density.ExpectedKClustered), parameterized by HotFraction/HotMass.
+	SupportClustered = core.SupportClustered
+)
+
+// Adaptive is a per-rank runtime adaptation controller: an AutoAdaptive
+// allreduce decision layer that sketches every input's support shape,
+// keeps per-level α–β link constants calibrated from observed transfers,
+// and feeds both into the cost model with hysteresis. Obtain controllers
+// with World.EnableAdaptation + World.Adapt and drive calls through
+// Comm.AllreduceAdaptive. See internal/adapt.Controller.
+type Adaptive = adapt.Controller
+
+// AdaptConfig tunes the adaptation layer (EWMA decay, clustering
+// threshold, hysteresis margin/hold, calibration minimums); the zero
+// value selects sensible defaults. See internal/adapt.Config.
+type AdaptConfig = adapt.Config
 
 // QuantConfig configures QSGD stochastic quantization; see quant.Config.
 type QuantConfig = quant.Config
@@ -217,7 +245,8 @@ func FromDense(values []float64) *Vector {
 // World is a group of P communicating ranks over a simulated network.
 type World struct {
 	inner     *comm.World
-	scratches []*Scratch // one pool per rank, see Scratch(rank)
+	scratches []*Scratch  // one pool per rank, see Scratch(rank)
+	adapts    []*Adaptive // one controller per rank, see EnableAdaptation
 }
 
 // NewWorld creates a world of p ranks on the given network profile.
@@ -265,6 +294,50 @@ func (w *World) Size() int { return w.inner.Size() }
 // rank's own id: each pool belongs to exactly one rank.
 func (w *World) Scratch(rank int) *Scratch {
 	return w.scratches[rank]
+}
+
+// EnableAdaptation switches the world to runtime-adaptive Auto selection:
+// message tracing is enabled (capped per rank, so long-running workloads
+// stay at bounded memory) and one Adaptive controller per rank is built
+// from cfg — all identical, which is what keeps the per-rank decision
+// state machines in lockstep. Call it once, from the driving goroutine,
+// before Run; it is idempotent (later calls keep the first configuration).
+// Then route collectives through the controllers:
+//
+//	world.EnableAdaptation(sparcml.AdaptConfig{})
+//	results := sparcml.Run(world, func(c *sparcml.Comm) []float64 {
+//	    a := world.Adapt(c.Rank())
+//	    return c.AllreduceAdaptive(v, a, sparcml.Options{}).ToDense()
+//	})
+func (w *World) EnableAdaptation(cfg AdaptConfig) {
+	if w.adapts != nil {
+		return
+	}
+	tr := w.inner.EnableTrace()
+	tr.LimitPerRank(adaptTraceLimit)
+	w.adapts = make([]*Adaptive, w.Size())
+	for r := range w.adapts {
+		a := adapt.NewController(cfg)
+		a.AttachTracer(tr, r)
+		w.adapts[r] = a
+	}
+}
+
+// adaptTraceLimit bounds the shared trace at EnableAdaptation to this
+// many recorded sends per rank — far more than the link calibrator needs
+// for an exact fit, small enough that week-long training loops do not
+// accumulate unbounded trace memory.
+const adaptTraceLimit = 4096
+
+// Adapt returns rank's adaptation controller. Like Scratch, each
+// controller belongs to exactly one rank and persists across Run calls
+// (which is what lets its sketch and calibration warm up over a training
+// run). Panics unless EnableAdaptation was called first.
+func (w *World) Adapt(rank int) *Adaptive {
+	if w.adapts == nil {
+		panic("sparcml: call World.EnableAdaptation before Adapt")
+	}
+	return w.adapts[rank]
 }
 
 // Topology returns the world's two-level topology, if one was configured
@@ -316,6 +389,17 @@ func (c *Comm) Compute(seconds float64) { c.proc.Compute(seconds) }
 // the reduction (identical on every rank). v is not modified.
 func (c *Comm) Allreduce(v *Vector, opts Options) *Vector {
 	return core.Allreduce(c.proc, v, opts)
+}
+
+// AllreduceAdaptive is Allreduce with the runtime adaptation layer in
+// front: a, this rank's controller (World.Adapt), sketches the input,
+// agrees the measured scenario with the other ranks, and picks algorithm
+// and hierarchy depth through the cost model with hysteresis. Every rank
+// must route the same calls through its own controller in the same order.
+// Results are those of the chosen concrete algorithm — adaptation never
+// changes reduction semantics.
+func (c *Comm) AllreduceAdaptive(v *Vector, a *Adaptive, opts Options) *Vector {
+	return a.Allreduce(c.proc, v, opts)
 }
 
 // IAllreduce starts a nonblocking allreduce; the input must not be
