@@ -16,6 +16,7 @@
 //	sparbench -sweep merge      [-json]
 //	sparbench -sweep hierlevels [-json]
 //	sparbench -sweep adapt      [-json]
+//	sparbench -sweep transport  [-transport goroutine|tcp|all] [-json]
 //	sparbench -csv  # machine-readable output
 package main
 
@@ -51,20 +52,21 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sparbench", flag.ContinueOnError)
 	var (
-		sweep    = fs.String("sweep", "nodes", "sweep to run: nodes | density | hier | hierdsar | contention | merge | hierlevels | adapt")
-		n        = fs.Int("n", 1<<20, "vector dimension N (paper uses 16M; 2^20 default keeps memory modest)")
-		densityF = fs.Float64("density", 0.00781, "per-node density d for the nodes sweep")
-		maxP     = fs.Int("maxp", 64, "largest node count for the nodes sweep")
-		p        = fs.Int("p", 8, "node count for the density sweep")
-		rpn      = fs.Int("rpn", 4, "ranks per node for the hier/hierdsar sweeps")
-		nic      = fs.Int("nic", 1, "per-node NIC serialization cap for the hierdsar sweep (0 disables contention)")
-		intra    = fs.String("intra", "nvlink", "intra-node profile for the hier/hierdsar/contention sweeps")
-		profile  = fs.String("profile", "", "network profile: aries | ib-fdr | gige | spark | nvlink (default: aries for nodes/hier, gige for density)")
-		gens     = fs.Int("gens", 2, "data generations per cell (paper: 5)")
-		runs     = fs.Int("runs", 3, "runs per generation (paper: 10)")
-		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
-		jsonOut  = fs.Bool("json", false, "for -sweep contention: emit the BENCH_2-format JSON document")
-		trace    = fs.Bool("trace", false, "dump a message timeline of one SSAR_Recursive_double allreduce and exit")
+		sweep     = fs.String("sweep", "nodes", "sweep to run: nodes | density | hier | hierdsar | contention | merge | hierlevels | adapt | transport")
+		transport = fs.String("transport", "goroutine", "real backend(s) for the transport sweep: goroutine | tcp | all")
+		n         = fs.Int("n", 1<<20, "vector dimension N (paper uses 16M; 2^20 default keeps memory modest)")
+		densityF  = fs.Float64("density", 0.00781, "per-node density d for the nodes sweep")
+		maxP      = fs.Int("maxp", 64, "largest node count for the nodes sweep")
+		p         = fs.Int("p", 8, "node count for the density sweep")
+		rpn       = fs.Int("rpn", 4, "ranks per node for the hier/hierdsar sweeps")
+		nic       = fs.Int("nic", 1, "per-node NIC serialization cap for the hierdsar sweep (0 disables contention)")
+		intra     = fs.String("intra", "nvlink", "intra-node profile for the hier/hierdsar/contention sweeps")
+		profile   = fs.String("profile", "", "network profile: aries | ib-fdr | gige | spark | nvlink (default: aries for nodes/hier, gige for density)")
+		gens      = fs.Int("gens", 2, "data generations per cell (paper: 5)")
+		runs      = fs.Int("runs", 3, "runs per generation (paper: 10)")
+		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut   = fs.Bool("json", false, "for -sweep contention: emit the BENCH_2-format JSON document")
+		trace     = fs.Bool("trace", false, "dump a message timeline of one SSAR_Recursive_double allreduce and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -170,6 +172,42 @@ func run(args []string, stdout io.Writer) error {
 			)
 		}
 		return tb.Emit(stdout, *csv)
+	}
+
+	if *sweep == "transport" {
+		var backends []string
+		switch *transport {
+		case "goroutine", "tcp":
+			backends = []string{*transport}
+		case "all":
+			backends = []string{"goroutine", "tcp"}
+		default:
+			return fmt.Errorf("unknown -transport %q (want goroutine, tcp, or all)", *transport)
+		}
+		rows, demo, err := experiments.TransportSweep(backends)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return emitBench6(stdout, rows, demo)
+		}
+		tb := report.NewTable("transport", "algorithm", "N", "P", "k", "sim", "wall", "bit-identical")
+		for _, r := range rows {
+			tb.AddRowRaw(
+				r.Transport, r.Algorithm,
+				fmt.Sprint(r.N), fmt.Sprint(r.P), fmt.Sprint(r.K),
+				report.FormatSeconds(r.SimSeconds),
+				report.FormatSeconds(r.WallSeconds),
+				fmt.Sprint(r.BitIdenticalToSim),
+			)
+		}
+		if err := tb.Emit(stdout, *csv); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "# calibration demo (%s, P=%d N=%d k=%d, %d adaptive calls): samples=%d fit_ok=%v alpha=%.3gs beta=%.3gs/B choice=%s ranks_agree=%v bit_identical=%v\n",
+			demo.Transport, demo.P, demo.N, demo.K, demo.Calls, demo.Samples, demo.FitOK,
+			demo.AlphaSeconds, demo.BetaSecondsPerByte, demo.Choice, demo.RanksAgree, demo.BitIdenticalToStatic)
+		return nil
 	}
 
 	if *sweep == "hierdsar" {
@@ -400,6 +438,39 @@ func emitBench5(w io.Writer, rows []experiments.AdaptRow) error {
 			"(~0.6%, within the 2% budget; ~0.1% at P=64) — see BenchmarkAblationSketchOverhead, " +
 			"re-measure with go test -bench (wall time is machine-dependent and cannot be drift-gated).",
 		Cells: rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// emitBench6 writes the BENCH_6.json document: the execution-backend
+// comparison plus the wall-clock calibration demo. Unlike BENCH_2–5 this
+// file is NOT drift-gated byte-for-byte: wall_seconds, alpha_seconds, and
+// beta_seconds_per_byte are measured on whatever machine recorded it and
+// vary run to run. The deterministic claims — every real backend's results
+// bit-identical to the simulator's, a usable measured link fit, all ranks
+// agreeing on the Auto resolution — are what CI enforces (via the
+// equivalence and calibration tests); the committed file is a one-time
+// snapshot, re-record with `sparbench -sweep transport -json`.
+func emitBench6(w io.Writer, rows []experiments.TransportRow, demo experiments.CalibDemo) error {
+	doc := struct {
+		ID    string                     `json:"id"`
+		Note  string                     `json:"note"`
+		Cells []experiments.TransportRow `json:"cells"`
+		Calib experiments.CalibDemo      `json:"calibration_demo"`
+	}{
+		ID: "BENCH_6",
+		Note: "execution-backend comparison: the same seeded allreduce instances on the simulator " +
+			"(virtual time) and the real transports (goroutine channels / loopback TCP, measured " +
+			"wall time), with bit-identity of every rank's result against the simulator; plus the " +
+			"calibration demo — the adaptive controller on the goroutine backend fitting alpha-beta " +
+			"link constants from measured transfer durations and resolving Auto from them. " +
+			"wall_seconds / alpha_seconds / beta_seconds_per_byte are machine-dependent snapshots " +
+			"and are NOT drift-gated (unlike BENCH_2-5); the deterministic fields are enforced by " +
+			"TestCrossTransportEquivalence and TestControllerOnGoroutineTransport instead.",
+		Cells: rows,
+		Calib: demo,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -190,6 +190,44 @@ func (a *Controller) Allreduce(p *comm.Proc, v *stream.Vector, opts core.Options
 	return core.Allreduce(p, v, opts)
 }
 
+// Plan makes one adaptive decision for a batch of allreduces that will be
+// issued together — the layer-wise training path, which fires one
+// nonblocking allreduce per layer. The calls cannot decide individually:
+// forked procs do not inherit the parent's tag cursor, and running one
+// agreement collective per layer would serialize exactly the calls the
+// layer-wise path exists to overlap. Instead the parent proc sketches
+// every input, runs the scenario agreement once, and resolves Auto to a
+// concrete algorithm/depth through the same hysteresis state the blocking
+// path uses; the returned Options (Algorithm pinned, support model filled)
+// are then passed to each core.IAllreduce verbatim. The scenario is priced
+// on the largest input — the layer that dominates the step's cost. Like
+// Allreduce, every rank must call Plan with the same inputs in the same
+// program order; a non-Auto opts passes through unchanged (inputs still
+// sketched).
+func (a *Controller) Plan(p *comm.Proc, vs []*stream.Vector, opts core.Options) core.Options {
+	for _, v := range vs {
+		a.sketch.Observe(v)
+	}
+	if opts.Algorithm != core.Auto || len(vs) == 0 {
+		return opts
+	}
+	if a.calib != nil {
+		a.calib.ConsumeOwn(a.tracer)
+	}
+	rep := vs[0]
+	for _, v := range vs[1:] {
+		if v.NNZ() > rep.NNZ() {
+			rep = v
+		}
+	}
+	s := a.agreeScenario(p, rep, opts)
+	candAlg, candLevels := core.ChooseAutoLevels(s)
+	alg, levels := a.decide(candAlg, candLevels, s)
+	opts.Algorithm, opts.Levels = alg, levels
+	opts.Support, opts.HotFraction, opts.HotMass = s.Support, s.HotFraction, s.HotMass
+	return opts
+}
+
 // agreeScenario builds the measured cost scenario every rank agrees on:
 // the globally maximal per-rank non-zero count (one max-allreduce, as
 // core's static Auto performs), plus the mean sketch shape and the mean

@@ -93,8 +93,15 @@ func (c *LinkCalibrator) Samples(level int) int {
 
 // Fit returns the fitted (alpha, beta) of the level in seconds and
 // seconds-per-byte. ok is false while the fit is unusable: fewer than two
-// samples, no spread in message sizes (α and β cannot be separated), or a
-// degenerate negative slope/intercept.
+// samples, no spread in message sizes (α and β cannot be separated), a
+// non-positive slope, or a materially negative intercept. Mildly negative
+// intercepts clamp to zero instead of rejecting: on the simulator they are
+// exact-fit cancellation noise (~1e-12), and on the real transports, whose
+// measured durations are genuinely noisy, an ordinary least-squares
+// regression routinely lands the intercept slightly below zero — rejecting
+// those would starve calibration on exactly the backends it exists for.
+// The rejection line is an intercept below a quarter of the mean observed
+// transfer time, which no amount of honest timing noise produces.
 func (c *LinkCalibrator) Fit(level int) (alpha, beta float64, ok bool) {
 	if level < 0 || level >= len(c.fits) {
 		return 0, 0, false
@@ -110,10 +117,10 @@ func (c *LinkCalibrator) Fit(level int) (alpha, beta float64, ok bool) {
 	beta = (f.n*f.sxy - f.sx*f.sy) / denom
 	alpha = (f.sy - beta*f.sx) / f.n
 	if alpha < 0 {
-		if alpha < -1e-12 {
+		if alpha < -1e-12 && alpha < -0.25*(f.sy/f.n) {
 			return 0, 0, false
 		}
-		alpha = 0 // exact-fit cancellation noise
+		alpha = 0
 	}
 	if beta <= 0 {
 		return 0, 0, false

@@ -1,0 +1,131 @@
+package adapt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+// TestWallClockLinkFit: on the goroutine backend the trace carries
+// measured wall durations, and the calibrator must recover a usable
+// affine fit from them — positive per-byte slope, non-negative intercept —
+// because the codec round-trip does real per-byte work. Message sizes
+// spanning ~100 B to ~4 MB make the slope's sign robust to scheduler
+// noise.
+func TestWallClockLinkFit(t *testing.T) {
+	const P = 4
+	w := comm.NewWorld(P, simnet.Aries).UseGoroutineTransport()
+	tr := w.EnableTrace()
+	big := make([]float64, 1<<19)
+	comm.Run(w, func(p *comm.Proc) int {
+		rank, n := p.Rank(), p.Size()
+		for round := 0; round < 24; round++ {
+			var payload []float64
+			if round%2 == 0 {
+				payload = big
+			} else {
+				payload = big[:16]
+			}
+			p.Send((rank+1)%n, round, payload, len(payload)*8)
+			p.Recv((rank-1+n)%n, round)
+		}
+		return 0
+	})
+	for r := 0; r < P; r++ {
+		c := NewLinkCalibrator(r)
+		c.ConsumeOwn(tr)
+		if got := c.Samples(0); got != 24 {
+			t.Fatalf("rank %d: %d samples, want 24", r, got)
+		}
+		alpha, beta, ok := c.Fit(0)
+		if !ok {
+			t.Fatalf("rank %d: no usable fit from measured wall durations", r)
+		}
+		if beta <= 0 || alpha < 0 {
+			t.Fatalf("rank %d: fit alpha=%g beta=%g", r, alpha, beta)
+		}
+		// The measured constants must be substitutable into a profile for
+		// the cost model.
+		prof, ok := c.CalibratedProfile(simnet.Aries, 0, 8)
+		if !ok || prof.BetaPerByte != beta || prof.Alpha != alpha {
+			t.Fatalf("rank %d: CalibratedProfile (%v, ok=%v)", r, prof, ok)
+		}
+	}
+}
+
+// TestControllerOnGoroutineTransport runs the full adaptive loop on the
+// real backend: sketch → measured-scenario agreement → ChooseAutoLevels →
+// hysteresis → collective, with link calibration warming up from measured
+// transfers. The decision must be a concrete algorithm, all ranks must
+// agree on it, and results must equal the static reference.
+func TestControllerOnGoroutineTransport(t *testing.T) {
+	const (
+		P = 8
+		n = 1 << 14
+		k = 400
+	)
+	w := comm.NewWorld(P, simnet.Aries).UseGoroutineTransport()
+	tr := w.EnableTrace()
+	controllers := make([]*Controller, P)
+	for r := range controllers {
+		controllers[r] = NewController(Config{})
+		controllers[r].AttachTracer(tr, r)
+	}
+	rng := rand.New(rand.NewSource(21))
+	inputs := make([]*stream.Vector, P)
+	for r := range inputs {
+		idx := rng.Perm(n)[:k]
+		sortInts(idx)
+		ii := make([]int32, k)
+		vv := make([]float64, k)
+		for i, ix := range idx {
+			ii[i] = int32(ix)
+			vv[i] = float64(1+rng.Intn(8)) / 8
+		}
+		inputs[r] = stream.NewSparse(n, ii, vv, stream.OpSum)
+	}
+
+	static := comm.Run(w, func(p *comm.Proc) []float64 {
+		return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: core.SSARSplitAllgather}).ToDense()
+	})
+	for call := 0; call < 4; call++ {
+		results := comm.Run(w, func(p *comm.Proc) []float64 {
+			a := controllers[p.Rank()]
+			return a.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: core.Auto}).ToDense()
+		})
+		for r := range results {
+			for i := range results[r] {
+				if results[r][i] != static[0][i] {
+					t.Fatalf("call %d rank %d coord %d: adaptive %g, static %g", call, r, i, results[r][i], static[0][i])
+				}
+			}
+		}
+	}
+	alg0, lvl0 := controllers[0].Choice()
+	if alg0 == core.Auto {
+		t.Fatalf("controller never resolved Auto")
+	}
+	for r := 1; r < P; r++ {
+		alg, lvl := controllers[r].Choice()
+		if alg != alg0 || lvl != lvl0 {
+			t.Fatalf("rank %d decided (%v,%d), rank 0 (%v,%d)", r, alg, lvl, alg0, lvl0)
+		}
+	}
+	// Calibration must have consumed measured samples by the last call.
+	if got := controllers[0].Calibrator().Samples(0); got == 0 {
+		t.Fatalf("no measured samples consumed")
+	}
+}
+
+// sortInts sorts ascending.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -6,17 +6,20 @@
 // algorithms rely on: ordered, reliable, tagged point-to-point messages
 // between any pair of ranks, plus nonblocking operation via Requests.
 //
-// Every message carries both its payload and its modeled wire size, and is
-// timestamped with the sender's virtual clock; receivers advance their
-// clocks to the α–β-model arrival time (see package simnet). Collective
-// implementations therefore get faithful simulated timings "for free" while
-// moving real data.
+// Every message carries both its payload and its modeled wire size. How a
+// message actually moves — and what its timestamps mean — is the pluggable
+// Transport's business (see transport.go): the default simulator backend
+// advances per-rank virtual clocks by the α–β model, while the real
+// backends (goroutine, TCP) move bytes over shared memory or sockets and
+// stamp measured wall-clock times. Collective implementations are written
+// once against Proc and run unchanged on every backend.
 package comm
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/simnet"
 )
@@ -32,7 +35,9 @@ type Message struct {
 	Payload any
 	// Bytes is the modeled wire size used by the α–β cost model.
 	Bytes int
-	// Arrival is the virtual time at which the message is fully received.
+	// Arrival is the time at which the message is fully received: virtual
+	// α–β seconds on the simulator backend, measured wall-clock seconds
+	// since the Run epoch on real transports.
 	Arrival float64
 }
 
@@ -43,7 +48,18 @@ type World struct {
 	topo    *simnet.Topology  // set only by NewWorldTopo, for the legacy accessor
 	hier    *simnet.Hierarchy // nil for flat (single-level) worlds
 	boxes   []*mailbox
-	times   []float64 // final virtual clock per rank, filled by Run
+	times   []float64 // final per-rank time (virtual or wall), filled by Run
+
+	// transport is the execution backend (see transport.go); wall caches
+	// transport.Wall() for the clock-gating hot paths, and epoch anchors
+	// wall-clock measurement (unix nanos, reset by Run).
+	transport Transport
+	wall      bool
+	epoch     atomic.Int64
+
+	// local, when non-nil, lists the world ranks this process hosts (the
+	// multi-process TCP form); nil means all ranks are local.
+	local []int
 
 	msgs  atomic.Int64 // total messages sent since the last reset
 	bytes atomic.Int64 // total modeled payload bytes since the last reset
@@ -79,7 +95,54 @@ func NewWorld(p int, profile simnet.Profile) *World {
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
+	w.setTransport(simTransport{})
 	return w
+}
+
+// setTransport installs the execution backend and caches its clock mode.
+func (w *World) setTransport(t Transport) {
+	w.transport = t
+	w.wall = t.Wall()
+	w.epoch.Store(time.Now().UnixNano())
+}
+
+// Transport returns the name of the world's execution backend: "sim" (the
+// default virtual-clock simulator), "goroutine", or "tcp".
+func (w *World) Transport() string { return w.transport.Name() }
+
+// WallClock reports whether the world's times (Times, MaxTime, Proc.Now,
+// Message.Arrival, TraceEvent timestamps) are measured wall-clock seconds
+// rather than simulated virtual seconds. False on the simulator backend,
+// true on the goroutine and TCP backends.
+func (w *World) WallClock() bool { return w.wall }
+
+// Close releases any transport resources (network listeners and
+// connections of the TCP backend; a no-op for the simulator and goroutine
+// backends). The world must not be used after Close.
+func (w *World) Close() error { return w.transport.close() }
+
+// wallNow returns the measured seconds since the last Run's epoch.
+func (w *World) wallNow() float64 {
+	return float64(time.Now().UnixNano()-w.epoch.Load()) * 1e-9
+}
+
+// localRanks returns the world ranks hosted by this process.
+func (w *World) localRanks() []int {
+	if w.local != nil {
+		return w.local
+	}
+	all := make([]int, w.p)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// LocalRanks returns the world ranks this process hosts: all of them
+// except on a multi-process TCP world restricted with TCPConfig.LocalRanks.
+// Run executes rank programs (and fills Times entries) only for these.
+func (w *World) LocalRanks() []int {
+	return append([]int(nil), w.localRanks()...)
 }
 
 // NewWorldTopo creates a world of p ranks on a two-level topology:
@@ -153,8 +216,12 @@ func (w *World) profileFor(src, dst int) simnet.Profile {
 	return w.profile
 }
 
-// Times returns each rank's final virtual clock after the last Run: the
-// collective's simulated completion time is the maximum entry.
+// Times returns each rank's completion time for the last Run. On the
+// simulator backend (the default) entries are final virtual-clock values —
+// the modeled α–β completion times. On the real backends (goroutine, TCP)
+// entries are measured wall-clock seconds from the Run epoch to the rank's
+// program returning. On a multi-process TCP world only this process's
+// LocalRanks entries are filled; the rest stay zero.
 func (w *World) Times() []float64 { return w.times }
 
 // TotalMessages returns the number of messages sent since the last
@@ -172,7 +239,9 @@ func (w *World) ResetCounters() {
 	w.bytes.Store(0)
 }
 
-// MaxTime returns the maximum final virtual clock after the last Run.
+// MaxTime returns the maximum entry of Times: the simulated completion
+// time of the last Run on the simulator backend, the measured wall-clock
+// completion time (of this process's ranks) on real transports.
 func (w *World) MaxTime() float64 {
 	max := 0.0
 	for _, t := range w.times {
@@ -317,14 +386,40 @@ func (p *Proc) SubLevel(l int) *Proc {
 	return p.Sub(h.GroupRanks(p.rank, l, p.world.p))
 }
 
-// Now returns the rank's current virtual time.
-func (p *Proc) Now() float64 { return p.clock.Now() }
+// Now returns the rank's current time: its virtual clock on the simulator
+// backend, measured wall-clock seconds since the Run epoch on real
+// transports (where every rank shares the machine's real clock).
+func (p *Proc) Now() float64 {
+	if p.world.wall {
+		return p.world.wallNow()
+	}
+	return p.clock.Now()
+}
 
-// Compute advances the rank's virtual clock by a modeled computation.
-func (p *Proc) Compute(seconds float64) { p.clock.Advance(seconds) }
+// Compute advances the rank's virtual clock by a modeled computation. On
+// real transports it is a no-op: computation there takes actual wall time,
+// which Now measures directly.
+func (p *Proc) Compute(seconds float64) {
+	if p.world.wall {
+		return
+	}
+	p.clock.Advance(seconds)
+}
 
-// Observe advances the rank's virtual clock to time t if later.
-func (p *Proc) Observe(t float64) { p.clock.Observe(t) }
+// Observe advances the rank's virtual clock to time t if later. A no-op on
+// real transports, where time flows on its own.
+func (p *Proc) Observe(t float64) {
+	if p.world.wall {
+		return
+	}
+	p.clock.Observe(t)
+}
+
+// Wall reports whether this rank's times are measured wall-clock seconds
+// (see World.WallClock) — the gate collectives use to enable true-
+// parallelism optimizations that would be meaningless under the
+// single-machine simulator.
+func (p *Proc) Wall() bool { return p.world.wall }
 
 // NextTagBase allocates a fresh tag range for one collective operation.
 // Ranks call collectives in identical program order, so the same base is
@@ -368,50 +463,94 @@ func (p *Proc) activeAt(l int) int {
 	return p.levelUsers[l]
 }
 
-// Send transmits payload of the given modeled size to rank `to`. The
-// sender's clock advances by the full α+β·bytes transfer (message
-// injection occupies the sender, which is what gives the split phase its
-// (P−1)α latency term in §5.3.2); the receiver will observe the same
-// completion time. On hierarchy worlds the message pays, for every level
-// it escapes below the shared one, that level's egress serialization
-// factor (simnet.Hierarchy.SerialFactor) for the ranks of this
-// communicator co-located in the sender's group — on a two-level topology
-// world exactly the per-node NIC factor of Topology.NICFactor.
+// Send transmits payload of the given modeled size to rank `to`, through
+// the world's Transport.
+//
+// On the simulator backend the sender's clock advances by the full
+// α+β·bytes transfer (message injection occupies the sender, which is what
+// gives the split phase its (P−1)α latency term in §5.3.2); the receiver
+// will observe the same completion time. On hierarchy worlds the message
+// pays, for every level it escapes below the shared one, that level's
+// egress serialization factor (simnet.Hierarchy.SerialFactor) for the
+// ranks of this communicator co-located in the sender's group — on a
+// two-level topology world exactly the per-node NIC factor of
+// Topology.NICFactor.
+//
+// On real transports the payload actually moves (through the wire codec in
+// process, over a socket across processes) and the recorded trace times
+// are measured; contention is then physical, so no factor is modeled.
 func (p *Proc) Send(to, tag int, payload any, bytes int) {
-	wto := p.worldRank(to)
-	start := p.clock.Now()
-	factor := 1.0
-	level := 0
+	p.world.transport.send(p, p.worldRank(to), tag, payload, bytes)
+}
+
+// sendFactor returns the modeled egress serialization factor and priced
+// hierarchy level of a message to world rank dst (see Send).
+func (p *Proc) sendFactor(dst int) (factor float64, level int) {
+	factor = 1.0
 	if h := p.world.hier; h != nil {
-		level = h.SharedLevel(p.rank, wto)
+		level = h.SharedLevel(p.rank, dst)
 		for l := 0; l < level; l++ {
 			factor *= h.SerialFactor(l, p.activeAt(l))
 		}
 	}
-	cost := p.world.profileFor(p.rank, wto).ContendedTransferTime(bytes, factor)
-	p.clock.Advance(cost)
+	return factor, level
+}
+
+// sharedLevel returns the hierarchy level a message to world rank dst is
+// priced (and calibrated) at: the innermost level shared by the two ranks,
+// 0 on flat worlds.
+func (p *Proc) sharedLevel(dst int) int {
+	if h := p.world.hier; h != nil {
+		return h.SharedLevel(p.rank, dst)
+	}
+	return 0
+}
+
+// recordSend updates the world counters and, when tracing is enabled,
+// records the message — shared bookkeeping of every transport's send path.
+func (p *Proc) recordSend(dst, tag, bytes int, start, arrival, factor float64, level int) {
 	p.world.msgs.Add(1)
 	p.world.bytes.Add(int64(bytes))
 	if tr := p.world.tracer.Load(); tr != nil {
-		tr.record(TraceEvent{Src: p.rank, Dst: wto, Tag: tag, Bytes: bytes,
-			SendTime: start, Arrival: p.clock.Now(), NICFactor: factor, Level: level})
+		tr.record(TraceEvent{Src: p.rank, Dst: dst, Tag: tag, Bytes: bytes,
+			SendTime: start, Arrival: arrival, NICFactor: factor, Level: level})
 	}
-	p.deliver(wto, Message{Src: p.rank, Tag: tag, Payload: payload, Bytes: bytes, Arrival: p.clock.Now()})
 }
 
 // deliver enqueues a message into the destination world rank's mailbox.
 func (p *Proc) deliver(to int, m Message) {
-	box := p.world.boxes[to]
+	p.world.deliver(to, m)
+}
+
+// deliver enqueues a message into a local rank's mailbox — the common
+// last hop of every transport (the TCP backend's socket readers land
+// remote messages here too).
+func (w *World) deliver(to int, m Message) {
+	box := w.boxes[to]
 	box.mu.Lock()
 	box.pending = append(box.pending, m)
 	box.mu.Unlock()
 	box.cond.Broadcast()
 }
 
+// poison marks the world failed and wakes every rank blocked in Recv,
+// which then re-panics instead of deadlocking on messages that will never
+// arrive. Rank panics and transport failures (a TCP peer dying mid-run)
+// both land here.
+func (w *World) poison() {
+	w.poisoned.Store(true)
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
 // Recv blocks until a message from rank `from` with the given tag is
-// available, removes it, advances the virtual clock to its arrival time,
-// and returns it. Out-of-order messages (different tags or sources) are
-// left queued, giving MPI-style tag matching.
+// available, removes it, advances the virtual clock to its arrival time
+// (simulator backend only), and returns it. Out-of-order messages
+// (different tags or sources) are left queued, giving MPI-style tag
+// matching.
 func (p *Proc) Recv(from, tag int) Message {
 	wfrom := p.worldRank(from)
 	box := p.world.boxes[p.rank]
@@ -421,7 +560,7 @@ func (p *Proc) Recv(from, tag int) Message {
 		for i, m := range box.pending {
 			if m.Src == wfrom && m.Tag == tag {
 				box.pending = append(box.pending[:i], box.pending[i+1:]...)
-				p.clock.Observe(m.Arrival)
+				p.Observe(m.Arrival)
 				return m
 			}
 		}
@@ -456,9 +595,10 @@ func (p *Proc) Fork() *Proc {
 
 // Join folds a forked Proc's elapsed virtual time into the parent,
 // modeling perfect computation/communication overlap: the parent's clock
-// becomes max(parent, forked).
+// becomes max(parent, forked). A no-op on real transports, where overlap
+// is physical.
 func (p *Proc) Join(f *Proc) {
-	p.clock.Observe(f.clock.Now())
+	p.Observe(f.Now())
 }
 
 // Barrier synchronizes all ranks of this communicator (dissemination
@@ -474,15 +614,22 @@ func (p *Proc) Barrier() {
 	}
 }
 
-// Run executes f on every rank concurrently and returns the per-rank
+// Run executes f on every rank this process hosts (all of them, except on
+// a multi-process TCP world) concurrently and returns the per-rank
 // results. Panics on any rank are re-raised on the caller with the rank
-// attached. After Run returns, World.Times holds each rank's final clock.
+// attached. After Run returns, World.Times holds each local rank's
+// completion time — final virtual clock on the simulator, measured wall
+// seconds on real transports.
 func Run[R any](w *World, f func(*Proc) R) []R {
 	w.poisoned.Store(false)
+	w.epoch.Store(time.Now().UnixNano())
+	for i := range w.times {
+		w.times[i] = 0
+	}
 	results := make([]R, w.p)
 	panics := make([]any, w.p)
 	var wg sync.WaitGroup
-	for r := 0; r < w.p; r++ {
+	for _, r := range w.localRanks() {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
@@ -491,17 +638,12 @@ func Run[R any](w *World, f func(*Proc) R) []R {
 					panics[rank] = e
 					// Poison the world and wake every rank blocked in
 					// Recv: their messages will never arrive.
-					w.poisoned.Store(true)
-					for _, b := range w.boxes {
-						b.mu.Lock()
-						b.cond.Broadcast()
-						b.mu.Unlock()
-					}
+					w.poison()
 				}
 			}()
 			p := &Proc{rank: rank, world: w}
 			results[rank] = f(p)
-			w.times[rank] = p.clock.Now()
+			w.times[rank] = p.Now()
 		}(r)
 	}
 	wg.Wait()

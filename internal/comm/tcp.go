@@ -1,0 +1,510 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// The TCP backend: ranks communicate over sockets with length-prefixed
+// frames, so a world can span OS processes (or, in the loopback form, host
+// every rank in one process while still pushing each message through a
+// real kernel socket). Rank 0's listener doubles as the rendezvous point:
+// every other rank dials it, registers its own data address, and receives
+// the complete address table once all P ranks have checked in. Data
+// connections are then dialed lazily, one per (sender, receiver) ordered
+// pair, which preserves the per-pair FIFO ordering the mailbox protocol
+// expects. Payloads travel as wire.go codec bytes; timestamps are measured
+// wall-clock seconds.
+
+// TCPConfig configures a TCP-transport world (NewWorldTCP).
+type TCPConfig struct {
+	// Rendezvous is rank 0's listen address ("host:port"). Every process
+	// of a multi-process world must name the same address. Empty selects
+	// an ephemeral loopback port, which is only usable in the single-
+	// process loopback form (all ranks local).
+	Rendezvous string
+	// LocalRanks lists the world ranks this process hosts, ascending.
+	// Nil hosts all of them — the loopback form. A multi-process world
+	// partitions [0, P) across its processes' LocalRanks.
+	LocalRanks []int
+	// DialTimeout bounds the rendezvous wait and every data dial
+	// (default 10s). Processes of a multi-process world may start in any
+	// order within this window.
+	DialTimeout time.Duration
+	// Hierarchy optionally declares the machine hierarchy the world
+	// should assume, exactly as NewWorldHier does: the hierarchical
+	// collectives group ranks by it and Auto's cost model prices with it
+	// (until calibration replaces the constants). It never prices a
+	// transfer on this backend — the wire is real. Every process of a
+	// multi-process world must declare the same hierarchy.
+	Hierarchy *simnet.Hierarchy
+}
+
+// Frame kinds of the TCP wire protocol. Every frame is a uint32 length
+// prefix followed by a body whose first byte is the kind.
+const (
+	frameRegister byte = 1 // rank → rendezvous: [rank u32][data addr]
+	frameTable    byte = 2 // rendezvous → rank: [p u32] p×[len u16][addr]
+	frameHello    byte = 3 // first frame of a data conn: [sender rank u32]
+	frameMsg      byte = 4 // [src u32][tag u64][modeled bytes u64][payload]
+)
+
+// maxFrameBytes caps a frame body, guarding the readers against corrupt
+// length prefixes.
+const maxFrameBytes = 1 << 30
+
+// msgHeaderBytes is the fixed prefix of a frameMsg body before the payload
+// codec bytes: kind + src + tag + modeled size.
+const msgHeaderBytes = 1 + 4 + 8 + 8
+
+// tcpTransport is the Transport implementation behind NewWorldTCP.
+type tcpTransport struct {
+	w      *World
+	cfg    TCPConfig
+	addrs  []string             // data address per world rank, fixed after setup
+	eps    map[int]*tcpEndpoint // local rank → endpoint
+	reg    *registrar           // rank 0 only
+	closed atomic.Bool
+
+	connMu   sync.Mutex
+	allConns []net.Conn // every conn ever opened or accepted, for close
+}
+
+// tcpEndpoint is one local rank's socket presence: its data listener plus
+// the lazily dialed outbound connections.
+type tcpEndpoint struct {
+	rank  int
+	t     *tcpTransport
+	ln    net.Listener
+	mu    sync.Mutex
+	conns map[int]*tcpConn // destination world rank → outbound conn
+}
+
+// tcpConn serializes frame writes on one connection.
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// registrar is rank 0's rendezvous state: it collects every rank's data
+// address and broadcasts the completed table.
+type registrar struct {
+	mu    sync.Mutex
+	p     int
+	addrs []string
+	got   int
+	conns []net.Conn
+	done  chan struct{}
+	err   error
+}
+
+// Name identifies the backend.
+func (t *tcpTransport) Name() string { return "tcp" }
+
+// Wall reports measured wall-clock time.
+func (t *tcpTransport) Wall() bool { return true }
+
+func (t *tcpTransport) close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	for _, ep := range t.eps {
+		ep.ln.Close()
+	}
+	t.connMu.Lock()
+	conns := t.allConns
+	t.allConns = nil
+	t.connMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+func (t *tcpTransport) send(p *Proc, dst, tag int, payload any, bytes int) {
+	start := t.w.wallNow()
+	ep := t.eps[p.rank]
+	if ep == nil {
+		panic(fmt.Sprintf("comm: rank %d is not local to this process", p.rank))
+	}
+	body := make([]byte, 0, msgHeaderBytes+64)
+	body = append(body, frameMsg)
+	body = binary.LittleEndian.AppendUint32(body, uint32(p.rank))
+	body = binary.LittleEndian.AppendUint64(body, uint64(int64(tag)))
+	body = binary.LittleEndian.AppendUint64(body, uint64(int64(bytes)))
+	body, err := appendPayload(body, payload)
+	if err != nil {
+		panic(fmt.Sprintf("comm: tcp transport payload: %v", err))
+	}
+	c, err := ep.connTo(dst)
+	if err == nil {
+		err = c.writeFrame(body)
+	}
+	if err != nil {
+		t.w.poison()
+		panic(fmt.Sprintf("comm: tcp send %d→%d: %v", p.rank, dst, err))
+	}
+	arrival := t.w.wallNow()
+	p.recordSend(dst, tag, bytes, start, arrival, 1, p.sharedLevel(dst))
+}
+
+// track remembers a connection for close-time teardown.
+func (t *tcpTransport) track(c net.Conn) {
+	t.connMu.Lock()
+	t.allConns = append(t.allConns, c)
+	t.connMu.Unlock()
+}
+
+// connTo returns the endpoint's outbound connection to world rank dst,
+// dialing it (and introducing itself with a hello frame) on first use.
+func (ep *tcpEndpoint) connTo(dst int) (*tcpConn, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if c, ok := ep.conns[dst]; ok {
+		return c, nil
+	}
+	conn, err := net.DialTimeout("tcp", ep.t.addrs[dst], ep.t.dialTimeout())
+	if err != nil {
+		return nil, err
+	}
+	ep.t.track(conn)
+	c := &tcpConn{c: conn}
+	hello := make([]byte, 0, 5)
+	hello = append(hello, frameHello)
+	hello = binary.LittleEndian.AppendUint32(hello, uint32(ep.rank))
+	if err := c.writeFrame(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ep.conns[dst] = c
+	return c, nil
+}
+
+func (t *tcpTransport) dialTimeout() time.Duration {
+	if t.cfg.DialTimeout > 0 {
+		return t.cfg.DialTimeout
+	}
+	return 10 * time.Second
+}
+
+// writeFrame writes one length-prefixed frame as a single Write.
+func (c *tcpConn) writeFrame(body []byte) error {
+	buf := make([]byte, 4+len(body))
+	binary.LittleEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.c.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame body.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("comm: tcp frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// acceptLoop serves one endpoint's listener until the transport closes.
+func (ep *tcpEndpoint) acceptLoop() {
+	for {
+		conn, err := ep.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ep.t.track(conn)
+		go ep.serveConn(conn)
+	}
+}
+
+// serveConn classifies an inbound connection by its first frame: a
+// rendezvous registration (rank 0 only) or a peer's data stream, whose
+// messages it decodes and delivers into this endpoint's mailbox.
+func (ep *tcpEndpoint) serveConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	first, err := readFrame(br)
+	if err != nil || len(first) == 0 {
+		conn.Close()
+		return
+	}
+	switch first[0] {
+	case frameRegister:
+		if ep.t.reg == nil || len(first) < 5 {
+			conn.Close()
+			return
+		}
+		rank := int(binary.LittleEndian.Uint32(first[1:]))
+		ep.t.reg.add(rank, string(first[5:]), conn)
+	case frameHello:
+		if len(first) != 5 {
+			conn.Close()
+			return
+		}
+		src := int(binary.LittleEndian.Uint32(first[1:]))
+		ep.readMessages(br, src)
+		conn.Close()
+	default:
+		conn.Close()
+	}
+}
+
+// readMessages is the per-connection reader: each frame becomes a mailbox
+// delivery for this endpoint's rank. A mid-run transport error poisons the
+// world so blocked receivers fail fast instead of deadlocking.
+func (ep *tcpEndpoint) readMessages(br *bufio.Reader, src int) {
+	for {
+		body, err := readFrame(br)
+		if err != nil {
+			if !ep.t.closed.Load() && err != io.EOF {
+				ep.t.w.poison()
+			}
+			return
+		}
+		if len(body) < msgHeaderBytes || body[0] != frameMsg {
+			ep.t.w.poison()
+			return
+		}
+		tag := int(int64(binary.LittleEndian.Uint64(body[5:])))
+		modeled := int(int64(binary.LittleEndian.Uint64(body[13:])))
+		payload, err := decodePayload(body[msgHeaderBytes:])
+		if err != nil {
+			ep.t.w.poison()
+			return
+		}
+		ep.t.w.deliver(ep.rank, Message{
+			Src: src, Tag: tag, Payload: payload, Bytes: modeled,
+			Arrival: ep.t.w.wallNow(),
+		})
+	}
+}
+
+// add records one rank's registration; the P-th completes the table and
+// broadcasts it to every registered connection.
+func (r *registrar) add(rank int, addr string, conn net.Conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rank < 0 || rank >= r.p {
+		r.fail(fmt.Errorf("comm: tcp rendezvous: rank %d outside world of %d", rank, r.p))
+		if conn != nil {
+			conn.Close()
+		}
+		return
+	}
+	if r.addrs[rank] != "" {
+		r.fail(fmt.Errorf("comm: tcp rendezvous: rank %d registered twice", rank))
+		if conn != nil {
+			conn.Close()
+		}
+		return
+	}
+	r.addrs[rank] = addr
+	r.got++
+	if conn != nil {
+		r.conns = append(r.conns, conn)
+	}
+	if r.got == r.p {
+		table := encodeTable(r.addrs)
+		for _, c := range r.conns {
+			tc := &tcpConn{c: c}
+			tc.writeFrame(table)
+			c.Close()
+		}
+		r.conns = nil
+		close(r.done)
+	}
+}
+
+// fail records the first rendezvous error and unblocks waiters.
+func (r *registrar) fail(err error) {
+	if r.err == nil {
+		r.err = err
+		close(r.done)
+	}
+}
+
+// encodeTable builds a frameTable body from the completed address table.
+func encodeTable(addrs []string) []byte {
+	body := make([]byte, 0, 5+len(addrs)*24)
+	body = append(body, frameTable)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(addrs)))
+	for _, a := range addrs {
+		body = binary.LittleEndian.AppendUint16(body, uint16(len(a)))
+		body = append(body, a...)
+	}
+	return body
+}
+
+// decodeTable reverses encodeTable.
+func decodeTable(body []byte) ([]string, error) {
+	if len(body) < 5 || body[0] != frameTable {
+		return nil, fmt.Errorf("comm: tcp rendezvous: malformed table frame")
+	}
+	p := int(binary.LittleEndian.Uint32(body[1:]))
+	addrs := make([]string, p)
+	off := 5
+	for i := 0; i < p; i++ {
+		if off+2 > len(body) {
+			return nil, fmt.Errorf("comm: tcp rendezvous: truncated table frame")
+		}
+		n := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if off+n > len(body) {
+			return nil, fmt.Errorf("comm: tcp rendezvous: truncated table frame")
+		}
+		addrs[i] = string(body[off : off+n])
+		off += n
+	}
+	return addrs, nil
+}
+
+// NewWorldTCP creates a world of p ranks communicating over TCP sockets,
+// with measured wall-clock times. With the zero TCPConfig every rank lives
+// in this process behind an ephemeral loopback rendezvous — the loopback
+// form the cross-transport equivalence suite runs. A multi-process world
+// instead names a shared cfg.Rendezvous address and partitions the ranks
+// across processes via cfg.LocalRanks; each process calls NewWorldTCP with
+// the same p and rendezvous, then Run executes only its local ranks'
+// programs. Close the world to release its sockets.
+func NewWorldTCP(p int, profile simnet.Profile, cfg TCPConfig) (*World, error) {
+	var w *World
+	if cfg.Hierarchy != nil {
+		w = NewWorldHier(p, *cfg.Hierarchy)
+	} else {
+		w = NewWorld(p, profile)
+	}
+	local := cfg.LocalRanks
+	if local == nil {
+		local = w.localRanks()
+	} else {
+		local = append([]int(nil), local...)
+		for i, r := range local {
+			if r < 0 || r >= p || (i > 0 && local[i-1] >= r) {
+				return nil, fmt.Errorf("comm: tcp LocalRanks must be ascending distinct ranks in [0,%d), got %v", p, cfg.LocalRanks)
+			}
+		}
+		w.local = local
+	}
+	hasRank0 := len(local) > 0 && local[0] == 0
+	if cfg.Rendezvous == "" && len(local) != p {
+		return nil, fmt.Errorf("comm: a multi-process tcp world needs an explicit Rendezvous address")
+	}
+
+	t := &tcpTransport{w: w, cfg: cfg, addrs: make([]string, p), eps: make(map[int]*tcpEndpoint, len(local))}
+	fail := func(err error) (*World, error) {
+		t.close()
+		return nil, err
+	}
+	for _, r := range local {
+		laddr := "127.0.0.1:0"
+		if r == 0 && cfg.Rendezvous != "" {
+			laddr = cfg.Rendezvous
+		}
+		ln, err := net.Listen("tcp", laddr)
+		if err != nil {
+			return fail(fmt.Errorf("comm: tcp listen for rank %d: %w", r, err))
+		}
+		ep := &tcpEndpoint{rank: r, t: t, ln: ln, conns: make(map[int]*tcpConn)}
+		t.eps[r] = ep
+	}
+
+	rendAddr := cfg.Rendezvous
+	if hasRank0 {
+		t.reg = &registrar{p: p, addrs: make([]string, p), done: make(chan struct{})}
+		rendAddr = t.eps[0].ln.Addr().String()
+	}
+	// Accept loops must run before anyone dials the rendezvous.
+	for _, ep := range t.eps {
+		go ep.acceptLoop()
+	}
+	if hasRank0 {
+		t.reg.add(0, t.eps[0].ln.Addr().String(), nil)
+	}
+
+	// Register every other local rank, keeping the connections open for
+	// the table replies; reading them before all registrations are out
+	// would deadlock a process hosting several ranks.
+	regConns := make(map[int]net.Conn, len(local))
+	for _, r := range local {
+		if r == 0 {
+			continue
+		}
+		conn, err := dialRetry(rendAddr, t.dialTimeout())
+		if err != nil {
+			return fail(fmt.Errorf("comm: tcp rendezvous dial for rank %d: %w", r, err))
+		}
+		t.track(conn)
+		body := make([]byte, 0, 5+len(t.eps[r].ln.Addr().String()))
+		body = append(body, frameRegister)
+		body = binary.LittleEndian.AppendUint32(body, uint32(r))
+		body = append(body, t.eps[r].ln.Addr().String()...)
+		tc := &tcpConn{c: conn}
+		if err := tc.writeFrame(body); err != nil {
+			return fail(fmt.Errorf("comm: tcp rendezvous register rank %d: %w", r, err))
+		}
+		regConns[r] = conn
+	}
+
+	// Collect the table: from the registrar if rank 0 is ours, and from
+	// each registration reply.
+	if hasRank0 {
+		select {
+		case <-t.reg.done:
+		case <-time.After(t.dialTimeout()):
+			return fail(fmt.Errorf("comm: tcp rendezvous: timed out waiting for %d ranks (have %d)", p, t.reg.got))
+		}
+		if t.reg.err != nil {
+			return fail(t.reg.err)
+		}
+		copy(t.addrs, t.reg.addrs)
+	}
+	for r, conn := range regConns {
+		conn.SetReadDeadline(time.Now().Add(t.dialTimeout()))
+		body, err := readFrame(bufio.NewReader(conn))
+		if err != nil {
+			return fail(fmt.Errorf("comm: tcp rendezvous reply for rank %d: %w", r, err))
+		}
+		table, err := decodeTable(body)
+		if err != nil || len(table) != p {
+			return fail(fmt.Errorf("comm: tcp rendezvous reply for rank %d: bad table (%v)", r, err))
+		}
+		copy(t.addrs, table)
+		conn.Close()
+	}
+
+	w.setTransport(t)
+	return w, nil
+}
+
+// dialRetry dials addr until it answers or the timeout elapses — processes
+// of a multi-process world may start before rank 0's listener exists.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

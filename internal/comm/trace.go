@@ -5,12 +5,16 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // TraceEvent records one message for post-hoc analysis of a collective's
-// communication schedule: who sent what to whom, when (virtual time), and
-// how large it was. Tracing is how the micro-benchmarks' per-stage payload
-// growth (Figure 2) can be inspected directly.
+// communication schedule: who sent what to whom, when, and how large it
+// was. Tracing is how the micro-benchmarks' per-stage payload growth
+// (Figure 2) can be inspected directly. On the simulator the timestamps
+// are virtual α–β seconds; on the real backends (goroutine, TCP) they are
+// measured wall-clock seconds since World.Run started, which is what the
+// adapt-layer link calibrator fits genuine machine constants from.
 type TraceEvent struct {
 	// Src and Dst are ranks.
 	Src, Dst int
@@ -18,14 +22,16 @@ type TraceEvent struct {
 	Tag int
 	// Bytes is the modeled payload size.
 	Bytes int
-	// SendTime and Arrival are virtual times in seconds.
+	// SendTime and Arrival are times in seconds: virtual on the
+	// simulator, measured wall-clock on real transports.
 	SendTime, Arrival float64
 	// NICFactor is the total egress bandwidth-sharing multiplier the
 	// message's bandwidth term was priced with: the product of the
 	// serialization factors of every hierarchy level the message escaped
 	// (1 for intra-node messages and for worlds without Serial caps; on a
 	// two-level topology world exactly the per-node NIC factor, hence the
-	// name). See simnet.Hierarchy.SerialFactor.
+	// name). Real transports record 1: their contention is physical, not
+	// modeled. See simnet.Hierarchy.SerialFactor.
 	NICFactor float64
 	// Level is the hierarchy level the message was priced at — the
 	// innermost level shared by sender and receiver (0 for node-local
@@ -33,19 +39,29 @@ type TraceEvent struct {
 	Level int
 }
 
-// Tracer collects TraceEvents from a world. Safe for concurrent use.
+// traceShard holds one source rank's recorded sends. Sharding by source is
+// what makes the tracer race-free *and* contention-free under truly
+// concurrent ranks: a rank's Send only ever locks its own shard, so the
+// append path never serializes independent ranks against each other, and a
+// rank reading its own history (EventsOf) contends with nobody else.
+type traceShard struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	gen    int // reset generation, bumped by Reset
+}
+
+// Tracer collects TraceEvents from a world, sharded by source rank. Safe
+// for concurrent use from all ranks, including under the truly concurrent
+// goroutine and TCP backends.
 type Tracer struct {
-	mu      sync.Mutex
-	events  []TraceEvent
-	bySrc   map[int][]int32 // per-source indices into events, in send order
-	perRank int             // max recorded events per source rank; 0 = unlimited
-	gen     int             // reset generation, bumped by Reset
+	shards  []traceShard
+	perRank atomic.Int64 // max recorded events per source rank; 0 = unlimited
 }
 
 // EnableTrace attaches a tracer to the world; every subsequent Send is
 // recorded until DisableTrace. Returns the tracer.
 func (w *World) EnableTrace() *Tracer {
-	t := &Tracer{}
+	t := &Tracer{shards: make([]traceShard, w.p)}
 	w.tracer.Store(t)
 	return t
 }
@@ -65,30 +81,34 @@ func (w *World) DisableTrace() {
 // reproducible prefix. The cap applies against the events already
 // recorded, whenever they were recorded; limit <= 0 removes the cap.
 func (t *Tracer) LimitPerRank(limit int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.perRank = limit
+	if limit < 0 {
+		limit = 0
+	}
+	t.perRank.Store(int64(limit))
 }
 
 func (t *Tracer) record(e TraceEvent) {
-	t.mu.Lock()
-	if t.bySrc == nil {
-		t.bySrc = make(map[int][]int32)
-	}
-	if t.perRank > 0 && len(t.bySrc[e.Src]) >= t.perRank {
-		t.mu.Unlock()
+	if e.Src < 0 || e.Src >= len(t.shards) {
 		return
 	}
-	t.bySrc[e.Src] = append(t.bySrc[e.Src], int32(len(t.events)))
-	t.events = append(t.events, e)
-	t.mu.Unlock()
+	s := &t.shards[e.Src]
+	limit := int(t.perRank.Load())
+	s.mu.Lock()
+	if limit <= 0 || len(s.events) < limit {
+		s.events = append(s.events, e)
+	}
+	s.mu.Unlock()
 }
 
 // Events returns the recorded events sorted by send time (ties by src).
 func (t *Tracer) Events() []TraceEvent {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := append([]TraceEvent(nil), t.events...)
+	var out []TraceEvent
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		out = append(out, s.events...)
+		s.mu.Unlock()
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].SendTime != out[j].SendTime {
 			return out[i].SendTime < out[j].SendTime
@@ -104,6 +124,9 @@ func (t *Tracer) Events() []TraceEvent {
 // inside Send, so when that rank calls EventsOf(itsRank) the slice is a
 // complete, stable prefix of its send history — the property the
 // adapt-layer link calibrator relies on for deterministic per-rank fits.
+// This holds on every backend: the shard is written only under its own
+// lock, so a truly concurrent rank reading its own shard races with no
+// other rank's appends.
 func (t *Tracer) EventsOf(src int) []TraceEvent {
 	events, _ := t.EventsOfSince(src, 0)
 	return events
@@ -116,47 +139,51 @@ func (t *Tracer) EventsOf(src int) []TraceEvent {
 // last saw: a change means Reset ran in between, so its cursor indexes a
 // discarded history and it must restart from zero.
 func (t *Tracer) EventsOfSince(src, from int) (events []TraceEvent, generation int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	own := t.bySrc[src]
+	if src < 0 || src >= len(t.shards) {
+		return nil, 0
+	}
+	s := &t.shards[src]
 	if from < 0 {
 		from = 0
 	}
-	if from < len(own) {
-		events = make([]TraceEvent, 0, len(own)-from)
-		for _, i := range own[from:] {
-			events = append(events, t.events[i])
-		}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < len(s.events) {
+		events = append([]TraceEvent(nil), s.events[from:]...)
 	}
-	return events, t.gen
+	return events, s.gen
 }
 
 // Reset clears recorded events and bumps the reset generation (see
 // EventsOfSince).
 func (t *Tracer) Reset() {
-	t.mu.Lock()
-	t.events = t.events[:0]
-	if t.bySrc != nil {
-		clear(t.bySrc)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.events = s.events[:0]
+		s.gen++
+		s.mu.Unlock()
 	}
-	t.gen++
-	t.mu.Unlock()
 }
 
 // TotalBytes sums the traced payload volume.
 func (t *Tracer) TotalBytes() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var total int64
-	for _, e := range t.events {
-		total += int64(e.Bytes)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, e := range s.events {
+			total += int64(e.Bytes)
+		}
+		s.mu.Unlock()
 	}
 	return total
 }
 
 // Rounds groups events into communication rounds by distinct send times
 // (virtual-time-synchronous algorithms produce one cluster per stage) and
-// returns per-round message counts and byte totals.
+// returns per-round message counts and byte totals. Only meaningful on the
+// simulator, whose send times are exact virtual stage boundaries.
 func (t *Tracer) Rounds() (counts []int, bytes []int64) {
 	events := t.Events()
 	var lastT float64 = -1

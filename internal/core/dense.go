@@ -104,10 +104,6 @@ func AllreduceRabenseifner(p *comm.Proc, x []float64, op stream.Op, valueBytes, 
 	}
 
 	// Recursive doubling allgather of the reduced ranges.
-	type block struct {
-		lo  int
-		val []float64
-	}
 	mine := block{lo, append([]float64(nil), acc[lo:hi]...)}
 	have := []block{mine}
 	size := hi - lo

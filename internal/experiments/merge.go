@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 	"math/rand"
+	"runtime/debug"
 	"testing"
 
 	"repro/internal/comm"
@@ -98,6 +99,12 @@ func RunMergeCell(n, k, P int, pattern string, seed int64) MergeCell {
 		}
 		return acc
 	}
+	// Disable GC while counting: a collection landing mid-measurement adds
+	// runtime allocations to the Mallocs delta AllocsPerRun reads, and
+	// whether one lands depends on the heap state the process happened to
+	// reach — the one nondeterminism a byte-exact drift gate cannot carry.
+	// With GC off the counts are purely code-driven.
+	gcPct := debug.SetGCPercent(-1)
 	cell.ChainedAllocs = math.Round(testing.AllocsPerRun(10, func() { chained() }))
 	cell.KWayAllocs = math.Round(testing.AllocsPerRun(10, func() { stream.MergeK(vs, nil) }))
 
@@ -108,6 +115,7 @@ func RunMergeCell(n, k, P int, pattern string, seed int64) MergeCell {
 	cell.KWayScratchAllocs = math.Round(testing.AllocsPerRun(10, func() {
 		sc.Release(stream.MergeK(vs, sc))
 	}))
+	debug.SetGCPercent(gcPct)
 	if cell.ChainedAllocs > 0 {
 		cell.AllocReduction = 1 - cell.KWayScratchAllocs/cell.ChainedAllocs
 	}

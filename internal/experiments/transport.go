@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adapt"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+// This file holds the execution-backend comparison recorded as
+// BENCH_6.json: the same seeded allreduce instances run on the simulator
+// and on the real transports (in-process goroutine channels, loopback TCP
+// sockets), checking bit-identity of the results and recording measured
+// wall times, plus the calibration demo — the adaptive controller running
+// on the goroutine backend, fitting genuine α–β link constants from
+// measured transfer durations and resolving Auto from them. Unlike
+// BENCH_2–5, the wall-time fields are machine-dependent snapshots and are
+// NOT drift-gated; only the deterministic fields (bit-identity, shapes,
+// agreement) are stable across machines.
+
+// TransportRow is one (backend, algorithm) cell of the execution-backend
+// comparison. Exactly one of SimSeconds/WallSeconds is meaningful: the
+// simulator reports deterministic virtual time and zero wall time, the
+// real backends report measured wall time and zero virtual time.
+type TransportRow struct {
+	Transport string `json:"transport"`
+	Algorithm string `json:"algorithm"`
+	N         int    `json:"n"`
+	P         int    `json:"p"`
+	K         int    `json:"k"`
+	// SimSeconds is the simulator's virtual completion time (deterministic);
+	// WallSeconds is the measured wall-clock completion time on a real
+	// backend (machine-dependent, not drift-gated).
+	SimSeconds  float64 `json:"sim_seconds,omitempty"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// BitIdenticalToSim reports whether every rank's dense result equals
+	// the simulator's bit for bit (trivially true on the sim row itself).
+	BitIdenticalToSim bool `json:"bit_identical_to_sim"`
+}
+
+// CalibDemo records the wall-clock calibration demo: the adaptive
+// controller on the goroutine backend, with the link fit recovered from
+// measured transfer durations and the Auto resolution it fed.
+type CalibDemo struct {
+	Transport string `json:"transport"`
+	P         int    `json:"p"`
+	N         int    `json:"n"`
+	K         int    `json:"k"`
+	Calls     int    `json:"calls"`
+	// Samples is how many of rank 0's own measured transfers the
+	// calibrator consumed; FitOK whether they yielded a usable affine fit.
+	Samples int  `json:"samples"`
+	FitOK   bool `json:"fit_ok"`
+	// AlphaSeconds and BetaSecondsPerByte are the fitted link constants
+	// (measured wall values — machine-dependent, not drift-gated).
+	AlphaSeconds       float64 `json:"alpha_seconds,omitempty"`
+	BetaSecondsPerByte float64 `json:"beta_seconds_per_byte,omitempty"`
+	// Choice is the concrete algorithm Auto resolved to; RanksAgree
+	// whether every rank's controller holds the same choice.
+	Choice     string `json:"choice"`
+	RanksAgree bool   `json:"ranks_agree"`
+	// BitIdenticalToStatic reports whether the adaptive results equal a
+	// static reference run bit for bit.
+	BitIdenticalToStatic bool `json:"bit_identical_to_static"`
+}
+
+// transportInputs builds the seeded per-rank inputs shared by every
+// backend: k distinct coordinates with dyadic values, so floating-point
+// accumulation is exact and bit-comparison across backends is meaningful.
+func transportInputs(seed int64, n, P, k int) []*stream.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make([]*stream.Vector, P)
+	for r := range inputs {
+		idx := make([]int32, 0, k)
+		val := make([]float64, 0, k)
+		seen := map[int32]bool{}
+		for len(idx) < k {
+			ix := int32(rng.Intn(n))
+			if seen[ix] {
+				continue
+			}
+			seen[ix] = true
+			idx = append(idx, ix)
+		}
+		sortIdx(idx)
+		for range idx {
+			v := float64(int(1)<<rng.Intn(6)) / 8
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			val = append(val, v)
+		}
+		inputs[r] = stream.NewSparse(n, idx, val, stream.OpSum)
+	}
+	return inputs
+}
+
+// sortIdx sorts ascending (insertion sort is fine at sweep sizes).
+func sortIdx(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// TransportSweep runs the backend comparison. backends selects the real
+// transports to include ("goroutine", "tcp"); the simulator is always the
+// reference. The returned error is non-nil only if a TCP world cannot be
+// constructed.
+func TransportSweep(backends []string) ([]TransportRow, CalibDemo, error) {
+	const (
+		n = 1 << 16
+		P = 8
+		k = 1 << 10
+	)
+	prof := simnet.Aries
+	inputs := transportInputs(404, n, P, k)
+	algs := []struct {
+		alg core.Algorithm
+	}{
+		{core.SSARRecDouble},
+		{core.SSARSplitAllgather},
+		{core.DenseRabenseifner},
+	}
+
+	runAll := func(w *comm.World) ([][][]float64, []float64) {
+		res := make([][][]float64, len(algs))
+		times := make([]float64, len(algs))
+		for i, a := range algs {
+			opts := core.Options{Algorithm: a.alg}
+			res[i] = comm.Run(w, func(p *comm.Proc) []float64 {
+				return core.Allreduce(p, inputs[p.Rank()], opts).ToDense()
+			})
+			times[i] = w.MaxTime()
+		}
+		return res, times
+	}
+
+	simW := comm.NewWorld(P, prof)
+	ref, simTimes := runAll(simW)
+
+	var rows []TransportRow
+	for i, a := range algs {
+		rows = append(rows, TransportRow{
+			Transport: "sim", Algorithm: a.alg.String(), N: n, P: P, K: k,
+			SimSeconds: simTimes[i], BitIdenticalToSim: true,
+		})
+	}
+
+	sameAsRef := func(res [][][]float64) []bool {
+		ok := make([]bool, len(algs))
+		for i := range algs {
+			ok[i] = true
+			for r := range res[i] {
+				for c := range res[i][r] {
+					if res[i][r][c] != ref[i][r][c] {
+						ok[i] = false
+					}
+				}
+			}
+		}
+		return ok
+	}
+
+	for _, backend := range backends {
+		var w *comm.World
+		switch backend {
+		case "goroutine":
+			w = comm.NewWorld(P, prof).UseGoroutineTransport()
+		case "tcp":
+			var err error
+			w, err = comm.NewWorldTCP(P, prof, comm.TCPConfig{})
+			if err != nil {
+				return nil, CalibDemo{}, fmt.Errorf("tcp world: %w", err)
+			}
+		default:
+			return nil, CalibDemo{}, fmt.Errorf("unknown backend %q (want goroutine or tcp)", backend)
+		}
+		res, wallTimes := runAll(w)
+		for i, ok := range sameAsRef(res) {
+			rows = append(rows, TransportRow{
+				Transport: backend, Algorithm: algs[i].alg.String(), N: n, P: P, K: k,
+				WallSeconds: wallTimes[i], BitIdenticalToSim: ok,
+			})
+		}
+		if backend == "tcp" {
+			w.Close()
+		}
+	}
+
+	return rows, calibDemo(), nil
+}
+
+// calibDemo runs the adaptive controller on the goroutine backend and
+// reports the measured link fit plus the Auto resolution it produced.
+func calibDemo() CalibDemo {
+	const (
+		n     = 1 << 15
+		P     = 8
+		k     = 700
+		calls = 6
+	)
+	demo := CalibDemo{Transport: "goroutine", P: P, N: n, K: k, Calls: calls}
+	inputs := transportInputs(405, n, P, k)
+
+	static := comm.Run(comm.NewWorld(P, simnet.Aries), func(p *comm.Proc) []float64 {
+		return core.Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: core.SSARSplitAllgather}).ToDense()
+	})
+
+	w := comm.NewWorld(P, simnet.Aries).UseGoroutineTransport()
+	tr := w.EnableTrace()
+	tr.LimitPerRank(1 << 16)
+	ctrls := make([]*adapt.Controller, P)
+	for r := range ctrls {
+		ctrls[r] = adapt.NewController(adapt.Config{})
+		ctrls[r].AttachTracer(tr, r)
+	}
+	demo.BitIdenticalToStatic = true
+	for call := 0; call < calls; call++ {
+		res := comm.Run(w, func(p *comm.Proc) []float64 {
+			return ctrls[p.Rank()].Allreduce(p, inputs[p.Rank()], core.Options{Algorithm: core.Auto}).ToDense()
+		})
+		for r := range res {
+			for c := range res[r] {
+				if res[r][c] != static[0][c] {
+					demo.BitIdenticalToStatic = false
+				}
+			}
+		}
+	}
+
+	cal := ctrls[0].Calibrator()
+	demo.Samples = cal.Samples(0)
+	alpha, beta, ok := cal.Fit(0)
+	demo.FitOK = ok
+	if ok {
+		demo.AlphaSeconds, demo.BetaSecondsPerByte = alpha, beta
+	}
+	alg0, lv0 := ctrls[0].Choice()
+	demo.Choice = alg0.String()
+	if lv0 > 0 {
+		demo.Choice = fmt.Sprintf("%s@%d", alg0, lv0)
+	}
+	demo.RanksAgree = true
+	for r := 1; r < P; r++ {
+		alg, lv := ctrls[r].Choice()
+		if alg != alg0 || lv != lv0 {
+			demo.RanksAgree = false
+		}
+	}
+	return demo
+}

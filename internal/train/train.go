@@ -117,7 +117,7 @@ type Config struct {
 	// using non-blocking calls", §8.3). Requires the task's model to
 	// implement LayerSpans; ignored otherwise.
 	LayerWise bool
-	// Adapt, when non-nil, routes MethodTopK's fused gradient allreduces
+	// Adapt, when non-nil, routes MethodTopK's gradient allreduces
 	// through the runtime adaptation controller instead of static Auto:
 	// each call is sketched, and algorithm/depth are chosen from the
 	// measured support shape and calibrated link constants with
@@ -125,9 +125,11 @@ type Config struct {
 	// adapt.Config (the facade's World.EnableAdaptation does this). TopK
 	// SGD is the canonical adaptive workload: the residual's density and
 	// clustering drift as training progresses, so a static support
-	// assumption is wrong for part of every run. Ignored by the dense and
-	// BMUF methods and by the layer-wise path (nonblocking per-layer calls
-	// would need one controller per layer to stay in lockstep).
+	// assumption is wrong for part of every run. The fused path decides
+	// per call (adapt.Controller.Allreduce); the layer-wise path decides
+	// once per step (adapt.Controller.Plan fuses every layer's sketch on
+	// the parent proc and pins one concrete choice for the step's
+	// nonblocking calls). Ignored by the dense and BMUF methods.
 	Adapt *adapt.Controller
 	// LRSchedule, when non-nil, multiplies LR by LRSchedule(epoch) — the
 	// paper's Table 3 schedules ("we start with a learning rate of 1,
@@ -226,13 +228,24 @@ func Run(p *comm.Proc, task Task, cfg Config) []Point {
 				spans := layerSpans(task, cfg)
 				if spans != nil {
 					// Layer-wise: one nonblocking allreduce per layer,
-					// overlapped with each other.
+					// overlapped with each other. With adaptation enabled
+					// the parent proc decides once for the whole step
+					// (Controller.Plan fuses every layer's sketch) and the
+					// resolved concrete choice is applied to all layers, so
+					// layer-wise no longer bypasses the controller.
 					t0 := p.Now()
-					reqs := make([]*core.Request, len(spans))
+					contribs := make([]*stream.Vector, len(spans))
 					for si, span := range spans {
-						contrib := residual.ExtractSpan(span[0], span[1], cfg.Bucket, cfg.K)
-						bytesSent += int64(contrib.WireBytes())
-						reqs[si] = core.IAllreduce(p, contrib, opts)
+						contribs[si] = residual.ExtractSpan(span[0], span[1], cfg.Bucket, cfg.K)
+						bytesSent += int64(contribs[si].WireBytes())
+					}
+					lopts := opts
+					if cfg.Adapt != nil {
+						lopts = cfg.Adapt.Plan(p, contribs, lopts)
+					}
+					reqs := make([]*core.Request, len(spans))
+					for si := range contribs {
+						reqs[si] = core.IAllreduce(p, contribs[si], lopts)
 					}
 					for _, req := range reqs {
 						applyUpdateVec(params, req.Wait(p))

@@ -357,3 +357,52 @@ func TestTopKAdaptiveTraining(t *testing.T) {
 		}
 	}
 }
+
+// TestLayerWiseAdaptiveTraining: the layer-wise path must route through
+// the adaptation controller too (Controller.Plan — one fused decision per
+// step on the parent proc), not silently fall back to static Auto. The
+// run must converge, keep replicas consistent, and leave every rank's
+// controller holding the same concrete choice.
+func TestLayerWiseAdaptiveTraining(t *testing.T) {
+	P := 4
+	w := comm.NewWorldTopo(P, simnet.Topology{
+		RanksPerNode: 2, Intra: simnet.NVLinkLike, Inter: simnet.Aries, NICSerial: 1,
+	})
+	tr := w.EnableTrace()
+	tr.LimitPerRank(4096)
+	ctrls := make([]*adapt.Controller, P)
+	for r := range ctrls {
+		ctrls[r] = adapt.NewController(adapt.Config{})
+		ctrls[r].AttachTracer(tr, r)
+	}
+	hist := comm.Run(w, func(p *comm.Proc) []Point {
+		cfg := Config{
+			Method: MethodTopK, LR: 0.0125,
+			BatchPerNode: 32, Epochs: 6,
+			Bucket: 256, K: 8, Algorithm: core.Auto, Seed: 11,
+			LayerWise: true, Adapt: ctrls[p.Rank()],
+		}
+		return Run(p, denseBlobTask(p.Rank(), P), cfg)
+	})
+	final := hist[0][len(hist[0])-1]
+	if final.Top1 < 0.85 {
+		t.Fatalf("layer-wise adaptive final top-1 %g, want ≥0.85", final.Top1)
+	}
+	for r := 1; r < P; r++ {
+		for e := range hist[r] {
+			if hist[r][e].Loss != hist[0][e].Loss || hist[r][e].Top1 != hist[0][e].Top1 {
+				t.Fatalf("rank %d epoch %d diverged — layer-wise adaptive replicas inconsistent", r, e)
+			}
+		}
+	}
+	alg0, lv0 := ctrls[0].Choice()
+	if alg0 == core.Auto {
+		t.Fatal("layer-wise path bypassed the controller: Auto never resolved")
+	}
+	for r := 1; r < P; r++ {
+		algR, lvR := ctrls[r].Choice()
+		if algR != alg0 || lvR != lv0 {
+			t.Fatalf("rank %d holds %s@%d, rank 0 %s@%d", r, algR, lvR, alg0, lv0)
+		}
+	}
+}

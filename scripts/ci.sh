@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # CI floor for the repo: build everything, vet, enforce the documentation
 # floor (godoc coverage on the exported API packages + docs-vs-code drift),
-# race-check the concurrency hot spots (the message-passing substrate and
-# the collectives that run on it), run the full test suite, smoke-run the
-# k-way merge ablation benchmarks, then record the deterministic sweeps as
+# race-check the concurrency hot spots (the message-passing substrate with
+# its real transports, the collectives and parallel merge that run on it),
+# smoke the real execution backends (goroutine + loopback TCP) through the
+# sparbench transport sweep, run the full test suite, smoke-run the k-way
+# merge ablation benchmarks, then record the deterministic sweeps as
 # BENCH_2.json (contention model), BENCH_3.json (k-way merge/scratch),
 # BENCH_4.json (hierarchy-depth ablation), and BENCH_5.json (runtime
 # adaptation ablation), hard-failing if any drifts from the committed
 # files. BENCH_5's acceptance invariants (adaptive beats static-uniform on
 # clustered/drifting workloads, within noise elsewhere) are enforced by
 # TestBench5AcceptanceCriteria against the committed file during the test
-# phase, so a drift that regresses them fails twice.
+# phase, so a drift that regresses them fails twice. BENCH_6.json (the
+# execution-backend comparison) carries measured wall times, so it is NOT
+# drift-gated; the transport smoke plus the equivalence/calibration tests
+# enforce its deterministic claims instead.
 #
 # Usage: ./scripts/ci.sh
 set -euo pipefail
@@ -36,8 +41,11 @@ go run ./tools/doccheck . ./internal/simnet ./internal/comm ./internal/core ./in
 echo "== docdrift (docs tables must name real identifiers)"
 go run ./tools/docdrift -root . docs/COLLECTIVES.md docs/ARCHITECTURE.md
 
-echo "== go test -race (comm + core + adapt)"
-go test -race ./internal/comm/... ./internal/core/... ./internal/adapt/...
+echo "== go test -race (comm + core + adapt + stream: real transports, parallel merge)"
+go test -race ./internal/comm/... ./internal/core/... ./internal/adapt/... ./internal/stream/...
+
+echo "== transport smoke (goroutine + loopback TCP backends, wall clock)"
+go run ./cmd/sparbench -sweep transport -transport all > /dev/null
 
 echo "== go test ./..."
 go test ./...

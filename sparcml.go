@@ -279,6 +279,48 @@ func NewWorldHier(p int, h Hierarchy) *World {
 	return &World{inner: comm.NewWorldHier(p, h), scratches: newScratches(p)}
 }
 
+// TCPConfig configures a TCP-transport world (NewWorldTCP): the rendezvous
+// address, this process's ranks, and the dial timeout.
+type TCPConfig = comm.TCPConfig
+
+// NewWorldTCP creates a world of p ranks communicating over TCP sockets —
+// a real execution backend, with measured wall-clock times instead of the
+// simulator's virtual clock. The zero cfg hosts every rank in this process
+// behind an ephemeral loopback rendezvous; a multi-process world names a
+// shared cfg.Rendezvous and partitions ranks via cfg.LocalRanks. The
+// profile still parameterizes Auto's cost model (until calibration
+// replaces it) but never prices a transfer. Close the world to release its
+// sockets.
+func NewWorldTCP(p int, profile Profile, cfg TCPConfig) (*World, error) {
+	inner, err := comm.NewWorldTCP(p, profile, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &World{inner: inner, scratches: newScratches(p)}, nil
+}
+
+// UseGoroutineTransport switches the world to the in-process goroutine
+// backend: ranks run truly concurrently, every payload is deep-copied
+// through the wire codec, and all times are measured wall-clock seconds.
+// Call before Run; returns the world for chaining.
+func (w *World) UseGoroutineTransport() *World {
+	w.inner.UseGoroutineTransport()
+	return w
+}
+
+// Transport names the world's execution backend: "sim", "goroutine", or
+// "tcp".
+func (w *World) Transport() string { return w.inner.Transport() }
+
+// WallClock reports whether the world's times (SimTime, SimTimes, Now,
+// trace timestamps) are measured wall-clock seconds rather than virtual
+// α–β seconds.
+func (w *World) WallClock() bool { return w.inner.WallClock() }
+
+// Close releases backend resources (TCP listeners and connections); a
+// no-op on the simulator and goroutine backends.
+func (w *World) Close() error { return w.inner.Close() }
+
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.inner.Size() }
 
@@ -349,12 +391,15 @@ func (w *World) Topology() (Topology, bool) { return w.inner.Topology() }
 // NewWorldTopo topology).
 func (w *World) Hierarchy() (Hierarchy, bool) { return w.inner.Hierarchy() }
 
-// SimTime returns the maximum simulated completion time across ranks for
-// the most recent Run.
+// SimTime returns the maximum completion time across ranks for the most
+// recent Run: simulated α–β seconds on the default backend, measured
+// wall-clock seconds on the real backends (WallClock reports which).
 func (w *World) SimTime() float64 { return w.inner.MaxTime() }
 
-// SimTimes returns each rank's simulated completion time for the most
-// recent Run.
+// SimTimes returns each rank's completion time for the most recent Run —
+// simulated or measured wall-clock seconds, as with SimTime. On a
+// multi-process TCP world only this process's ranks have entries; the
+// rest are zero.
 func (w *World) SimTimes() []float64 { return w.inner.Times() }
 
 // Comm is one rank's communicator handle.
