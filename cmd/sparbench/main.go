@@ -17,6 +17,7 @@
 //	sparbench -sweep hierlevels [-json]
 //	sparbench -sweep adapt      [-json]
 //	sparbench -sweep transport  [-transport goroutine|tcp|all] [-json]
+//	sparbench -replay t.trace   [-rpn 4] [-nic 1] [-json]  # re-run a recorded adaptation cell
 //	sparbench -csv  # machine-readable output
 package main
 
@@ -34,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/stream"
 )
@@ -67,9 +69,37 @@ func run(args []string, stdout io.Writer) error {
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		jsonOut   = fs.Bool("json", false, "for -sweep contention: emit the BENCH_2-format JSON document")
 		trace     = fs.Bool("trace", false, "dump a message timeline of one SSAR_Recursive_double allreduce and exit")
+		replayF   = fs.String("replay", "", "workload trace file: replay one adaptation cell from it and exit (record with cmd/sparreplay)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *replayF != "" {
+		tr, err := scenario.ReadFile(*replayF)
+		if err != nil {
+			return err
+		}
+		row := experiments.ReplayAdaptCell(*rpn, *nic, tr)
+		if *jsonOut {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(row)
+		}
+		tb := report.NewTable("workload", "N", "P", "calls", "k-range", "static-uniform", "static-clustered", "adaptive", "vs-uniform", "vs-best", "switches", "clustered-calls", "final")
+		tb.AddRowRaw(
+			row.Workload, fmt.Sprint(row.N), fmt.Sprint(row.P), fmt.Sprint(row.Calls),
+			fmt.Sprintf("%d..%d", row.KStart, row.KEnd),
+			report.FormatSeconds(row.StaticUniformSim),
+			report.FormatSeconds(row.StaticClusteredSim),
+			report.FormatSeconds(row.AdaptiveSim),
+			fmt.Sprintf("%.3f", row.AdaptiveVsUniform),
+			fmt.Sprintf("%.3f", row.AdaptiveVsBestStatic),
+			fmt.Sprint(row.AdaptiveSwitches),
+			fmt.Sprint(row.AdaptiveClusteredCalls),
+			row.FinalChoice,
+		)
+		return tb.Emit(stdout, *csv)
 	}
 
 	if *trace {

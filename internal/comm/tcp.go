@@ -332,6 +332,14 @@ func (r *registrar) add(rank int, addr string, conn net.Conn) {
 	}
 }
 
+// count reports how many ranks have registered; registrations arrive on
+// accept goroutines, so the timeout path must read got under the lock.
+func (r *registrar) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.got
+}
+
 // fail records the first rendezvous error and unblocks waiters.
 func (r *registrar) fail(err error) {
 	if r.err == nil {
@@ -468,7 +476,7 @@ func NewWorldTCP(p int, profile simnet.Profile, cfg TCPConfig) (*World, error) {
 		select {
 		case <-t.reg.done:
 		case <-time.After(t.dialTimeout()):
-			return fail(fmt.Errorf("comm: tcp rendezvous: timed out waiting for %d ranks (have %d)", p, t.reg.got))
+			return fail(fmt.Errorf("comm: tcp rendezvous: timed out waiting for %d ranks (have %d)", p, t.reg.count()))
 		}
 		if t.reg.err != nil {
 			return fail(t.reg.err)

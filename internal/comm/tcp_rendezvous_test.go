@@ -1,0 +1,107 @@
+package comm
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// freeLoopbackAddr reserves an ephemeral loopback port and releases it, so
+// a test can hand NewWorldTCP a concrete rendezvous address that is almost
+// certainly still free.
+func freeLoopbackAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestTCPRendezvousTimeoutMissingRank pins the rendezvous failure path: a
+// multi-process world whose last rank never dials in must surface a
+// timeout error from NewWorldTCP — not hang — and release its sockets.
+func TestTCPRendezvousTimeoutMissingRank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping rendezvous timeout wait")
+	}
+	addr := freeLoopbackAddr(t)
+	done := make(chan error, 1)
+	go func() {
+		// Host ranks 0 and 1 of a 3-rank world; rank 2 does not exist.
+		w, err := NewWorldTCP(3, simnet.Aries, TCPConfig{
+			Rendezvous:  addr,
+			LocalRanks:  []int{0, 1},
+			DialTimeout: 500 * time.Millisecond,
+		})
+		if err == nil {
+			w.Close()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("rendezvous with a missing rank must fail, got a world")
+		}
+		if !strings.Contains(err.Error(), "timed out waiting") {
+			t.Fatalf("want a rendezvous timeout error, got: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("NewWorldTCP hung waiting for a rank that never dials in")
+	}
+}
+
+// TestTCPRendezvousTimeoutSilentRendezvous pins the other half of the
+// failure path: a non-rank-0 process whose rendezvous accepts the
+// registration but never replies with the address table must error out on
+// its read deadline instead of hanging.
+func TestTCPRendezvousTimeoutSilentRendezvous(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping rendezvous timeout wait")
+	}
+	// A stub rendezvous: accepts connections, reads nothing, replies never.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("stub rendezvous listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		w, err := NewWorldTCP(3, simnet.Aries, TCPConfig{
+			Rendezvous:  ln.Addr().String(),
+			LocalRanks:  []int{1},
+			DialTimeout: 500 * time.Millisecond,
+		})
+		if err == nil {
+			w.Close()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("rendezvous that never answers must fail, got a world")
+		}
+		if !strings.Contains(err.Error(), "rendezvous reply") {
+			t.Fatalf("want a rendezvous-reply error, got: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("NewWorldTCP hung on a rendezvous that never replies")
+	}
+}

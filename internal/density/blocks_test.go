@@ -1,0 +1,120 @@
+package density
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestExpectedKBlocksSingleBlockMatchesClustered(t *testing.T) {
+	for _, c := range []struct {
+		n, k, p          int
+		hotFrac, hotMass float64
+	}{
+		{1 << 16, 2000, 16, 0.1, 0.7},
+		{1 << 18, 8000, 32, 0.05, 0.9},
+		{1 << 14, 100, 4, 0.3, 0.2},
+	} {
+		a := ExpectedKClustered(c.n, c.k, c.p, c.hotFrac, c.hotMass)
+		b := ExpectedKBlocks(c.n, c.k, c.p, []HotBlock{{Frac: c.hotFrac, Mass: c.hotMass}})
+		if a != b {
+			t.Fatalf("single-block mixture %g diverges from clustered form %g at %+v", b, a, c)
+		}
+	}
+}
+
+func TestExpectedKBlocksLimits(t *testing.T) {
+	n, k, p := 1<<20, 200, 8
+	// No blocks → the uniform closed form (Poisson approximation, k << N).
+	flat := ExpectedKBlocks(n, k, p, nil)
+	uni := ExpectedKUniform(n, k, p)
+	if rel := math.Abs(flat-uni) / uni; rel > 0.01 {
+		t.Fatalf("block-free mixture %0.f vs uniform %0.f (rel err %.2f%%)", flat, uni, rel*100)
+	}
+	// Saturation collapses to n.
+	if got := ExpectedKBlocks(100, 100, 4, []HotBlock{{Frac: 0.1, Mass: 0.7}}); got != 100 {
+		t.Fatalf("k=n must give n, got %g", got)
+	}
+	// Splitting one block into two halves of the mass and width changes
+	// nothing: the mixture is linear in disjoint blocks.
+	one := ExpectedKBlocks(1<<16, 2000, 16, []HotBlock{{Frac: 0.1, Mass: 0.8}})
+	two := ExpectedKBlocks(1<<16, 2000, 16, []HotBlock{{Frac: 0.05, Mass: 0.4}, {Frac: 0.05, Mass: 0.4}})
+	if rel := math.Abs(one-two) / one; rel > 1e-9 {
+		t.Fatalf("split-block mixture %g diverges from single block %g", two, one)
+	}
+	// Bounded by [k, min(N, Pk)].
+	e := ExpectedKBlocks(1<<16, 2000, 16, []HotBlock{{Frac: 0.02, Mass: 0.5}, {Frac: 0.03, Mass: 0.3}})
+	if e > UnionBound(1<<16, 2000, 16) || e < 2000 {
+		t.Fatalf("E[K]=%g outside [k, min(N,Pk)]", e)
+	}
+}
+
+func TestExpectedKBlocksPanicsOnInvalid(t *testing.T) {
+	for _, f := range []func(){
+		func() { ExpectedKBlocks(0, 1, 1, nil) },
+		func() { ExpectedKBlocks(10, 1, 1, []HotBlock{{Frac: 0, Mass: 0.5}}) },
+		func() { ExpectedKBlocks(10, 1, 1, []HotBlock{{Frac: 0.5, Mass: -0.1}}) },
+		func() { ExpectedKBlocks(10, 1, 1, []HotBlock{{Frac: 0.6, Mass: 0.3}, {Frac: 0.6, Mass: 0.3}}) },
+		func() { ExpectedKBlocks(10, 1, 1, []HotBlock{{Frac: 0.2, Mass: 0.6}, {Frac: 0.2, Mass: 0.6}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestExpectedKBlocksMixtureAccuracy prices the scenario generator's
+// multi-modal mixture: supports drawn from a three-block scenario must
+// measure a union within 15% of the closed form — the same accuracy bar
+// the single-block form meets — while the uniform worst case clearly
+// overestimates.
+func TestExpectedKBlocksMixtureAccuracy(t *testing.T) {
+	const (
+		n, P = 1 << 16, 16
+		d    = 0.02
+		hotM = 0.8
+	)
+	sc := scenario.Scenario{
+		Name: "mixture-pricing", N: n, P: P, Calls: 4,
+		Density: scenario.Const(d),
+		Blocks: []scenario.Block{
+			{Start: 0.05, Frac: 0.02, Weight: 0.5},
+			{Start: 0.40, Frac: 0.03, Weight: 0.3},
+			{Start: 0.75, Frac: 0.015, Weight: 0.2},
+		},
+		HotMass: scenario.Const(hotM),
+	}
+	// Each block's absolute mass is the hot mass split by weight.
+	blocks := []HotBlock{
+		{Frac: 0.02, Mass: hotM * 0.5},
+		{Frac: 0.03, Mass: hotM * 0.3},
+		{Frac: 0.015, Mass: hotM * 0.2},
+	}
+	k := int(math.Round(d * n))
+	want := ExpectedKBlocks(n, k, P, blocks)
+
+	g := sc.Generator(scenario.NewKey(9))
+	var sumMeasured float64
+	calls := 0
+	for vs := g.Next(); vs != nil; vs = g.Next() {
+		sets := make([][]int32, len(vs))
+		for r, v := range vs {
+			sets[r], _ = v.Pairs()
+		}
+		sumMeasured += float64(MeasureK(sets))
+		calls++
+	}
+	measured := sumMeasured / float64(calls)
+	if rel := math.Abs(want-measured) / measured; rel > 0.15 {
+		t.Fatalf("mixture closed form %0.f vs measured %0.f (rel err %.0f%%)", want, measured, rel*100)
+	}
+	if uniform := ExpectedKUniform(n, k, P); uniform < 1.2*measured {
+		t.Fatalf("uniform model %0.f should clearly overestimate measured %0.f on this shape", uniform, measured)
+	}
+}

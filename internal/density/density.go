@@ -78,19 +78,70 @@ func ExpectedKClustered(n, k, p int, hotFrac, hotMass float64) float64 {
 	if hotFrac <= 0 || hotFrac > 1 || hotMass < 0 || hotMass > 1 {
 		panic("density: hotFrac must be in (0,1], hotMass in [0,1]")
 	}
+	return ExpectedKBlocks(n, k, p, []HotBlock{{Frac: hotFrac, Mass: hotMass}})
+}
+
+// HotBlock is one component of a multi-modal support mixture: a block
+// covering Frac of the dimension space that absorbs Mass of each draw's
+// probability. Blocks must be disjoint, with ΣFrac ≤ 1 and ΣMass ≤ 1; the
+// remaining 1 − ΣMass of the mass draws uniformly over the whole space
+// (hot blocks included), matching the scenario generator's mixture.
+type HotBlock struct {
+	// Frac is the block's width as a fraction of N.
+	Frac float64
+	// Mass is the probability a single draw lands in this block (before
+	// the uniform remainder).
+	Mass float64
+}
+
+// ExpectedKBlocks generalizes ExpectedKClustered to a mixture of several
+// hot blocks — the multi-modal supports of real gradients, where
+// embedding rows, output layers, and attention heads each absorb a chunk
+// of the mass. With h_b = ⌈Frac_b·N⌉, per-coordinate hit probabilities
+// q_b = Mass_b/h_b + (1−ΣMass)/N inside block b and
+// q_cold = (1−ΣMass)/N outside every block, summing per-coordinate hit
+// probabilities over kP independent draws gives
+//
+//	E[K] = Σ_b h_b·(1 − (1 − q_b)^{kP}) + (N − Σ_b h_b)·(1 − (1 − q_cold)^{kP})
+//
+// The independence approximation and validity caveats of
+// ExpectedKClustered apply unchanged; with a single block the two forms
+// agree exactly.
+func ExpectedKBlocks(n, k, p int, blocks []HotBlock) float64 {
+	if n <= 0 || k < 0 || p <= 0 {
+		panic("density: invalid parameters")
+	}
+	totalFrac, totalMass := 0.0, 0.0
+	for _, b := range blocks {
+		if b.Frac <= 0 || b.Mass < 0 {
+			panic("density: block Frac must be positive, Mass non-negative")
+		}
+		totalFrac += b.Frac
+		totalMass += b.Mass
+	}
+	if totalFrac > 1+1e-9 || totalMass > 1+1e-9 {
+		panic("density: block fractions and masses must each sum to at most 1")
+	}
 	if k >= n {
 		return float64(n)
 	}
-	h := math.Ceil(hotFrac * float64(n))
-	if h > float64(n) {
-		h = float64(n)
-	}
 	draws := float64(k) * float64(p)
-	qHot := hotMass/h + (1-hotMass)/float64(n)
-	qCold := (1 - hotMass) / float64(n)
-	hot := h * (1 - math.Pow(1-qHot, draws))
-	cold := (float64(n) - h) * (1 - math.Pow(1-qCold, draws))
-	return hot + cold
+	cold := (1 - totalMass) / float64(n)
+	sum := 0.0
+	hotCoords := 0.0
+	for _, b := range blocks {
+		h := math.Ceil(b.Frac * float64(n))
+		if h > float64(n) {
+			h = float64(n)
+		}
+		qb := b.Mass/h + cold
+		sum += h * (1 - math.Pow(1-qb, draws))
+		hotCoords += h
+	}
+	if hotCoords > float64(n) {
+		hotCoords = float64(n)
+	}
+	return sum + (float64(n)-hotCoords)*(1-math.Pow(1-cold, draws))
 }
 
 // UnionBound returns the trivial upper bound min(N, P·k) on K.

@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/adapt"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/stream"
 )
@@ -19,9 +19,12 @@ import (
 // clustered, and two drifting workloads — one drifting into clustering
 // (where the uniform support model flips the δ gate wrongly) and one
 // drifting into density under mild clustering (where the clustered model
-// with its default shape is the wrong one). Every metric is simulated
-// virtual time on seeded inputs, so the document is reproducible
-// byte-for-byte and scripts/ci.sh drift-gates it like BENCH_2–4.
+// with its default shape is the wrong one). The workloads are the
+// declarative BENCH_5 cells of internal/scenario; every metric is
+// simulated virtual time on seed-isolated inputs, so the document is
+// reproducible byte-for-byte and scripts/ci.sh drift-gates it like
+// BENCH_2–4. Any cell can be recorded to a trace (scenario.Record) and
+// re-run byte-identically from the file via ReplayAdaptCell.
 
 // AdaptRow is one workload cell of the adaptation ablation.
 type AdaptRow struct {
@@ -53,47 +56,28 @@ type AdaptRow struct {
 	FinalChoice            string `json:"final_choice"`
 }
 
-// adaptWorkload defines one cell's call schedule.
-type adaptWorkload struct {
-	name  string
-	calls int
-	// hotFrac is the width of the hot block as a fraction of the
-	// dimension space.
-	hotFrac float64
-	// kAt and biasAt give call c's per-rank non-zero count and hot-set
-	// bias (probability of drawing from the hot block).
-	kAt    func(c int) int
-	biasAt func(c int) float64
+// RunAdaptCell measures one scenario cell: the schedule generated under
+// key, run under the three arms on identical fresh worlds. Simulated
+// times are deterministic, so one run per arm suffices.
+func RunAdaptCell(rpn, nic int, sc scenario.Scenario, key scenario.SimulationKey) AdaptRow {
+	return runAdaptSchedule(rpn, nic, sc.Name, sc.N, sc.P, sc.Generator(key).All())
 }
 
-// adaptInputs generates the full deterministic schedule: calls × P
-// vectors. All arms replay the identical inputs.
-func adaptInputs(seed int64, n, P int, wl adaptWorkload) [][]*stream.Vector {
-	rng := rand.New(rand.NewSource(seed))
-	sched := make([][]*stream.Vector, wl.calls)
-	hot := int(wl.hotFrac * float64(n))
-	if hot < 1 {
-		hot = 1
-	}
-	for c := range sched {
-		k, bias := wl.kAt(c), wl.biasAt(c)
-		sched[c] = make([]*stream.Vector, P)
-		for r := 0; r < P; r++ {
-			sched[c][r] = biasedSparse(rng, n, k, hot, bias)
-		}
-	}
-	return sched
+// ReplayAdaptCell re-runs a cell from a recorded trace. Because the trace
+// codec reconstructs every input vector field-exact and the arms are
+// deterministic given their inputs, the returned row is byte-identical to
+// the live run that recorded the trace.
+func ReplayAdaptCell(rpn, nic int, tr *scenario.Trace) AdaptRow {
+	return runAdaptSchedule(rpn, nic, tr.Name, tr.N, tr.P, tr.Steps)
 }
 
-// RunAdaptCell measures one workload cell: the same schedule under the
-// three arms on identical fresh worlds. Simulated times are
-// deterministic, so one run per arm suffices.
-func RunAdaptCell(n, P, rpn, nic int, wl adaptWorkload, seed int64) AdaptRow {
+// runAdaptSchedule is the shared measurement core of the live and replay
+// paths: both reduce to "run this exact schedule under the three arms".
+func runAdaptSchedule(rpn, nic int, name string, n, P int, sched [][]*stream.Vector) AdaptRow {
 	topo := simnet.Topology{RanksPerNode: rpn, Intra: simnet.NVLinkLike, Inter: simnet.Aries, NICSerial: nic}
-	sched := adaptInputs(seed, n, P, wl)
 	row := AdaptRow{
-		Workload: wl.name, N: n, P: P, RanksPerNode: rpn, NICSerial: nic,
-		Calls: wl.calls, KStart: wl.kAt(0), KEnd: wl.kAt(wl.calls - 1),
+		Workload: name, N: n, P: P, RanksPerNode: rpn, NICSerial: nic,
+		Calls: len(sched), KStart: sched[0][0].NNZ(), KEnd: sched[len(sched)-1][0].NNZ(),
 	}
 
 	static := func(opts core.Options) float64 {
@@ -139,68 +123,33 @@ func RunAdaptCell(n, P, rpn, nic int, wl adaptWorkload, seed int64) AdaptRow {
 	return row
 }
 
-// AdaptSweep runs the default BENCH_5 cells on a 32-rank, 4-ranks-per-
-// node contended topology at N = 2^18. Densities sit around the δ regime
-// gate, where the support model actually flips decisions: at P = 32 the
-// uniform worst case routes to the dense-result family from d ≈ 3.4%,
-// while a 5%-wide hot block holding ~90% of the mass keeps the true
-// union around a fifth of the space — where the sparse-result family
-// simulates ~20% faster than the dense one the uniform model picks.
+// AdaptSeed seeds the BENCH_5 sweep; cmd/sparreplay records its traces
+// under the same key so a recorded cell replays the committed document
+// rows exactly.
+const AdaptSeed = 701
+
+// AdaptSweep runs the BENCH_5 scenario cells (scenario.Bench5Names) on a
+// 32-rank, 4-ranks-per-node contended topology at N = 2^18. Densities sit
+// around the δ regime gate, where the support model actually flips
+// decisions: at P = 32 the uniform worst case routes to the dense-result
+// family from d ≈ 3.4%, while a 5%-wide hot block holding ~90% of the
+// mass keeps the true union around a fifth of the space — where the
+// sparse-result family simulates ~20% faster than the dense one the
+// uniform model picks.
 func AdaptSweep() []AdaptRow {
 	const (
-		n     = 1 << 18
-		P     = 32
-		rpn   = 4
-		nic   = 1
-		calls = 24
+		rpn = 4
+		nic = 1
 	)
-	const driftCalls = 36
-	ramp := func(from, to float64) func(c int) int {
-		return func(c int) int {
-			t := float64(c) / float64(driftCalls-1)
-			return int(float64(n) * from * math.Pow(to/from, t))
+	key := scenario.NewKey(AdaptSeed)
+	names := scenario.Bench5Names()
+	rows := make([]AdaptRow, 0, len(names))
+	for _, name := range names {
+		sc, err := scenario.ByName(name)
+		if err != nil {
+			panic(err) // the library always carries its own cells
 		}
-	}
-	flat := func(d float64) func(c int) int { return func(int) int { return int(float64(n) * d) } }
-	bias := func(b float64) func(c int) float64 { return func(int) float64 { return b } }
-	workloads := []adaptWorkload{
-		// Stationary uniform, just under the gate: every arm should behave
-		// alike; adaptive must stay within noise (its two tiny agreement
-		// allreduces per call) of static Auto.
-		{name: "uniform", calls: calls, hotFrac: 0.05, kAt: flat(0.03), biasAt: bias(0)},
-		// Stationary clustered past the uniform gate (d = 4%, 90% of the
-		// mass in a 5% hot block): the uniform model routes to the
-		// dense-result family although the actual union stays around a
-		// fifth of the space — squarely sparse, and measurably cheaper.
-		{name: "clustered", calls: calls, hotFrac: 0.05, kAt: flat(0.04), biasAt: bias(0.9)},
-		// Drifting into clustering: density ramps 2.5% → 5% while the hot
-		// bias ramps to 0.9 over the first twelve calls (the canonical
-		// training trajectory — gradients concentrate as the model
-		// converges). Once density crosses the uniform gate (d ≈ 3.4%,
-		// around mid-run) static-uniform is wrong for every remaining call.
-		{name: "drift-cluster", calls: driftCalls, hotFrac: 0.05, kAt: ramp(0.025, 0.05),
-			biasAt: func(c int) float64 { return 0.9 * math.Min(1, float64(c)/12) }},
-		// A regime shift: 24 calls of clustered-sparse gradients, a short
-		// drift, then de-clustered dense ones (d = 8%, bias ≈ 0). In phase
-		// one the uniform model routes to the dense family too early; in
-		// phase two the *clustered* static arm — its default 10%/70% shape
-		// now wrong — underestimates fill-in and keeps a densifying result
-		// on the sparse path. Adaptive is the only arm right in both.
-		{name: "drift-shift", calls: 34, hotFrac: 0.05,
-			kAt: func(c int) int {
-				return int(float64(n) * (0.04 + 0.04*shiftPhase(c)))
-			},
-			biasAt: func(c int) float64 { return 0.9 - 0.85*shiftPhase(c) }},
-	}
-	rows := make([]AdaptRow, 0, len(workloads))
-	for i, wl := range workloads {
-		rows = append(rows, RunAdaptCell(n, P, rpn, nic, wl, 701+int64(i)))
+		rows = append(rows, RunAdaptCell(rpn, nic, sc, key))
 	}
 	return rows
-}
-
-// shiftPhase is the drift-shift schedule's phase indicator: 0 through
-// call 23, a linear transition over calls 24–27, 1 from call 28 on.
-func shiftPhase(c int) float64 {
-	return math.Min(1, math.Max(0, float64(c-23)/4))
 }

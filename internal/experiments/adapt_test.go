@@ -3,19 +3,27 @@ package experiments
 import (
 	"math"
 	"testing"
+
+	"repro/internal/scenario"
 )
+
+// testAdaptScenario is a reduced clustered cell (same shape as the
+// BENCH_5 "clustered" cell at a sixteenth of the dimension) used by the
+// determinism and replay tests.
+var testAdaptScenario = scenario.Scenario{
+	Name: "clustered-small", N: 1 << 16, P: 16, Calls: 6,
+	Density: scenario.Const(0.04),
+	Blocks:  []scenario.Block{{Start: 0, Frac: 0.05, Weight: 1}},
+	HotMass: scenario.Const(0.9),
+}
 
 // TestRunAdaptCellDeterministic checks one reduced adaptation cell is
 // fully deterministic (the property the BENCH_5 drift gate relies on)
 // and internally consistent.
 func TestRunAdaptCellDeterministic(t *testing.T) {
-	wl := adaptWorkload{
-		name: "clustered", calls: 6, hotFrac: 0.05,
-		kAt:    func(int) int { return (1 << 16) / 25 },
-		biasAt: func(int) float64 { return 0.9 },
-	}
-	a := RunAdaptCell(1<<16, 16, 4, 1, wl, 42)
-	b := RunAdaptCell(1<<16, 16, 4, 1, wl, 42)
+	key := scenario.NewKey(42)
+	a := RunAdaptCell(4, 1, testAdaptScenario, key)
+	b := RunAdaptCell(4, 1, testAdaptScenario, key)
 	if a != b {
 		t.Fatalf("adapt cell not deterministic:\n%+v\n%+v", a, b)
 	}
@@ -28,5 +36,24 @@ func TestRunAdaptCellDeterministic(t *testing.T) {
 	wantBest := math.Min(a.StaticUniformSim, a.StaticClusteredSim) / a.AdaptiveSim
 	if math.Abs(wantBest-a.AdaptiveVsBestStatic) > 1e-12 {
 		t.Fatalf("ratio bookkeeping wrong: %v vs %v", wantBest, a.AdaptiveVsBestStatic)
+	}
+}
+
+// TestReplayAdaptCellMatchesLive records the reduced cell's schedule to a
+// trace, round-trips the trace through its file encoding, and checks the
+// replayed row equals the live one field for field — the byte-identity
+// claim behind cmd/sparreplay and the CI replay gate.
+func TestReplayAdaptCellMatchesLive(t *testing.T) {
+	key := scenario.NewKey(42)
+	live := RunAdaptCell(4, 1, testAdaptScenario, key)
+
+	tr := scenario.Record(testAdaptScenario, key)
+	decoded, err := scenario.Decode(tr.Encode())
+	if err != nil {
+		t.Fatalf("decode recorded trace: %v", err)
+	}
+	replayed := ReplayAdaptCell(4, 1, decoded)
+	if live != replayed {
+		t.Fatalf("replay diverged from live run:\nlive:   %+v\nreplay: %+v", live, replayed)
 	}
 }

@@ -2,12 +2,12 @@ package experiments
 
 import (
 	"math"
-	"math/rand"
 	"runtime/debug"
 	"testing"
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/stream"
 )
@@ -46,44 +46,19 @@ type MergeCell struct {
 	SplitSimSeconds float64 `json:"split_allgather_sim_seconds"`
 }
 
-// biasedSparse draws one sparse stream of k distinct indices: each draw
-// lands in the leading `hot` coordinates with probability `bias`,
-// uniformly in [0, n) otherwise. Shared by the merge (BENCH_3) and
-// adaptation (BENCH_5) cells; bias 0 consumes no bias draws, keeping the
-// uniform cells' rng streams stable.
-func biasedSparse(rng *rand.Rand, n, k, hot int, bias float64) *stream.Vector {
-	seen := map[int32]bool{}
-	idx := make([]int32, 0, k)
-	val := make([]float64, 0, k)
-	for len(idx) < k {
-		var ix int32
-		if bias > 0 && rng.Float64() < bias {
-			ix = int32(rng.Intn(hot))
-		} else {
-			ix = int32(rng.Intn(n))
-		}
-		if seen[ix] {
-			continue
-		}
-		seen[ix] = true
-		idx = append(idx, ix)
-		val = append(val, float64(rng.Intn(64)-32)/8+0.125)
-	}
-	return stream.NewSparse(n, idx, val, stream.OpSum)
-}
-
-// mergeInputs builds P deterministic sparse streams for a cell.
+// mergeInputs builds P deterministic sparse streams for a cell: one
+// scenario call at density k/n, uniform or with the leading tenth of the
+// space holding 70% of the mass.
 func mergeInputs(seed int64, n, k, P int, pattern string) []*stream.Vector {
-	rng := rand.New(rand.NewSource(seed))
-	out := make([]*stream.Vector, P)
-	for r := range out {
-		bias := 0.0
-		if pattern == "clustered" {
-			bias = 0.7
-		}
-		out[r] = biasedSparse(rng, n, k, n/10, bias)
+	sc := scenario.Scenario{
+		Name: "merge-" + pattern, N: n, P: P, Calls: 1,
+		Density: scenario.Const(float64(k) / float64(n)),
 	}
-	return out
+	if pattern == "clustered" {
+		sc.Blocks = []scenario.Block{{Start: 0, Frac: 0.1, Weight: 1}}
+		sc.HotMass = scenario.Const(0.7)
+	}
+	return sc.Generator(scenario.NewKey(seed)).Next()
 }
 
 // RunMergeCell measures one ablation cell. All metrics are deterministic:

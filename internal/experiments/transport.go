@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/adapt"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/stream"
 )
@@ -69,43 +69,15 @@ type CalibDemo struct {
 }
 
 // transportInputs builds the seeded per-rank inputs shared by every
-// backend: k distinct coordinates with dyadic values, so floating-point
-// accumulation is exact and bit-comparison across backends is meaningful.
+// backend: one uniform scenario call whose lattice values (odd multiples
+// of 1/16) make floating-point accumulation exact, so bit-comparison
+// across backends is meaningful.
 func transportInputs(seed int64, n, P, k int) []*stream.Vector {
-	rng := rand.New(rand.NewSource(seed))
-	inputs := make([]*stream.Vector, P)
-	for r := range inputs {
-		idx := make([]int32, 0, k)
-		val := make([]float64, 0, k)
-		seen := map[int32]bool{}
-		for len(idx) < k {
-			ix := int32(rng.Intn(n))
-			if seen[ix] {
-				continue
-			}
-			seen[ix] = true
-			idx = append(idx, ix)
-		}
-		sortIdx(idx)
-		for range idx {
-			v := float64(int(1)<<rng.Intn(6)) / 8
-			if rng.Intn(2) == 0 {
-				v = -v
-			}
-			val = append(val, v)
-		}
-		inputs[r] = stream.NewSparse(n, idx, val, stream.OpSum)
+	sc := scenario.Scenario{
+		Name: "transport", N: n, P: P, Calls: 1,
+		Density: scenario.Const(float64(k) / float64(n)),
 	}
-	return inputs
-}
-
-// sortIdx sorts ascending (insertion sort is fine at sweep sizes).
-func sortIdx(xs []int32) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
+	return sc.Generator(scenario.NewKey(seed)).Next()
 }
 
 // TransportSweep runs the backend comparison. backends selects the real

@@ -1,0 +1,437 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// ScheduleKind selects how a Schedule interpolates between From and To.
+type ScheduleKind int
+
+const (
+	// SchedConst holds From for the whole run.
+	SchedConst ScheduleKind = iota
+	// SchedLinear interpolates linearly across the transition window.
+	SchedLinear
+	// SchedGeom interpolates geometrically (constant ratio per call)
+	// across the transition window — the natural shape for density ramps.
+	SchedGeom
+)
+
+// Schedule is a declarative per-call scalar: a value that holds at From
+// until call Start, transitions to To by call End (linearly or
+// geometrically), and holds at To afterwards. A zero window (End ≤ Start)
+// spreads the transition over the whole run. The zero Schedule is constant
+// zero; Const(v) is the common stationary case.
+type Schedule struct {
+	// Kind selects the interpolation.
+	Kind ScheduleKind
+	// From and To are the values before and after the transition.
+	From, To float64
+	// Start and End delimit the transition window in calls.
+	Start, End int
+}
+
+// Const returns the stationary schedule fixed at v.
+func Const(v float64) Schedule { return Schedule{Kind: SchedConst, From: v, To: v} }
+
+// Linear returns a schedule moving linearly from `from` to `to` over calls
+// [start, end].
+func Linear(from, to float64, start, end int) Schedule {
+	return Schedule{Kind: SchedLinear, From: from, To: to, Start: start, End: end}
+}
+
+// Geom returns a schedule moving geometrically from `from` to `to` over
+// calls [start, end]. Both endpoints must be positive.
+func Geom(from, to float64, start, end int) Schedule {
+	return Schedule{Kind: SchedGeom, From: from, To: to, Start: start, End: end}
+}
+
+// At evaluates the schedule at call c of a run of the given length.
+func (s Schedule) At(c, calls int) float64 {
+	if s.Kind == SchedConst {
+		return s.From
+	}
+	start, end := s.Start, s.End
+	if end <= start {
+		start, end = 0, calls-1
+	}
+	if c <= start || end == start {
+		return s.From
+	}
+	if c >= end {
+		return s.To
+	}
+	t := float64(c-start) / float64(end-start)
+	if s.Kind == SchedGeom {
+		return s.From * math.Pow(s.To/s.From, t)
+	}
+	return s.From + (s.To-s.From)*t
+}
+
+// Block is one hot region of the support distribution: a contiguous span
+// of Frac·span coordinates starting at Start·span that attracts a share
+// Weight of the scheduled hot mass. Multiple blocks form a multi-modal hot
+// set — the structure of real gradient supports, where several regions
+// (embedding rows, output layers) each absorb a chunk of the mass.
+type Block struct {
+	// Start is the block's offset as a fraction of the span it lives in.
+	Start float64
+	// Frac is the block's width as a fraction of the span.
+	Frac float64
+	// Weight is the block's share of the hot mass, normalized over the
+	// block set.
+	Weight float64
+}
+
+// ValueSpec selects the value-noise distribution.
+type ValueSpec int
+
+const (
+	// ValuesLattice draws dyadic rationals (odd multiples of 1/16, never
+	// zero), so floating-point accumulation across any rank count is exact
+	// and results can be compared bit for bit — the default.
+	ValuesLattice ValueSpec = iota
+	// ValuesNormal draws standard normal values, the §8.1 synthetic
+	// micro-benchmark workload.
+	ValuesNormal
+)
+
+// Layer is one span of a per-layer shape profile (transformer/LSTM):
+// a fraction of the dimension space with its own density scale and its
+// own hot blocks, generated from its own random streams so editing one
+// layer's shape never perturbs another's.
+type Layer struct {
+	// Name labels the layer (for documentation and stream naming only the
+	// index matters).
+	Name string
+	// Frac is the layer's share of the dimension space. The last layer
+	// absorbs any rounding remainder.
+	Frac float64
+	// DensityScale multiplies the scenario's scheduled density inside
+	// this layer (embedding/output layers of real models run far hotter
+	// than convolutional trunks).
+	DensityScale float64
+	// Blocks are the layer-local hot regions (Start/Frac relative to the
+	// layer span).
+	Blocks []Block
+}
+
+// Scenario declares one workload: P ranks each contributing a sparse
+// vector of dimension N per call, for Calls calls, with the support shape,
+// density schedule, raggedness and value noise given by the fields.
+// Scenarios are plain data; Generator turns one into a deterministic
+// input-schedule generator for a given SimulationKey.
+type Scenario struct {
+	// Name identifies the scenario and namespaces all of its random
+	// streams: two scenarios with different names draw from unrelated
+	// streams even under the same key.
+	Name string
+	// N is the vector dimension and P the rank count.
+	N, P int
+	// Calls is the number of collective calls in the schedule.
+	Calls int
+	// Density schedules the per-rank support density d(c); each rank
+	// contributes k = round(d(c)·N) non-zeros at call c (before
+	// raggedness).
+	Density Schedule
+	// Blocks are the hot regions of the support distribution; empty means
+	// uniform (or Zipf, see ZipfS) support.
+	Blocks []Block
+	// HotMass schedules the total probability mass the hot blocks absorb
+	// at call c (split across blocks by Weight). The remaining mass draws
+	// uniformly over the whole span, hot regions included — exactly the
+	// mixture density.ExpectedKBlocks prices.
+	HotMass Schedule
+	// ZipfS, when > 1, draws the non-hot support from a Zipf distribution
+	// with exponent ZipfS over the span instead of uniformly — the
+	// heavy-tailed supports of embedding-style gradients.
+	ZipfS float64
+	// Ragged jitters the per-rank non-zero count: each (call, rank) draws
+	// a multiplier uniform in [1−Ragged, 1+Ragged] from the raggedness
+	// subsystem. Zero consumes no raggedness draws at all.
+	Ragged float64
+	// Values selects the value-noise distribution.
+	Values ValueSpec
+	// Layers, when non-empty, partitions the dimension space into
+	// per-layer spans each generated with its own density scale and hot
+	// blocks — per-layer shape profiles drawn from transformer/LSTM
+	// architectures. Density then schedules the base density the layer
+	// scales multiply.
+	Layers []Layer
+}
+
+// Validate checks the declaration is generable.
+func (sc Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: empty name")
+	}
+	if sc.N <= 0 || sc.P <= 0 || sc.Calls <= 0 {
+		return fmt.Errorf("scenario %s: N, P, Calls must be positive (got %d, %d, %d)", sc.Name, sc.N, sc.P, sc.Calls)
+	}
+	if sc.Ragged < 0 || sc.Ragged >= 1 {
+		return fmt.Errorf("scenario %s: Ragged must be in [0, 1)", sc.Name)
+	}
+	if sc.ZipfS != 0 && sc.ZipfS <= 1 {
+		return fmt.Errorf("scenario %s: ZipfS must be > 1 when set", sc.Name)
+	}
+	if err := validateBlocks(sc.Name, sc.Blocks); err != nil {
+		return err
+	}
+	total := 0.0
+	for i, l := range sc.Layers {
+		if l.Frac <= 0 || l.Frac > 1 {
+			return fmt.Errorf("scenario %s: layer %d Frac out of (0, 1]", sc.Name, i)
+		}
+		if l.DensityScale < 0 {
+			return fmt.Errorf("scenario %s: layer %d negative DensityScale", sc.Name, i)
+		}
+		if err := validateBlocks(sc.Name, l.Blocks); err != nil {
+			return err
+		}
+		total += l.Frac
+	}
+	if len(sc.Layers) > 0 && (total <= 0 || total > 1+1e-9) {
+		return fmt.Errorf("scenario %s: layer fractions sum to %g, want (0, 1]", sc.Name, total)
+	}
+	return nil
+}
+
+func validateBlocks(name string, blocks []Block) error {
+	for i, b := range blocks {
+		if b.Start < 0 || b.Frac <= 0 || b.Start+b.Frac > 1+1e-9 {
+			return fmt.Errorf("scenario %s: block %d [%g, %g) outside the span", name, i, b.Start, b.Start+b.Frac)
+		}
+		if b.Weight <= 0 {
+			return fmt.Errorf("scenario %s: block %d non-positive weight", name, i)
+		}
+	}
+	return nil
+}
+
+// Gen generates a scenario's input schedule call by call. Calls to Next
+// must be sequential — the per-rank streams advance with each call — and a
+// Gen belongs to one goroutine.
+type Gen struct {
+	sc   Scenario
+	prng *PartitionedRNG
+	next int
+	zipf map[string]*rand.Zipf
+}
+
+// Generator binds a scenario to a determinism key. It panics on an
+// invalid declaration (scenarios are static data; an invalid one is a
+// programming error).
+func (sc Scenario) Generator(key SimulationKey) *Gen {
+	if err := sc.Validate(); err != nil {
+		panic(err)
+	}
+	return &Gen{sc: sc, prng: NewPartitionedRNG(key), zipf: make(map[string]*rand.Zipf)}
+}
+
+// Scenario returns the bound declaration.
+func (g *Gen) Scenario() Scenario { return g.sc }
+
+// Remaining returns how many calls the generator has left.
+func (g *Gen) Remaining() int { return g.sc.Calls - g.next }
+
+// Next generates the P per-rank vectors of the next call, or nil when the
+// schedule is exhausted.
+func (g *Gen) Next() []*stream.Vector {
+	if g.next >= g.sc.Calls {
+		return nil
+	}
+	c := g.next
+	g.next++
+	out := make([]*stream.Vector, g.sc.P)
+	for r := range out {
+		out[r] = g.rankVector(c, r)
+	}
+	return out
+}
+
+// All generates the entire schedule: Calls × P vectors.
+func (g *Gen) All() [][]*stream.Vector {
+	sched := make([][]*stream.Vector, 0, g.Remaining())
+	for vs := g.Next(); vs != nil; vs = g.Next() {
+		sched = append(sched, vs)
+	}
+	return sched
+}
+
+// rankVector builds rank r's contribution at call c.
+func (g *Gen) rankVector(c, r int) *stream.Vector {
+	sc := g.sc
+	d := sc.Density.At(c, sc.Calls)
+	k := scaledK(d, sc.N)
+	if sc.Ragged > 0 {
+		u := 2*g.stream(SubsystemRagged, "", r).Float64() - 1
+		k = clampK(int(math.Round(float64(k)*(1+sc.Ragged*u))), sc.N)
+	}
+
+	if len(sc.Layers) == 0 {
+		idx := g.sampleSupport(c, r, "", 0, sc.N, k, sc.Blocks)
+		return stream.NewSparse(sc.N, idx, g.sampleValues("", r, len(idx)), stream.OpSum)
+	}
+
+	var idx []int32
+	var val []float64
+	off := 0
+	for li, l := range sc.Layers {
+		span := int(math.Round(l.Frac * float64(sc.N)))
+		if li == len(sc.Layers)-1 {
+			span = sc.N - off
+		}
+		if span <= 0 {
+			continue
+		}
+		lk := scaledK(d*l.DensityScale, span)
+		if l.DensityScale == 0 {
+			lk = 0
+		}
+		ns := fmt.Sprintf("layer%d", li)
+		lidx := g.sampleSupport(c, r, ns, off, span, lk, l.Blocks)
+		idx = append(idx, lidx...)
+		val = append(val, g.sampleValues(ns, r, len(lidx))...)
+		off += span
+	}
+	return stream.NewSparse(sc.N, idx, val, stream.OpSum)
+}
+
+// scaledK converts a density into a per-rank non-zero count, at least 1.
+func scaledK(d float64, span int) int {
+	return clampK(int(math.Round(d*float64(span))), span)
+}
+
+func clampK(k, span int) int {
+	if k < 1 {
+		k = 1
+	}
+	if k > span {
+		k = span
+	}
+	return k
+}
+
+// stream returns the per-(subsystem, namespace, rank) stream. The stream
+// name embeds the scenario name, so scenarios never share streams.
+func (g *Gen) stream(subsystem, namespace string, rank int) *rand.Rand {
+	if namespace != "" {
+		subsystem = subsystem + "/" + namespace
+	}
+	return g.prng.Named(fmt.Sprintf("%s/%s/rank%d", g.sc.Name, subsystem, rank))
+}
+
+// sampleSupport draws k distinct support indices for one rank within a
+// span of the dimension space, offset into the full space. Each draw lands
+// in a hot block with the scheduled probability (split across blocks by
+// weight) and otherwise uniformly — or Zipf-distributed — over the whole
+// span. Collisions retry; a pathological streak (a saturated hot block)
+// falls back to a deterministic linear probe so generation always
+// terminates.
+func (g *Gen) sampleSupport(c, r int, namespace string, off, span, k int, blocks []Block) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	if k > span {
+		k = span
+	}
+	rng := g.stream(SubsystemSupport, namespace, r)
+	hotMass := 0.0
+	if len(blocks) > 0 {
+		hotMass = g.sc.HotMass.At(c, g.sc.Calls)
+	}
+	totalW := 0.0
+	for _, b := range blocks {
+		totalW += b.Weight
+	}
+
+	seen := make(map[int32]struct{}, k)
+	idx := make([]int32, 0, k)
+	attempts := 0
+	maxAttempts := 40*k + 64
+	for len(idx) < k {
+		var ix int32
+		if attempts >= maxAttempts {
+			// Deterministic fallback: linear-probe the span for a free
+			// slot, so a nearly-saturated hot block cannot spin forever.
+			ix = int32(len(idx) % span)
+			for {
+				if _, dup := seen[ix]; !dup {
+					break
+				}
+				ix = (ix + 1) % int32(span)
+			}
+		} else {
+			attempts++
+			if hotMass > 0 && rng.Float64() < hotMass {
+				b := pickBlock(rng, blocks, totalW)
+				w := int(math.Ceil(b.Frac * float64(span)))
+				if w > span {
+					w = span
+				}
+				ix = int32(math.Floor(b.Start*float64(span))) + int32(rng.Intn(w))
+				if int(ix) >= span {
+					ix = int32(span - 1)
+				}
+			} else if g.sc.ZipfS > 1 {
+				ix = int32(g.zipfFor(namespace, r, rng, span).Uint64())
+			} else {
+				ix = int32(rng.Intn(span))
+			}
+			if _, dup := seen[ix]; dup {
+				continue
+			}
+		}
+		seen[ix] = struct{}{}
+		idx = append(idx, ix+int32(off))
+	}
+	return idx
+}
+
+// pickBlock selects a hot block proportionally to weight.
+func pickBlock(rng *rand.Rand, blocks []Block, totalW float64) Block {
+	if len(blocks) == 1 {
+		return blocks[0]
+	}
+	u := rng.Float64() * totalW
+	for _, b := range blocks {
+		if u < b.Weight {
+			return b
+		}
+		u -= b.Weight
+	}
+	return blocks[len(blocks)-1]
+}
+
+// zipfFor returns the per-(namespace, rank) Zipf sampler, created lazily
+// on the rank's support stream.
+func (g *Gen) zipfFor(namespace string, r int, rng *rand.Rand, span int) *rand.Zipf {
+	name := fmt.Sprintf("%s/rank%d", namespace, r)
+	if z, ok := g.zipf[name]; ok {
+		return z
+	}
+	z := rand.NewZipf(rng, g.sc.ZipfS, 1, uint64(span-1))
+	g.zipf[name] = z
+	return z
+}
+
+// sampleValues draws k values from the rank's value-noise stream.
+func (g *Gen) sampleValues(namespace string, r, k int) []float64 {
+	rng := g.stream(SubsystemValues, namespace, r)
+	val := make([]float64, k)
+	switch g.sc.Values {
+	case ValuesNormal:
+		for i := range val {
+			val[i] = rng.NormFloat64()
+		}
+	default: // ValuesLattice
+		for i := range val {
+			val[i] = float64(2*rng.Intn(64)-63) / 16
+		}
+	}
+	return val
+}

@@ -1,0 +1,259 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScheduleShapes(t *testing.T) {
+	const calls = 36
+	// Const holds everywhere.
+	c := Const(0.04)
+	if c.At(0, calls) != 0.04 || c.At(35, calls) != 0.04 {
+		t.Fatal("Const schedule must hold its value")
+	}
+	// The zero Schedule is constant zero.
+	var zero Schedule
+	if zero.At(17, calls) != 0 {
+		t.Fatal("zero Schedule must evaluate to 0")
+	}
+	// Linear with an explicit window: flat before, flat after, interpolated
+	// inside.
+	l := Linear(0.9, 0.05, 23, 27)
+	if l.At(0, calls) != 0.9 || l.At(23, calls) != 0.9 {
+		t.Fatal("Linear must hold From through Start")
+	}
+	if l.At(27, calls) != 0.05 || l.At(33, calls) != 0.05 {
+		t.Fatal("Linear must hold To from End on")
+	}
+	mid := l.At(25, calls)
+	if math.Abs(mid-(0.9+(0.05-0.9)*0.5)) > 1e-12 {
+		t.Fatalf("Linear midpoint %g", mid)
+	}
+	// A zero window spreads over the whole run.
+	whole := Linear(0, 1, 0, 0)
+	if got := whole.At(calls-1, calls); got != 1 {
+		t.Fatalf("whole-run Linear must reach To at the last call, got %g", got)
+	}
+	// Geom interpolates with a constant per-call ratio.
+	g := Geom(0.025, 0.05, 0, 35)
+	if g.At(0, calls) != 0.025 || g.At(35, calls) != 0.05 {
+		t.Fatal("Geom endpoints")
+	}
+	r1 := g.At(11, calls) / g.At(10, calls)
+	r2 := g.At(21, calls) / g.At(20, calls)
+	if math.Abs(r1-r2) > 1e-12 {
+		t.Fatalf("Geom per-call ratio must be constant: %g vs %g", r1, r2)
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	base := Scenario{Name: "v", N: 100, P: 2, Calls: 1, Density: Const(0.1)}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*Scenario){
+		"empty name":     func(s *Scenario) { s.Name = "" },
+		"zero N":         func(s *Scenario) { s.N = 0 },
+		"zero P":         func(s *Scenario) { s.P = 0 },
+		"zero calls":     func(s *Scenario) { s.Calls = 0 },
+		"ragged >= 1":    func(s *Scenario) { s.Ragged = 1 },
+		"zipf <= 1":      func(s *Scenario) { s.ZipfS = 0.5 },
+		"block overflow": func(s *Scenario) { s.Blocks = []Block{{Start: 0.9, Frac: 0.2, Weight: 1}} },
+		"block weight":   func(s *Scenario) { s.Blocks = []Block{{Start: 0, Frac: 0.1, Weight: 0}} },
+		"layer frac":     func(s *Scenario) { s.Layers = []Layer{{Frac: 1.5, DensityScale: 1}} },
+		"layer sum":      func(s *Scenario) { s.Layers = []Layer{{Frac: 0.8, DensityScale: 1}, {Frac: 0.8, DensityScale: 1}} },
+	} {
+		sc := base
+		mut(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", name)
+		}
+	}
+}
+
+func TestGeneratorDeterminismAndShape(t *testing.T) {
+	for _, sc := range Library() {
+		// Shrink the BENCH-sized cells so the whole library stays fast.
+		if sc.N > 1<<16 {
+			sc.N, sc.P = 1<<14, 8
+		}
+		key := NewKey(11)
+		a := sc.Generator(key).All()
+		b := sc.Generator(key).All()
+		if len(a) != sc.Calls {
+			t.Fatalf("%s: generated %d calls, want %d", sc.Name, len(a), sc.Calls)
+		}
+		for c := range a {
+			if len(a[c]) != sc.P {
+				t.Fatalf("%s call %d: %d ranks, want %d", sc.Name, c, len(a[c]), sc.P)
+			}
+			for r := range a[c] {
+				if !a[c][r].Equal(b[c][r]) {
+					t.Fatalf("%s call %d rank %d: regeneration under the same key diverged", sc.Name, c, r)
+				}
+				if a[c][r].Dim() != sc.N {
+					t.Fatalf("%s: wrong dimension %d", sc.Name, a[c][r].Dim())
+				}
+				if a[c][r].NNZ() == 0 {
+					t.Fatalf("%s call %d rank %d: empty support", sc.Name, c, r)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorDensityTracksSchedule(t *testing.T) {
+	sc := Scenario{
+		Name: "dens", N: 1 << 14, P: 2, Calls: 10,
+		Density: Linear(0.01, 0.05, 0, 9),
+	}
+	g := sc.Generator(NewKey(1))
+	for c := 0; c < sc.Calls; c++ {
+		vs := g.Next()
+		want := clampK(int(math.Round(sc.Density.At(c, sc.Calls)*float64(sc.N))), sc.N)
+		for r, v := range vs {
+			if v.NNZ() != want {
+				t.Fatalf("call %d rank %d: k=%d, want %d", c, r, v.NNZ(), want)
+			}
+		}
+	}
+	if g.Next() != nil {
+		t.Fatal("exhausted generator must return nil")
+	}
+}
+
+func TestGeneratorHotBlocksConcentrate(t *testing.T) {
+	sc := Scenario{
+		Name: "conc", N: 1 << 14, P: 4, Calls: 4,
+		Density: Const(0.02),
+		Blocks:  []Block{{Start: 0.25, Frac: 0.05, Weight: 1}},
+		HotMass: Const(0.9),
+	}
+	lo, hi := int32(0.25*float64(sc.N)), int32(0.30*float64(sc.N))
+	g := sc.Generator(NewKey(2))
+	in, total := 0, 0
+	for vs := g.Next(); vs != nil; vs = g.Next() {
+		for _, v := range vs {
+			idx, _ := v.Pairs()
+			for _, ix := range idx {
+				if ix >= lo && ix < hi {
+					in++
+				}
+				total++
+			}
+		}
+	}
+	frac := float64(in) / float64(total)
+	// 90% of draws target the block; collisions inside the tiny block trim
+	// the realized share a little.
+	if frac < 0.7 {
+		t.Fatalf("hot block holds %.2f of the support, want >= 0.7", frac)
+	}
+}
+
+func TestGeneratorRaggedSpreadsK(t *testing.T) {
+	sc := Scenario{
+		Name: "rag", N: 1 << 14, P: 16, Calls: 2,
+		Density: Const(0.02),
+		Ragged:  0.5,
+	}
+	vs := sc.Generator(NewKey(3)).Next()
+	minK, maxK := sc.N, 0
+	for _, v := range vs {
+		if v.NNZ() < minK {
+			minK = v.NNZ()
+		}
+		if v.NNZ() > maxK {
+			maxK = v.NNZ()
+		}
+	}
+	if minK == maxK {
+		t.Fatalf("ragged scenario produced identical k=%d on all %d ranks", minK, sc.P)
+	}
+	base := 0.02 * float64(sc.N)
+	if float64(minK) < base*0.45 || float64(maxK) > base*1.55 {
+		t.Fatalf("ragged k range [%d, %d] outside +-50%% of %g", minK, maxK, base)
+	}
+}
+
+func TestGeneratorLayersPartitionSpace(t *testing.T) {
+	sc, err := ByName("transformer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := sc.Generator(NewKey(4)).Next()
+	// Embedding layer (first quarter, density scale 4) must run hotter
+	// than the attention trunk (next 35%, scale 0.5).
+	embEnd := int32(0.25 * float64(sc.N))
+	attEnd := int32(0.60 * float64(sc.N))
+	emb, att := 0, 0
+	for _, v := range vs {
+		idx, _ := v.Pairs()
+		for _, ix := range idx {
+			switch {
+			case ix < embEnd:
+				emb++
+			case ix < attEnd:
+				att++
+			}
+		}
+	}
+	embDens := float64(emb) / (0.25 * float64(sc.N) * float64(sc.P))
+	attDens := float64(att) / (0.35 * float64(sc.N) * float64(sc.P))
+	if embDens < 3*attDens {
+		t.Fatalf("embedding density %.4f not clearly above attention %.4f", embDens, attDens)
+	}
+}
+
+func TestGeneratorZipfSkews(t *testing.T) {
+	sc, err := ByName("zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.N, sc.P = 1<<14, 4
+	g := sc.Generator(NewKey(6))
+	low, total := 0, 0
+	cut := int32(sc.N / 8)
+	for vs := g.Next(); vs != nil; vs = g.Next() {
+		for _, v := range vs {
+			idx, _ := v.Pairs()
+			for _, ix := range idx {
+				if ix < cut {
+					low++
+				}
+				total++
+			}
+		}
+	}
+	if frac := float64(low) / float64(total); frac < 0.5 {
+		t.Fatalf("Zipf support puts only %.2f of draws in the first eighth; want heavy head", frac)
+	}
+}
+
+func TestLatticeValuesAreExactAndNonZero(t *testing.T) {
+	sc := Scenario{Name: "lat", N: 1 << 12, P: 4, Calls: 2, Density: Const(0.05)}
+	g := sc.Generator(NewKey(7))
+	for vs := g.Next(); vs != nil; vs = g.Next() {
+		for _, v := range vs {
+			_, val := v.Pairs()
+			for _, x := range val {
+				if x == 0 {
+					t.Fatal("lattice values must never be zero (NewSparse would drop them)")
+				}
+				if scaled := x * 16; scaled != math.Trunc(scaled) || math.Mod(scaled, 2) == 0 {
+					t.Fatalf("value %g is not an odd multiple of 1/16", x)
+				}
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("no-such-scenario"); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+	if len(Library()) != len(Names()) || len(Names()) == 0 {
+		t.Fatal("library listing inconsistent")
+	}
+}

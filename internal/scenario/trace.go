@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/stream"
+)
+
+// Trace file format (little endian), version 1:
+//
+//	bytes 0..7    magic "SPCMLTRC"
+//	bytes 8..9    uint16 format version (1)
+//	bytes 10..17  uint64 SimulationKey the trace was generated under
+//	bytes 18..19  uint16 scenario-name length, then the name bytes
+//	next 4        uint32 vector dimension N
+//	next 4        uint32 rank count P
+//	next 4        uint32 step (call) count
+//	then step × P records, step-major, rank-minor:
+//	              uint32 record length, then one stream.Vector in its
+//	              self-describing wire form (AppendWire / DecodeWire)
+//	last 4        uint32 CRC-32 (IEEE) of every preceding byte
+//
+// The payload codec is the transport's field-exact wire form, so a decoded
+// trace reproduces each input vector bit for bit — replaying a trace
+// through any deterministic consumer (a BENCH cell, an adaptation
+// decision) yields byte-identical output to the live run that recorded it.
+
+// traceMagic opens every trace file.
+const traceMagic = "SPCMLTRC"
+
+// traceVersion is the current trace format version.
+const traceVersion = 1
+
+// Trace is a fully-materialized input schedule: the per-step, per-rank
+// vectors one scenario generation emitted, plus the provenance needed to
+// regenerate it (scenario name and key).
+type Trace struct {
+	// Name is the scenario the trace was recorded from.
+	Name string
+	// Key is the SimulationKey the generation ran under.
+	Key SimulationKey
+	// N and P are the vector dimension and rank count.
+	N, P int
+	// Steps holds the schedule: Steps[c][r] is rank r's input at call c.
+	Steps [][]*stream.Vector
+}
+
+// Record materializes a scenario's full schedule as a trace.
+func Record(sc Scenario, key SimulationKey) *Trace {
+	g := sc.Generator(key)
+	return &Trace{Name: sc.Name, Key: key, N: sc.N, P: sc.P, Steps: g.All()}
+}
+
+// Encode serializes the trace to its file form.
+func (t *Trace) Encode() []byte {
+	size := 8 + 2 + 8 + 2 + len(t.Name) + 12
+	for _, step := range t.Steps {
+		for _, v := range step {
+			size += 4 + v.WireSize()
+		}
+	}
+	size += 4 // CRC
+	buf := make([]byte, 0, size)
+	buf = append(buf, traceMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, traceVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Key))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.Name)))
+	buf = append(buf, t.Name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.N))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.P))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.Steps)))
+	for _, step := range t.Steps {
+		for _, v := range step {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v.WireSize()))
+			buf = v.AppendWire(buf)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// WriteFile writes the encoded trace to path.
+func (t *Trace) WriteFile(path string) error {
+	return os.WriteFile(path, t.Encode(), 0o644)
+}
+
+// Decode parses a trace file image. It validates the magic, version,
+// checksum, and every record against the header, returning an error — and
+// never panicking — on truncated or corrupt input.
+func Decode(buf []byte) (*Trace, error) {
+	if len(buf) < len(traceMagic)+2 {
+		return nil, fmt.Errorf("scenario: trace truncated (%d bytes)", len(buf))
+	}
+	if string(buf[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("scenario: not a trace file (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint16(buf[8:]); v != traceVersion {
+		return nil, fmt.Errorf("scenario: unsupported trace version %d (want %d)", v, traceVersion)
+	}
+	if len(buf) < 14 {
+		return nil, fmt.Errorf("scenario: trace truncated (%d bytes)", len(buf))
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("scenario: trace checksum mismatch (have %08x, want %08x)", got, want)
+	}
+
+	r := body[10:] // past magic + version
+	if len(r) < 10 {
+		return nil, fmt.Errorf("scenario: trace header truncated")
+	}
+	t := &Trace{Key: SimulationKey(binary.LittleEndian.Uint64(r))}
+	nameLen := int(binary.LittleEndian.Uint16(r[8:]))
+	r = r[10:]
+	if len(r) < nameLen+12 {
+		return nil, fmt.Errorf("scenario: trace header truncated")
+	}
+	t.Name = string(r[:nameLen])
+	r = r[nameLen:]
+	t.N = int(binary.LittleEndian.Uint32(r))
+	t.P = int(binary.LittleEndian.Uint32(r[4:]))
+	steps := int(binary.LittleEndian.Uint32(r[8:]))
+	r = r[12:]
+	if t.N <= 0 || t.P <= 0 || steps < 0 {
+		return nil, fmt.Errorf("scenario: trace header invalid (N=%d P=%d steps=%d)", t.N, t.P, steps)
+	}
+
+	for c := 0; c < steps; c++ {
+		step := make([]*stream.Vector, t.P)
+		for rank := 0; rank < t.P; rank++ {
+			if len(r) < 4 {
+				return nil, fmt.Errorf("scenario: trace truncated at step %d rank %d", c, rank)
+			}
+			recLen := int(binary.LittleEndian.Uint32(r))
+			r = r[4:]
+			if recLen < 0 || len(r) < recLen {
+				return nil, fmt.Errorf("scenario: trace truncated at step %d rank %d (record %d bytes, %d left)", c, rank, recLen, len(r))
+			}
+			v, used, err := stream.DecodeWire(r[:recLen])
+			if err != nil {
+				return nil, fmt.Errorf("scenario: trace step %d rank %d: %v", c, rank, err)
+			}
+			if used != recLen {
+				return nil, fmt.Errorf("scenario: trace step %d rank %d: record length %d, decoded %d", c, rank, recLen, used)
+			}
+			if v.Dim() != t.N {
+				return nil, fmt.Errorf("scenario: trace step %d rank %d: dimension %d, header says %d", c, rank, v.Dim(), t.N)
+			}
+			step[rank] = v
+			r = r[recLen:]
+		}
+		t.Steps = append(t.Steps, step)
+	}
+	if len(r) != 0 {
+		return nil, fmt.Errorf("scenario: %d trailing bytes after last record", len(r))
+	}
+	return t, nil
+}
+
+// ReadFile reads and decodes a trace file.
+func ReadFile(path string) (*Trace, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Decode(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/quant"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/stream"
 	"repro/internal/topk"
@@ -167,7 +168,9 @@ func Run(p *comm.Proc, task Task, cfg Config) []Point {
 	if cfg.BatchPerNode <= 0 {
 		cfg.BatchPerNode = 32
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(p.Rank()*2654435761+1)))
+	// Batch sampling draws from the rank's seed-isolated stream: adding
+	// ranks or other consumers never perturbs an existing rank's batches.
+	rng := scenario.NewPartitionedRNG(scenario.NewKey(cfg.Seed)).Stream(scenario.SubsystemBatch, p.Rank())
 	params := task.Params()
 	P := p.Size()
 
@@ -290,7 +293,7 @@ func Run(p *comm.Proc, task Task, cfg Config) []Point {
 			}
 			globalStep++
 		}
-		loss, top1, top5 := globalEval(p, task, cfg, rng)
+		loss, top1, top5 := globalEval(p, task, cfg)
 		history = append(history, Point{
 			Epoch: epoch, Time: p.Now(), CommTime: commTime,
 			Loss: loss, Top1: top1, Top5: top5, BytesSent: bytesSent,
@@ -343,7 +346,7 @@ func applyUpdateVec(params []float64, g *stream.Vector) {
 
 // globalEval computes the global training loss/top-1/top-5 by evaluating a
 // deterministic local subset on every rank and allreducing the counts.
-func globalEval(p *comm.Proc, task Task, cfg Config, rng *rand.Rand) (loss, top1, top5 float64) {
+func globalEval(p *comm.Proc, task Task, cfg Config) (loss, top1, top5 float64) {
 	n := task.NumSamples()
 	cap := cfg.EvalSamples
 	if cap <= 0 || cap > n {

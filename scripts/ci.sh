@@ -4,8 +4,11 @@
 # race-check the concurrency hot spots (the message-passing substrate with
 # its real transports, the collectives and parallel merge that run on it),
 # smoke the real execution backends (goroutine + loopback TCP) through the
-# sparbench transport sweep, run the full test suite, smoke-run the k-way
-# merge ablation benchmarks, then record the deterministic sweeps as
+# sparbench transport sweep, run the full test suite, prove the
+# record/replay contract end to end (record a scenario trace with
+# sparreplay, replay it through sparbench, diff the rows byte for byte),
+# smoke-run the k-way merge ablation benchmarks, then record the
+# deterministic sweeps as
 # BENCH_2.json (contention model), BENCH_3.json (k-way merge/scratch),
 # BENCH_4.json (hierarchy-depth ablation), and BENCH_5.json (runtime
 # adaptation ablation), hard-failing if any drifts from the committed
@@ -36,13 +39,13 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo "== doccheck (exported symbols need doc comments)"
-go run ./tools/doccheck . ./internal/simnet ./internal/comm ./internal/core ./internal/adapt
+go run ./tools/doccheck . ./internal/simnet ./internal/comm ./internal/core ./internal/adapt ./internal/scenario
 
 echo "== docdrift (docs tables must name real identifiers)"
 go run ./tools/docdrift -root . docs/COLLECTIVES.md docs/ARCHITECTURE.md
 
-echo "== go test -race (comm + core + adapt + stream: real transports, parallel merge)"
-go test -race ./internal/comm/... ./internal/core/... ./internal/adapt/... ./internal/stream/...
+echo "== go test -race (comm + core + adapt + stream + scenario: real transports, parallel merge, lazy RNG streams)"
+go test -race ./internal/comm/... ./internal/core/... ./internal/adapt/... ./internal/stream/... ./internal/scenario/...
 
 echo "== transport smoke (goroutine + loopback TCP backends, wall clock)"
 go run ./cmd/sparbench -sweep transport -transport all > /dev/null
@@ -50,14 +53,25 @@ go run ./cmd/sparbench -sweep transport -transport all > /dev/null
 echo "== go test ./..."
 go test ./...
 
-echo "== bench smoke (k-way merge + scratch + sketch-overhead ablations, 1 iteration each)"
-go test -run '^$' -bench 'BenchmarkAblationKWayMerge|BenchmarkAblationScratchAllreduce|BenchmarkAblationSketchOverhead' -benchtime 1x . > /dev/null
-
 tmp_bench=$(mktemp)
 tmp_bench3=$(mktemp)
 tmp_bench4=$(mktemp)
 tmp_bench5=$(mktemp)
-trap 'rm -f "$tmp_bench" "$tmp_bench3" "$tmp_bench4" "$tmp_bench5"' EXIT
+tmp_replay=$(mktemp -d)
+trap 'rm -f "$tmp_bench" "$tmp_bench3" "$tmp_bench4" "$tmp_bench5"; rm -rf "$tmp_replay"' EXIT
+
+echo "== replay determinism (record a scenario trace, replay it, diff against the live run)"
+go run ./cmd/sparreplay -record -scenario clustered -out "$tmp_replay/t.trace"
+go run ./cmd/sparreplay -scenario clustered -json > "$tmp_replay/live.json"
+go run ./cmd/sparbench -replay "$tmp_replay/t.trace" -json > "$tmp_replay/replay.json"
+if ! cmp -s "$tmp_replay/live.json" "$tmp_replay/replay.json"; then
+  echo "replaying the recorded trace diverged from the live run:" >&2
+  diff "$tmp_replay/live.json" "$tmp_replay/replay.json" >&2 || true
+  exit 1
+fi
+
+echo "== bench smoke (k-way merge + scratch + sketch-overhead ablations, 1 iteration each)"
+go test -run '^$' -bench 'BenchmarkAblationKWayMerge|BenchmarkAblationScratchAllreduce|BenchmarkAblationSketchOverhead' -benchtime 1x . > /dev/null
 
 echo "== record BENCH_2.json (contention-model sweep; simulated metrics only, deterministic)"
 go run ./cmd/sparbench -sweep contention -json > "$tmp_bench"
