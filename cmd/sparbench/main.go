@@ -16,7 +16,10 @@
 //	sparbench -sweep merge      [-json]
 //	sparbench -sweep hierlevels [-json]
 //	sparbench -sweep adapt      [-json]
+//	sparbench -sweep adaptdiv   [-json]
 //	sparbench -sweep transport  [-transport goroutine|tcp|all] [-json]
+//	sparbench -sweep overlap    [-json]
+//	sparbench -sweep overlapwall [-runs 5]
 //	sparbench -replay t.trace   [-rpn 4] [-nic 1] [-json]  # re-run a recorded adaptation cell
 //	sparbench -csv  # machine-readable output
 package main
@@ -54,7 +57,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sparbench", flag.ContinueOnError)
 	var (
-		sweep     = fs.String("sweep", "nodes", "sweep to run: nodes | density | hier | hierdsar | contention | merge | hierlevels | adapt | transport")
+		sweep     = fs.String("sweep", "nodes", "sweep to run: nodes | density | hier | hierdsar | contention | merge | hierlevels | adapt | adaptdiv | transport | overlap | overlapwall")
 		transport = fs.String("transport", "goroutine", "real backend(s) for the transport sweep: goroutine | tcp | all")
 		n         = fs.Int("n", 1<<20, "vector dimension N (paper uses 16M; 2^20 default keeps memory modest)")
 		densityF  = fs.Float64("density", 0.00781, "per-node density d for the nodes sweep")
@@ -238,6 +241,96 @@ func run(args []string, stdout io.Writer) error {
 			demo.Transport, demo.P, demo.N, demo.K, demo.Calls, demo.Samples, demo.FitOK,
 			demo.AlphaSeconds, demo.BetaSecondsPerByte, demo.Choice, demo.RanksAgree, demo.BitIdenticalToStatic)
 		return nil
+	}
+
+	if *sweep == "overlap" {
+		rows := experiments.OverlapSweep()
+		pm := experiments.PipeModelSweep()
+		if *jsonOut {
+			return emitBench7(stdout, rows, pm)
+		}
+		tb := report.NewTable("workload", "N", "P", "calls", "layers", "buckets", "bucket-coords", "fused", "layerwise", "bucketed", "layerwise-nb", "bucketed-vs-fused", "bucketed-vs-layerwise")
+		for _, r := range rows {
+			tb.AddRowRaw(
+				r.Workload, fmt.Sprint(r.N), fmt.Sprint(r.P), fmt.Sprint(r.Calls),
+				fmt.Sprint(r.Layers), fmt.Sprint(r.Buckets), fmt.Sprint(r.BucketCoords),
+				report.FormatSeconds(r.FusedSim),
+				report.FormatSeconds(r.LayerwiseSim),
+				report.FormatSeconds(r.BucketedSim),
+				report.FormatSeconds(r.LayerwiseNBSim),
+				fmt.Sprintf("%.3f", r.BucketedVsFused),
+				fmt.Sprintf("%.3f", r.BucketedVsLayerwise),
+			)
+		}
+		if err := tb.Emit(stdout, *csv); err != nil {
+			return err
+		}
+		pt := report.NewTable("N", "P", "k", "chunks", "sim", "model", "model/sim")
+		for _, r := range pm {
+			pt.AddRowRaw(
+				fmt.Sprint(r.N), fmt.Sprint(r.P), fmt.Sprint(r.K), fmt.Sprint(r.Chunks),
+				report.FormatSeconds(r.SimSeconds),
+				report.FormatSeconds(r.ModelSeconds),
+				fmt.Sprintf("%.3f", r.ModelOverSim),
+			)
+		}
+		return pt.Emit(stdout, *csv)
+	}
+
+	if *sweep == "overlapwall" {
+		rows := experiments.OverlapWallSweep(*runs)
+		if *jsonOut {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rows)
+		}
+		tb := report.NewTable("workload", "calls", "layers", "buckets", "runs", "layerwise-wall", "bucketed-wall", "bucketed-vs-layerwise")
+		for _, r := range rows {
+			tb.AddRowRaw(
+				r.Workload, fmt.Sprint(r.Calls), fmt.Sprint(r.Layers), fmt.Sprint(r.Buckets),
+				fmt.Sprint(r.Runs),
+				report.FormatSeconds(r.LayerwiseWall),
+				report.FormatSeconds(r.BucketedWall),
+				fmt.Sprintf("%.3f", r.BucketedVsLayerwise),
+			)
+		}
+		return tb.Emit(stdout, *csv)
+	}
+
+	if *sweep == "adaptdiv" {
+		rows := experiments.AdaptDiversitySweep()
+		if *jsonOut {
+			// Snapshot-only: unlike BENCH_5 this document is NOT
+			// drift-gated — the library grows, and each new scenario
+			// legitimately adds a row.
+			doc := struct {
+				Note  string                 `json:"note"`
+				Cells []experiments.AdaptRow `json:"cells"`
+			}{
+				Note: "scenario-diversity check: the adaptation ablation arms run over the entire " +
+					"scenario library (not just the BENCH_5 cells). Snapshot-only, NOT drift-gated.",
+				Cells: rows,
+			}
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(doc)
+		}
+		tb := report.NewTable("workload", "N", "P", "calls", "k-range", "static-uniform", "static-clustered", "adaptive", "vs-uniform", "vs-best", "switches", "clustered-calls", "final")
+		for _, r := range rows {
+			tb.AddRowRaw(
+				r.Workload, fmt.Sprint(r.N), fmt.Sprint(r.P), fmt.Sprint(r.Calls),
+				fmt.Sprintf("%d..%d", r.KStart, r.KEnd),
+				report.FormatSeconds(r.StaticUniformSim),
+				report.FormatSeconds(r.StaticClusteredSim),
+				report.FormatSeconds(r.AdaptiveSim),
+				fmt.Sprintf("%.3f", r.AdaptiveVsUniform),
+				fmt.Sprintf("%.3f", r.AdaptiveVsBestStatic),
+				fmt.Sprint(r.AdaptiveSwitches),
+				fmt.Sprint(r.AdaptiveClusteredCalls),
+				r.FinalChoice,
+			)
+		}
+		return tb.Emit(stdout, *csv)
 	}
 
 	if *sweep == "hierdsar" {
@@ -506,6 +599,55 @@ func emitBench6(w io.Writer, rows []experiments.TransportRow, demo experiments.C
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
 }
+
+// emitBench7 writes the BENCH_7.json document: the overlap/bucketing
+// ablation (fused vs per-layer nonblocking vs bucket-fusion scheduler on
+// the layered workloads) plus the pipelining-term validation cells. Every
+// numeric field is simulated virtual time on seeded inputs, so the file
+// is reproducible byte-for-byte — scripts/ci.sh regenerates it and
+// hard-fails on drift like BENCH_2–5. The wall-clock side of the story
+// (where bucketing beats per-layer issue) is machine-dependent and lives
+// in the Note as a recorded snapshot; re-measure with
+// `sparbench -sweep overlapwall`.
+func emitBench7(w io.Writer, rows []experiments.OverlapRow, pm []experiments.PipeModelRow) error {
+	doc := struct {
+		ID        string                     `json:"id"`
+		Note      string                     `json:"note"`
+		Cells     []experiments.OverlapRow   `json:"cells"`
+		PipeModel []experiments.PipeModelRow `json:"pipeline_model_cells"`
+	}{
+		ID: "BENCH_7",
+		Note: "overlap/bucketing ablation: the library's layered workload profiles at N=2^20 run as " +
+			"(1) one fused blocking allreduce per call, (2) one blocking allreduce per model layer — " +
+			"the naive layer-wise loop, and (3) the bucket-fusion scheduler (core.BucketScheduler, " +
+			"BucketCoords-sized buckets issued nonblocking in backprop order, AutoChunks pipelining). " +
+			"bucketed_vs_layerwise > 1 is the drift-gated headline; bucketed_vs_fused > 1 shows " +
+			"model-sized buckets also beat the monolithic exchange. " +
+			"layerwise_nonblocking_sim_seconds records per-layer nonblocking issue for comparison: " +
+			"on the simulator outstanding collectives max-compose at zero per-call cost, so at equal " +
+			"per-collective options it is a virtual-time lower bound — chunked pipelining is how the " +
+			"bucketed arm still undercuts it, and the per-call issue cost it hides is a wall " +
+			"phenomenon. Wall snapshot at recording time (goroutine transport, go1.24, one " +
+			"shared machine, median of 5, pinned SSAR_Split_allgather): " + wallSnapshot + " — " +
+			"machine-dependent, NOT drift-gated, re-measure with `sparbench -sweep overlapwall`. " +
+			"pipeline_model_cells validate the cost model's chunked-pipelining term: the same " +
+			"seeded instance simulated at chunks 1/2/4/8 vs PredictSeconds; model_over_sim stays " +
+			"within the band asserted by TestBench7PipelineModelBand.",
+		Cells:     rows,
+		PipeModel: pm,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// wallSnapshot is the recorded one-machine wall measurement quoted in the
+// BENCH_7 Note (static text so the document stays byte-gateable).
+const wallSnapshot = "lstm-1m (3 layers -> 3 buckets) layerwise 222ms vs bucketed 208ms (1.07x), " +
+	"transformer-1m (4 layers -> 3 buckets) 173ms vs 172ms (1.00x); the wall margin is modest " +
+	"because P=8 rank goroutines already saturate the recording machine's cores, so overlapped " +
+	"merges add little throughput — the latency floors bucketing removes are what the simulated " +
+	"cells isolate"
 
 func flagPassed(fs *flag.FlagSet, name string) bool {
 	passed := false

@@ -123,6 +123,63 @@ type Controller struct {
 	switches       int
 	clusteredCalls int
 	lastSupport    core.SupportModel
+
+	buckets        []bucketHold
+	bucketSwitches int
+}
+
+// bucketHold is one bucket's hysteresis state machine in the per-bucket
+// decision path — the same margin/hold filter Controller.decide applies,
+// kept separately per bucket so a small embedding bucket and a large MLP
+// bucket each converge to their own choice without resetting the other's
+// pending count.
+type bucketHold struct {
+	started               bool
+	curAlg, pendAlg       core.Algorithm
+	curLevels, pendLevels int
+	curChunks             int
+	pendCount             int
+}
+
+// decide filters the cost model's per-bucket candidate through this
+// bucket's hysteresis. Algorithm/depth switches need a sustained
+// SwitchMargin-cheaper prediction for HoldCalls consecutive decisions
+// (incumbent and candidate each priced at their own chunk degree); the
+// chunk degree itself follows the model freely — it carries no cross-call
+// state, so flapping is harmless and hysteresis would only delay the
+// cheaper schedule. All inputs are agreed quantities, so every rank's
+// state machines transition identically.
+func (h *bucketHold) decide(cfg Config, candAlg core.Algorithm, candLevels, candChunks int, s core.CostScenario, switches *int) (core.Algorithm, int, int) {
+	if !h.started {
+		h.started = true
+		h.curAlg, h.curLevels, h.curChunks = candAlg, candLevels, candChunks
+		return h.curAlg, h.curLevels, h.curChunks
+	}
+	if candAlg == h.curAlg && candLevels == h.curLevels {
+		h.pendCount = 0
+		h.curChunks = candChunks
+		return h.curAlg, h.curLevels, h.curChunks
+	}
+	scCur, scCand := s, s
+	scCur.Levels, scCur.Chunks = h.curLevels, h.curChunks
+	scCand.Levels, scCand.Chunks = candLevels, candChunks
+	tCur := core.PredictSeconds(h.curAlg, scCur)
+	tCand := core.PredictSeconds(candAlg, scCand)
+	if tCand <= (1-cfg.SwitchMargin)*tCur {
+		if candAlg == h.pendAlg && candLevels == h.pendLevels {
+			h.pendCount++
+		} else {
+			h.pendAlg, h.pendLevels, h.pendCount = candAlg, candLevels, 1
+		}
+		if h.pendCount >= cfg.HoldCalls {
+			h.curAlg, h.curLevels, h.curChunks = candAlg, candLevels, candChunks
+			h.pendCount = 0
+			*switches++
+		}
+	} else {
+		h.pendCount = 0
+	}
+	return h.curAlg, h.curLevels, h.curChunks
 }
 
 // NewController returns a fresh per-rank controller.
@@ -183,7 +240,7 @@ func (a *Controller) Allreduce(p *comm.Proc, v *stream.Vector, opts core.Options
 		a.calib.ConsumeOwn(a.tracer)
 	}
 	s := a.agreeScenario(p, v, opts)
-	candAlg, candLevels := core.ChooseAutoLevels(s)
+	candAlg, candLevels, _ := core.ChooseAutoLevels(s)
 	alg, levels := a.decide(candAlg, candLevels, s)
 	opts.Algorithm, opts.Levels = alg, levels
 	opts.Support, opts.HotFraction, opts.HotMass = s.Support, s.HotFraction, s.HotMass
@@ -221,12 +278,78 @@ func (a *Controller) Plan(p *comm.Proc, vs []*stream.Vector, opts core.Options) 
 		}
 	}
 	s := a.agreeScenario(p, rep, opts)
-	candAlg, candLevels := core.ChooseAutoLevels(s)
+	candAlg, candLevels, _ := core.ChooseAutoLevels(s)
 	alg, levels := a.decide(candAlg, candLevels, s)
 	opts.Algorithm, opts.Levels = alg, levels
 	opts.Support, opts.HotFraction, opts.HotMass = s.Support, s.HotFraction, s.HotMass
 	return opts
 }
+
+// PlanBuckets makes one adaptive decision per fused bucket for a bucketed
+// training step: every layer contribution is sketched, the per-bucket
+// fused non-zero counts are agreed in a single max-allreduce (bucket
+// supports are disjoint, so the fused count is the sum of the bucket's
+// layer counts), the shape/calibration statistics in a single
+// sum-allreduce, and each bucket's scenario is resolved through
+// core.ChooseAutoLevels with the chunk search enabled (core.AutoChunks)
+// and filtered by that bucket's own hysteresis state. The returned slice
+// has one Options per scheduler bucket, Algorithm pinned, ready for
+// BucketScheduler.Issue. Like Plan, every rank must call PlanBuckets with
+// the same scheduler composition and inputs in the same program order; a
+// non-Auto opts is replicated unchanged (inputs still sketched), with only
+// the chunk degree resolved when it asks for core.AutoChunks.
+func (a *Controller) PlanBuckets(p *comm.Proc, sched *core.BucketScheduler, contribs []*stream.Vector, opts core.Options) []core.Options {
+	for _, v := range contribs {
+		a.sketch.Observe(v)
+	}
+	B := sched.NumBuckets()
+	out := make([]core.Options, B)
+	for b := range out {
+		out[b] = opts
+	}
+	if B == 0 || len(contribs) == 0 {
+		return out
+	}
+	if opts.Algorithm != core.Auto && opts.Chunks != core.AutoChunks {
+		return out
+	}
+	if a.calib != nil {
+		a.calib.ConsumeOwn(a.tracer)
+	}
+	ks := make([]float64, B)
+	for b := range ks {
+		n := 0
+		for _, li := range sched.Layers(b) {
+			n += contribs[li].NNZ()
+		}
+		ks[b] = float64(n)
+	}
+	agreedK := core.AllreduceDense(p, ks, stream.OpMax)
+	agreed, depth := a.agreeStats(p)
+	if len(a.buckets) != B {
+		a.buckets = make([]bucketHold, B)
+	}
+	rep := contribs[0] // dimension/wire settings; every contribution shares them
+	for b := range out {
+		s := a.scenarioFromAgreed(p, rep, opts, agreedK[b], agreed, depth)
+		s.Chunks = core.AutoChunks
+		candAlg, candLevels, candChunks := core.ChooseAutoLevels(s)
+		if opts.Algorithm != core.Auto {
+			// Pinned algorithm: only the chunk degree is adaptive.
+			out[b].Chunks = core.ChooseChunks(opts.Algorithm, s)
+			continue
+		}
+		alg, levels, chunks := a.buckets[b].decide(a.cfg, candAlg, candLevels, candChunks, s, &a.bucketSwitches)
+		out[b].Algorithm, out[b].Levels, out[b].Chunks = alg, levels, chunks
+		out[b].Support, out[b].HotFraction, out[b].HotMass = s.Support, s.HotFraction, s.HotMass
+	}
+	return out
+}
+
+// BucketSwitches returns how many per-bucket algorithm/depth switches
+// happened after each bucket's initial adoption — the bucketed
+// counterpart of Switches.
+func (a *Controller) BucketSwitches() int { return a.bucketSwitches }
 
 // agreeScenario builds the measured cost scenario every rank agrees on:
 // the globally maximal per-rank non-zero count (one max-allreduce, as
@@ -234,11 +357,19 @@ func (a *Controller) Plan(p *comm.Proc, vs []*stream.Vector, opts core.Options) 
 // fitted link constants (one sum-allreduce), substituted into
 // core.ScenarioFor's scenario.
 func (a *Controller) agreeScenario(p *comm.Proc, v *stream.Vector, opts core.Options) core.CostScenario {
-	P := float64(p.Size())
 	kmax := core.AllreduceDense(p, []float64{float64(v.NNZ())}, stream.OpMax)[0]
+	agreed, depth := a.agreeStats(p)
+	return a.scenarioFromAgreed(p, v, opts, kmax, agreed, depth)
+}
 
+// agreeStats runs the one sum-allreduce agreeing on the sketch shape and
+// calibration statistics — the K-independent half of agreeScenario, shared
+// with the per-bucket path, which agrees on all bucket counts in a single
+// separate collective. Returns the agreed sums and the hierarchy depth the
+// layout was built for.
+func (a *Controller) agreeStats(p *comm.Proc) (agreed []float64, depth int) {
 	h, hasHier := p.Hierarchy()
-	depth := 1
+	depth = 1
 	if hasHier {
 		depth = h.Depth()
 	}
@@ -255,8 +386,16 @@ func (a *Controller) agreeScenario(p *comm.Proc, v *stream.Vector, opts core.Opt
 			}
 		}
 	}
-	agreed := core.AllreduceDense(p, local, stream.OpSum)
+	return core.AllreduceDense(p, local, stream.OpSum), depth
+}
 
+// scenarioFromAgreed substitutes the agreed statistics into the scenario
+// for one collective of agreed non-zero count kmax: support model from the
+// mean sketch shape, link constants from the mean usable fits. Pure local
+// arithmetic on agreed inputs (no collectives), so it can be applied once
+// per bucket after a single agreement round.
+func (a *Controller) scenarioFromAgreed(p *comm.Proc, v *stream.Vector, opts core.Options, kmax float64, agreed []float64, depth int) core.CostScenario {
+	P := float64(p.Size())
 	s := core.ScenarioFor(p, v, opts, int(kmax))
 	if s.Topo != nil {
 		// Normalize to the hierarchy form so per-level calibration has one

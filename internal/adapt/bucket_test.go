@@ -1,0 +1,163 @@
+package adapt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+// bucketSchedule builds calls× P per-layer contribution sets over spans:
+// full-dimension sparse vectors with support inside their span and
+// *ragged* per-rank non-zero counts — the case that would desynchronize
+// bucket decisions if anything in PlanBuckets keyed off local state.
+func bucketSchedule(seed int64, n, P, calls int, spans [][2]int) [][][]*stream.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][][]*stream.Vector, calls)
+	for c := range out {
+		out[c] = make([][]*stream.Vector, P)
+		for r := 0; r < P; r++ {
+			out[c][r] = make([]*stream.Vector, len(spans))
+			for li, sp := range spans {
+				span := sp[1] - sp[0]
+				k := 1 + rng.Intn(span/2+1)
+				seen := map[int32]bool{}
+				var idx []int32
+				var val []float64
+				for len(idx) < k {
+					ix := int32(sp[0] + rng.Intn(span))
+					if seen[ix] {
+						continue
+					}
+					seen[ix] = true
+					idx = append(idx, ix)
+					val = append(val, float64(rng.Intn(63)+1)/8)
+				}
+				out[c][r][li] = stream.NewSparse(n, idx, val, stream.OpSum)
+			}
+		}
+	}
+	return out
+}
+
+// TestPlanBucketsReplicaConsistent: under ragged per-rank sparsity, every
+// rank's PlanBuckets must return the identical per-bucket Options on
+// every call (the decisions feed collective tag layouts and program
+// order), results must match the sequential reference, and per-bucket
+// hysteresis must bound switching.
+func TestPlanBucketsReplicaConsistent(t *testing.T) {
+	const (
+		P     = 8
+		n     = 1 << 14
+		calls = 6
+	)
+	spans := [][2]int{{0, 4000}, {4000, 6000}, {6000, 16384}}
+	sched := bucketSchedule(8106, n, P, calls, spans)
+	bs := core.NewBucketScheduler(spans, 6000) // {2} alone, {0,1} fused
+	if bs.NumBuckets() != 2 {
+		t.Fatalf("%d buckets, want 2", bs.NumBuckets())
+	}
+
+	w := comm.NewWorld(P, simnet.Aries)
+	ctrls := make([]*Controller, P)
+	for r := range ctrls {
+		ctrls[r] = NewController(Config{})
+	}
+	type callPlan struct {
+		plans []core.Options
+		sums  []*stream.Vector
+	}
+	perRank := comm.Run(w, func(p *comm.Proc) []callPlan {
+		out := make([]callPlan, calls)
+		for c, byRank := range sched {
+			contribs := byRank[p.Rank()]
+			plans := ctrls[p.Rank()].PlanBuckets(p, bs, contribs, core.Options{})
+			sums := bs.Drain(p, bs.Issue(p, contribs, plans))
+			out[c] = callPlan{plans: plans, sums: sums}
+		}
+		return out
+	})
+
+	for c := 0; c < calls; c++ {
+		for r := 1; r < P; r++ {
+			if !reflect.DeepEqual(perRank[0][c].plans, perRank[r][c].plans) {
+				t.Fatalf("call %d: rank %d plan %+v differs from rank 0's %+v",
+					c, r, perRank[r][c].plans, perRank[0][c].plans)
+			}
+		}
+		for b := 0; b < bs.NumBuckets(); b++ {
+			fused := make([]*stream.Vector, P)
+			for r := range fused {
+				fused[r] = bs.Fuse(b, sched[c][r], nil)
+			}
+			want := make([]float64, n)
+			for _, v := range fused {
+				for i, x := range v.ToDense() {
+					want[i] += x
+				}
+			}
+			for r := 0; r < P; r++ {
+				got := perRank[r][c].sums[b].ToDense()
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("call %d bucket %d rank %d coord %d: got %g want %g",
+							c, b, r, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	if sw := ctrls[0].BucketSwitches(); sw > 2*bs.NumBuckets() {
+		t.Errorf("%d bucket switches over %d calls — hysteresis should bound churn", sw, calls)
+	}
+}
+
+// TestPlanBucketsPinnedAlgorithm: with a pinned non-Auto algorithm and no
+// chunk search requested, PlanBuckets must replicate the caller's Options
+// untouched; with Chunks=AutoChunks it may only resolve the chunk degree.
+func TestPlanBucketsPinnedAlgorithm(t *testing.T) {
+	const (
+		P = 4
+		n = 1 << 12
+	)
+	spans := [][2]int{{0, 2000}, {2000, 4096}}
+	sched := bucketSchedule(8107, n, P, 3, spans)
+	bs := core.NewBucketScheduler(spans, 1)
+
+	w := comm.NewWorld(P, simnet.Aries)
+	ctrls := make([]*Controller, P)
+	for r := range ctrls {
+		ctrls[r] = NewController(Config{})
+	}
+	pinned := core.Options{Algorithm: core.SSARSplitAllgather, Levels: 0}
+	auto := pinned
+	auto.Chunks = core.AutoChunks
+	plans := comm.Run(w, func(p *comm.Proc) [][]core.Options {
+		var out [][]core.Options
+		for _, byRank := range sched {
+			contribs := byRank[p.Rank()]
+			out = append(out, ctrls[p.Rank()].PlanBuckets(p, bs, contribs, pinned))
+			out = append(out, ctrls[p.Rank()].PlanBuckets(p, bs, contribs, auto))
+		}
+		return out
+	})
+	for r, rounds := range plans {
+		for i, round := range rounds {
+			for b, o := range round {
+				if o.Algorithm != core.SSARSplitAllgather {
+					t.Fatalf("rank %d round %d bucket %d: algorithm %v, want pinned SSARSplitAllgather", r, i, b, o.Algorithm)
+				}
+				if i%2 == 0 && o != pinned {
+					t.Fatalf("rank %d round %d bucket %d: pinned options mutated: %+v", r, i, b, o)
+				}
+				if i%2 == 1 && o.Chunks == core.AutoChunks {
+					t.Fatalf("rank %d round %d bucket %d: AutoChunks not resolved", r, i, b)
+				}
+			}
+		}
+	}
+}

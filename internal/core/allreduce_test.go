@@ -288,7 +288,7 @@ func TestResolveCostModelBoundaries(t *testing.T) {
 	w := comm.NewWorld(4, testProfile)
 	comm.Run(w, func(p *comm.Proc) any {
 		small := randSparse(rand.New(rand.NewSource(1)), 1<<20, 100) // 1.2KB sparse
-		if got, _ := resolve(p, small, Options{}, p.NextTagBase()); got != SSARRecDouble {
+		if got, _, _ := resolve(p, small, Options{}, p.NextTagBase()); got != SSARRecDouble {
 			panic("small sparse input should resolve to SSARRecDouble, got " + got.String())
 		}
 		// Low-overlap large data: rec-double and split allgather move
@@ -298,15 +298,15 @@ func TestResolveCostModelBoundaries(t *testing.T) {
 		// the cost model that rec-double is cheaper (costmodel_test.go
 		// cross-checks model against simulated time on this shape).
 		big := randSparse(rand.New(rand.NewSource(2)), 1<<20, 50000) // E[K]≈190k < δ≈699k
-		if got, _ := resolve(p, big, Options{}, p.NextTagBase()); got != SSARRecDouble {
+		if got, _, _ := resolve(p, big, Options{}, p.NextTagBase()); got != SSARRecDouble {
 			panic("low-overlap sparse input should resolve to SSARRecDouble, got " + got.String())
 		}
 		fill := randSparse(rand.New(rand.NewSource(3)), 1000, 600) // E[K]≈923 > δ=666
-		if got, _ := resolve(p, fill, Options{}, p.NextTagBase()); got != DSARSplitAllgather {
+		if got, _, _ := resolve(p, fill, Options{}, p.NextTagBase()); got != DSARSplitAllgather {
 			panic("high-fill input should resolve to DSARSplitAllgather, got " + got.String())
 		}
 		explicit := Options{Algorithm: DenseRing}
-		if got, _ := resolve(p, small, explicit, p.NextTagBase()); got != DenseRing {
+		if got, _, _ := resolve(p, small, explicit, p.NextTagBase()); got != DenseRing {
 			panic("explicit algorithm must be respected")
 		}
 		return nil
@@ -319,7 +319,7 @@ func TestResolveCostModelBoundaries(t *testing.T) {
 	w16 := comm.NewWorld(16, testProfile)
 	comm.Run(w16, func(p *comm.Proc) any {
 		ov := randSparse(rand.New(rand.NewSource(4)), 1<<16, 3000) // E[K]≈34.6k < δ≈43.7k
-		if got, _ := resolve(p, ov, Options{}, p.NextTagBase()); got != SSARSplitAllgather {
+		if got, _, _ := resolve(p, ov, Options{}, p.NextTagBase()); got != SSARSplitAllgather {
 			panic("overlap-heavy input should resolve to SSARSplitAllgather, got " + got.String())
 		}
 		return nil

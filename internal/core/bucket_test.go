@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+// TestBucketSchedulerComposition pins the boundary rule: layers are
+// walked in backprop (reverse) order and greedily accumulated until the
+// bucket reaches the target coordinate count, with each bucket's layer
+// list restored to ascending model order.
+func TestBucketSchedulerComposition(t *testing.T) {
+	spans := [][2]int{{0, 100}, {100, 160}, {160, 300}, {300, 310}, {310, 400}}
+	cases := []struct {
+		coords int
+		want   [][]int
+	}{
+		// coords<=0: every layer its own bucket, in reverse order.
+		{0, [][]int{{4}, {3}, {2}, {1}, {0}}},
+		// 100: {4}=90+{3}=10 reach 100; {2}=140 alone; {1}=60+{0}=100.
+		{100, [][]int{{3, 4}, {2}, {0, 1}}},
+		// Huge target: everything in one bucket.
+		{1 << 20, [][]int{{0, 1, 2, 3, 4}}},
+	}
+	for _, tc := range cases {
+		s := NewBucketScheduler(spans, tc.coords)
+		if s.NumBuckets() != len(tc.want) {
+			t.Fatalf("coords=%d: %d buckets, want %d", tc.coords, s.NumBuckets(), len(tc.want))
+		}
+		for b := range tc.want {
+			if !reflect.DeepEqual(s.Layers(b), tc.want[b]) {
+				t.Errorf("coords=%d bucket %d: layers %v, want %v", tc.coords, b, s.Layers(b), tc.want[b])
+			}
+		}
+	}
+}
+
+// TestBucketCoordsSizing checks the sizing rule's shape: more ranks or a
+// higher-latency link want bigger buckets; a degenerate profile fuses
+// everything.
+func TestBucketCoordsSizing(t *testing.T) {
+	base := CostScenario{N: 1 << 20, P: 8, Profile: simnet.Aries}
+	c8 := BucketCoords(base)
+	if c8 < 1 || c8 > base.N {
+		t.Fatalf("BucketCoords out of range: %d", c8)
+	}
+	big := base
+	big.P = 64
+	if c64 := BucketCoords(big); c64 <= c8 {
+		t.Errorf("more ranks should want bigger buckets: P=64 -> %d, P=8 -> %d", c64, c8)
+	}
+	slow := base
+	slow.Profile = simnet.GigE
+	if BucketCoords(slow) >= c8 {
+		// GigE's alpha/beta ratio is lower than Aries', so its latency
+		// floor amortizes at smaller buckets.
+		t.Errorf("GigE should want smaller buckets than Aries")
+	}
+	degenerate := base
+	degenerate.Profile = simnet.Profile{}
+	if got := BucketCoords(degenerate); got != base.N {
+		t.Errorf("degenerate profile: %d, want N=%d", got, base.N)
+	}
+}
+
+// bucketInputs builds P ragged per-layer contribution sets over spans:
+// full-dimension vectors with support inside their span, dyadic values.
+func bucketInputs(rng *rand.Rand, n int, spans [][2]int, P int) [][]*stream.Vector {
+	inputs := make([][]*stream.Vector, P)
+	for r := range inputs {
+		inputs[r] = make([]*stream.Vector, len(spans))
+		for li, sp := range spans {
+			span := sp[1] - sp[0]
+			k := 0
+			if span > 0 {
+				k = 1 + rng.Intn(span) // ragged across ranks and layers
+			}
+			seen := map[int32]bool{}
+			var idx []int32
+			var val []float64
+			for len(idx) < k {
+				ix := int32(sp[0] + rng.Intn(span))
+				if seen[ix] {
+					continue
+				}
+				seen[ix] = true
+				idx = append(idx, ix)
+				val = append(val, dyadic(rng))
+			}
+			inputs[r][li] = stream.NewSparse(n, idx, val, stream.OpSum)
+		}
+	}
+	return inputs
+}
+
+// TestBucketSchedulerIssueDrain: fusing + nonblocking issue + drain must
+// reproduce the sequential reference sum of each bucket's layers, on the
+// simulator and on the goroutine transport, with per-bucket and
+// replicated Options.
+func TestBucketSchedulerIssueDrain(t *testing.T) {
+	const n = 900
+	spans := [][2]int{{0, 300}, {300, 340}, {340, 700}, {700, 900}}
+	rng := rand.New(rand.NewSource(8104))
+	P := 6
+	inputs := bucketInputs(rng, n, spans, P)
+	s := NewBucketScheduler(spans, 350) // {3}+{2} reach 560; {1}+{0} = 340 tail
+	if s.NumBuckets() != 2 {
+		t.Fatalf("%d buckets, want 2", s.NumBuckets())
+	}
+
+	// Reference: sum of every rank's fused bucket vector.
+	wantBucket := make([][]float64, s.NumBuckets())
+	for b := range wantBucket {
+		fused := make([]*stream.Vector, P)
+		for r := range fused {
+			fused[r] = s.Fuse(b, inputs[r], nil)
+		}
+		wantBucket[b] = refSum(fused)
+	}
+
+	worlds := []struct {
+		name string
+		mk   func() *comm.World
+	}{
+		{"sim", func() *comm.World { return comm.NewWorld(P, testProfile) }},
+		{"goroutine", func() *comm.World { return comm.NewWorld(P, simnet.Aries).UseGoroutineTransport() }},
+	}
+	optCases := [][]Options{
+		nil,
+		{{Algorithm: SSARSplitAllgather, Chunks: 2}},
+		{{Algorithm: SSARSplitAllgather, Chunks: 3}, {Algorithm: SSARRecDouble}},
+	}
+	for _, wc := range worlds {
+		for oi, opts := range optCases {
+			results := comm.Run(wc.mk(), func(p *comm.Proc) []*stream.Vector {
+				return s.Drain(p, s.Issue(p, inputs[p.Rank()], opts))
+			})
+			for r, sums := range results {
+				for b, sum := range sums {
+					got := sum.ToDense()
+					for i, want := range wantBucket[b] {
+						if got[i] != want {
+							t.Fatalf("%s opts=%d rank=%d bucket=%d coord=%d: got %g want %g",
+								wc.name, oi, r, b, i, got[i], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBucketSchedulerOptionArity: a per-bucket Options slice of the wrong
+// length is a caller bug and must panic rather than silently misassign
+// decisions to buckets.
+func TestBucketSchedulerOptionArity(t *testing.T) {
+	spans := [][2]int{{0, 10}, {10, 20}, {20, 30}}
+	s := NewBucketScheduler(spans, 1) // one bucket per layer
+	rng := rand.New(rand.NewSource(8105))
+	inputs := bucketInputs(rng, 30, spans, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Issue with a 2-element Options slice for 3 buckets should panic")
+		}
+	}()
+	comm.Run(comm.NewWorld(2, testProfile), func(p *comm.Proc) any {
+		return s.Issue(p, inputs[p.Rank()], []Options{{}, {}})
+	})
+}

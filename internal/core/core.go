@@ -132,6 +132,20 @@ type Options struct {
 	// so explicit values are mainly for ablations such as the hierlevels
 	// sweep.
 	Levels int
+	// Chunks selects the pipelining degree of the split-phase algorithms
+	// (SSARSplitAllgather, DSARSplitAllgather, and the hierarchical
+	// variants' leader phase): the dimension partitions are subdivided into
+	// C key-range chunks whose sends and merges overlap stage-pipeline
+	// style (see splitPhasePipelined). Values ≤ 1 (including the zero
+	// default) run the unchunked path, byte-identical on the wire to the
+	// pre-chunking implementation; C ≥ 2 pipelines (value-identical
+	// results, chunk-partitioned message schedule). AutoChunks asks the
+	// cost model to pick the chunk count (alongside algorithm and depth
+	// when Algorithm is Auto). The executed count is clamped by
+	// clampChunks — per-rank partitions must stay subdividable and the tag
+	// budget bounded — identically on every rank. Algorithms without a
+	// split phase ignore it.
+	Chunks int
 	// Support selects the index-distribution assumption Auto's cost model
 	// uses for the fill-in expectation E[K] (see CostScenario.Support for
 	// the estimators' validity ranges). The default SupportUniform is the
@@ -160,6 +174,42 @@ type Options struct {
 // thresholds).
 const DefaultSmallDataBytes = 64 << 10
 
+// AutoChunks, assigned to Options.Chunks (or CostScenario.Chunks), asks
+// the cost model to pick the split-phase pipelining degree: ChooseChunks
+// prices the candidate chunk counts (1, 2, 4, 8) with the pipelined cost
+// model and the cheapest wins. The decision is replica-consistent — it
+// depends only on the globally agreed scenario — so all ranks run the same
+// chunked schedule.
+const AutoChunks = -1
+
+// maxChunks bounds the executed pipelining degree: past a few chunks the
+// per-chunk messages only add header and latency overhead, and the chunk
+// tags (C per source rank) must fit every tag budget, including the
+// hierarchical leader phase's 2^16-wide range.
+const maxChunks = 64
+
+// clampChunks bounds a requested chunk count for execution over [0, n)
+// split across P ranks: values ≤ 1 (and the AutoChunks sentinel, which
+// resolve translates before execution) mean unchunked, and a pipelined
+// count is capped at maxChunks and at ⌊n/P⌋ so every rank's partition
+// subdivides into non-empty chunks. The result depends only on globally
+// agreed quantities, so every rank clamps identically.
+func clampChunks(c, n, P int) int {
+	if c < 2 {
+		return 1
+	}
+	if c > maxChunks {
+		c = maxChunks
+	}
+	if per := n / P; c > per {
+		c = per
+	}
+	if c < 2 {
+		return 1
+	}
+	return c
+}
+
 // Allreduce performs a sparse allreduce of v across all ranks and returns
 // the reduced vector (every rank returns an equal vector). v is not
 // modified. The reduction operation is v.Op().
@@ -169,13 +219,14 @@ func Allreduce(p *comm.Proc, v *stream.Vector, opts Options) *stream.Vector {
 }
 
 func allreduceTagged(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Vector {
-	alg, levels := resolve(p, v, opts, base)
+	alg, levels, chunks := resolve(p, v, opts, base)
 	opts.Levels = levels
+	opts.Chunks = chunks
 	switch alg {
 	case SSARRecDouble:
 		return ssarRecDouble(p, v, opts.Scratch, base)
 	case SSARSplitAllgather:
-		return ssarSplitAllgather(p, v, opts.Scratch, base)
+		return ssarSplitAllgather(p, v, opts.Scratch, base, opts.Chunks)
 	case DSARSplitAllgather:
 		return dsarSplitAllgather(p, v, opts, base)
 	case DenseRecDouble:
@@ -195,10 +246,10 @@ func allreduceTagged(p *comm.Proc, v *stream.Vector, opts Options, base int) *st
 	}
 }
 
-// resolve maps Auto to a concrete algorithm and hierarchy depth (§5.3:
-// "In practice, allreduce implementations switch between different
-// implementations depending on the message size and the number of
-// processes").
+// resolve maps Auto to a concrete algorithm, hierarchy depth, and chunk
+// count (§5.3: "In practice, allreduce implementations switch between
+// different implementations depending on the message size and the number
+// of processes").
 //
 // Per-rank non-zero counts may differ, but every rank must run the *same*
 // algorithm, so Auto first agrees on the maximum k with a tiny
@@ -206,14 +257,23 @@ func allreduceTagged(p *comm.Proc, v *stream.Vector, opts Options, base int) *st
 // the paper's analysis — and hands the shared value to the cost-model
 // comparator ChooseAutoLevels. Everything else the scenario is built from
 // (dimension, δ, hierarchy, options) is identical on every rank, and the
-// model is pure deterministic float arithmetic, so all ranks agree.
-func resolve(p *comm.Proc, v *stream.Vector, opts Options, base int) (Algorithm, int) {
-	if opts.Algorithm != Auto {
-		return opts.Algorithm, opts.Levels
+// model is pure deterministic float arithmetic, so all ranks agree. The
+// same agreement path also serves a pinned algorithm asked to pick only
+// its pipelining degree (Options.Chunks = AutoChunks).
+func resolve(p *comm.Proc, v *stream.Vector, opts Options, base int) (Algorithm, int, int) {
+	if opts.Algorithm != Auto && opts.Chunks != AutoChunks {
+		return opts.Algorithm, opts.Levels, opts.Chunks
 	}
 	kmax := int(AllreduceDenseRecDouble(p, []float64{float64(v.NNZ())},
 		stream.OpMax, stream.DefaultValueBytes, base+resolveTagOffset)[0])
-	return ChooseAutoLevels(ScenarioFor(p, v, opts, kmax))
+	s := ScenarioFor(p, v, opts, kmax)
+	if opts.Algorithm != Auto {
+		// Chunk-only Auto: algorithm and depth are pinned; price just the
+		// chunk count for them.
+		s.Levels = opts.Levels
+		return opts.Algorithm, opts.Levels, ChooseChunks(opts.Algorithm, s)
+	}
+	return ChooseAutoLevels(s)
 }
 
 // ScenarioFor builds the CostScenario Auto prices a call with: the
@@ -231,6 +291,7 @@ func ScenarioFor(p *comm.Proc, v *stream.Vector, opts Options, kmax int) CostSce
 		Profile: p.Profile(), Quant: opts.Quant,
 		SmallDataBytes: opts.SmallDataBytes,
 		Levels:         opts.Levels,
+		Chunks:         opts.Chunks,
 		Support:        opts.Support,
 		HotFraction:    opts.HotFraction,
 		HotMass:        opts.HotMass,

@@ -56,6 +56,15 @@ type CostScenario struct {
 	// mirroring Options.Levels: 0 prices the full hierarchy; d >= 2 prices
 	// the depth-d truncation (ChooseAutoLevels searches the depths).
 	Levels int
+	// Chunks is the split-phase pipelining degree, mirroring
+	// Options.Chunks: values ≤ 1 price the unchunked split phase; C ≥ 2
+	// prices the chunk pipeline — C·(P−1) messages of a 1/C slice each,
+	// with the k-way merge overlap-discounted behind the send stage (see
+	// pipe). The modeled degree is clamped exactly as execution clamps it
+	// (clampChunks). The AutoChunks sentinel prices as unchunked here;
+	// decision layers that want the model to pick the degree use
+	// ChooseChunks / ChooseAutoLevels, which search the candidates.
+	Chunks int
 	// Quant, when non-nil, prices the dense allgather stage of the DSAR
 	// algorithms at the QSGD wire size (Bits/8 + 4/Bucket bytes per
 	// element) instead of ValueBytes.
@@ -148,24 +157,30 @@ func PredictSeconds(alg Algorithm, s CostScenario) float64 {
 }
 
 // ChooseAuto returns the algorithm Auto resolves to under the scenario;
-// see ChooseAutoLevels for the depth it pairs with it.
+// see ChooseAutoLevels for the depth and chunk count it pairs with it.
 func ChooseAuto(s CostScenario) Algorithm {
-	alg, _ := ChooseAutoLevels(s)
+	alg, _, _ := ChooseAutoLevels(s)
 	return alg
 }
 
 // ChooseAutoLevels returns the algorithm Auto resolves to under the
 // scenario together with the hierarchy depth the hierarchical algorithms
-// should run at (0 for flat choices). The paper's δ gate first fixes the
-// result representation — expected fill-in E[K] ≥ δ means the reduced
-// vector densifies, so only the DSAR family (which also honors
-// quantization) is eligible; below δ only the sparse-result SSAR family
-// is. Within the regime the candidates — the flat algorithm plus, when the
-// machine hierarchy is exploitable, the hierarchical algorithm at every
-// usable depth from 2 tiers up to the full hierarchy — are priced by
+// should run at (0 for flat choices) and the split-phase chunk count the
+// winner should pipeline at (1 when the scenario does not opt into the
+// chunk search). The paper's δ gate first fixes the result
+// representation — expected fill-in E[K] ≥ δ means the reduced vector
+// densifies, so only the DSAR family (which also honors quantization) is
+// eligible; below δ only the sparse-result SSAR family is. Within the
+// regime the candidates — the flat algorithm plus, when the machine
+// hierarchy is exploitable, the hierarchical algorithm at every usable
+// depth from 2 tiers up to the full hierarchy — are priced by
 // PredictSeconds and the cheapest wins (ties keep the earliest candidate:
-// flat before hierarchical, shallower before deeper).
-func ChooseAutoLevels(s CostScenario) (Algorithm, int) {
+// flat before hierarchical, shallower before deeper). When the scenario's
+// Chunks is the AutoChunks sentinel, each candidate is priced at its
+// ChooseChunks-best pipelining degree and the returned chunk count is the
+// winner's; any other Chunks value is passed through unchanged, so the
+// default 0 prices every candidate unchunked exactly as before.
+func ChooseAutoLevels(s CostScenario) (Algorithm, int, int) {
 	type cand struct {
 		alg    Algorithm
 		levels int
@@ -190,15 +205,48 @@ func ChooseAutoLevels(s CostScenario) (Algorithm, int) {
 			candidates = append(candidates, cand{HierSSAR, d})
 		}
 	}
-	best, bestT := candidates[0], math.Inf(1)
+	best, bestChunks, bestT := candidates[0], s.Chunks, math.Inf(1)
 	for _, c := range candidates {
 		sc := s
 		sc.Levels = c.levels
+		if s.Chunks == AutoChunks {
+			sc.Chunks = ChooseChunks(c.alg, sc)
+		}
 		if t := PredictSeconds(c.alg, sc); t < bestT {
+			best, bestChunks, bestT = c, sc.Chunks, t
+		}
+	}
+	return best.alg, best.levels, bestChunks
+}
+
+// chunkCandidates are the pipelining degrees the chunk search prices.
+// Unchunked is first so strict-< ties keep it; the powers of two match the
+// documented Options.Chunks sweet spot and the BENCH_7 validation cells.
+var chunkCandidates = [...]int{1, 2, 4, 8}
+
+// ChooseChunks returns the split-phase chunk count the cost model picks
+// for one algorithm under the scenario (at the scenario's Levels depth):
+// each candidate degree in chunkCandidates is priced by PredictSeconds
+// with CostScenario.Chunks pinned to it and the strictly cheapest wins,
+// so ties keep the smaller count and algorithms whose price ignores
+// Chunks (the rec-double family, or a hier top phase that resolves to
+// rec-double) return 1. Like every Auto decision the result depends only
+// on the agreed scenario, so all ranks pick the same degree.
+func ChooseChunks(alg Algorithm, s CostScenario) int {
+	switch alg {
+	case SSARSplitAllgather, DSARSplitAllgather, HierSSAR, HierDSAR:
+	default:
+		return 1
+	}
+	best, bestT := 1, math.Inf(1)
+	for _, c := range chunkCandidates {
+		sc := s
+		sc.Chunks = c
+		if t := PredictSeconds(alg, sc); t < bestT {
 			best, bestT = c, t
 		}
 	}
-	return best.alg, best.levels
+	return best
 }
 
 func (s CostScenario) valueBytesOr() int {
@@ -360,6 +408,35 @@ func (s CostScenario) mergeCost(pairs float64, dense bool) float64 {
 	return s.Profile.GammaPerElem * s.Profile.SparseComputeFactor * pairs
 }
 
+// chunksOr returns the pipelining degree the scenario actually prices: the
+// requested Chunks clamped exactly as execution clamps it. The AutoChunks
+// sentinel prices as unchunked (the search layers resolve it first).
+func (s CostScenario) chunksOr() int {
+	return clampChunks(s.Chunks, s.N, s.P)
+}
+
+// topChunks is chunksOr for the hierarchical top phase, where the split
+// runs over the m leaders instead of the full world.
+func (s CostScenario) topChunks(m int) int {
+	return clampChunks(s.Chunks, s.N, m)
+}
+
+// pipe returns the completion time of the two-stage chunk pipeline: C
+// chunks flow through a send stage costing S in total and a merge stage
+// costing M in total. The stages overlap perfectly except that the first
+// (equivalently last) chunk must still traverse the non-bottleneck stage,
+// so completion is max(S, M) + min(S, M)/C — the overlap-discounted merge
+// term of the model. At C = 1 this degrades to S + M, but callers keep the
+// literal unchunked accumulation on that path so the float ordering (and
+// hence every replica-consistent Auto decision) is bit-identical to the
+// pre-pipelining model.
+func pipe(S, M float64, C int) float64 {
+	if M > S {
+		S, M = M, S
+	}
+	return S + M/float64(C)
+}
+
 // predictRecDouble prices SSAR_Recursive_double: log2(P) exchange+merge
 // stages whose payload is the accumulated union E[K_d], plus — on
 // non-power-of-two worlds — the fold of the excess ranks onto the first
@@ -385,15 +462,15 @@ func (s CostScenario) predictRecDouble() float64 {
 	return t
 }
 
-// splitPhaseCost prices the shared split phase: P−1 direct sends of one
-// dimension-partition slice (≈ K/P non-zeros) each — serialized at the
-// sender, which is the (P−1)·α term — bucketed by the hierarchy level each
-// destination sits at (each bucket paying the egress factors of the levels
-// it crosses), plus the single k-way merge reducing this rank's partition:
-// every received pair is touched once, so the charge is the P·K/P ≈ K
-// total input pairs rather than the chained two-way merges' Σᵢ(|accᵢ|+|Hᵢ|).
-func (s CostScenario) splitPhaseCost() float64 {
-	slice := float64(s.K) / float64(s.P)
+// splitSendCost prices the direct-exchange half of the split phase:
+// perDest messages to each of the P−1 other ranks, each carrying `slice`
+// non-zeros — serialized at the sender, which is the (P−1)·perDest·α
+// term — bucketed by the hierarchy level each destination sits at (each
+// bucket paying the egress factors of the levels it crosses). The caller
+// adds the k-way merge separately. perDest = 1 with the full K/P slice
+// reproduces the unchunked split phase; the chunked caller passes
+// perDest = C with a slice/C payload.
+func (s CostScenario) splitSendCost(perDest int, slice float64) float64 {
 	t := 0.0
 	if h, ok := s.hierarchy(); ok {
 		prev := 1
@@ -401,7 +478,7 @@ func (s CostScenario) splitPhaseCost() float64 {
 		for l := 0; l < h.Depth(); l++ {
 			span := s.spanCapped(h, l)
 			if cnt := span - prev; cnt > 0 {
-				t += float64(cnt) * modelMsg(h.Levels[l].Profile, s.wire(slice), f)
+				t += float64(cnt*perDest) * modelMsg(h.Levels[l].Profile, s.wire(slice), f)
 			}
 			if span >= s.P {
 				break
@@ -410,8 +487,29 @@ func (s CostScenario) splitPhaseCost() float64 {
 			prev = span
 		}
 	} else {
-		t += float64(s.P-1) * modelMsg(s.Profile, s.wire(slice), 1)
+		t += float64((s.P-1)*perDest) * modelMsg(s.Profile, s.wire(slice), 1)
 	}
+	return t
+}
+
+// splitPhaseCost prices the shared split phase: P−1 direct sends of one
+// dimension-partition slice (≈ K/P non-zeros) each — serialized at the
+// sender, which is the (P−1)·α term — bucketed by the hierarchy level each
+// destination sits at (each bucket paying the egress factors of the levels
+// it crosses), plus the single k-way merge reducing this rank's partition:
+// every received pair is touched once, so the charge is the P·K/P ≈ K
+// total input pairs rather than the chained two-way merges' Σᵢ(|accᵢ|+|Hᵢ|).
+// At Chunks ≥ 2 the phase is the chunk pipeline instead: C·(P−1) sends of
+// a 1/C slice each (more α, same β volume) with the merge
+// overlap-discounted behind the send stage per pipe.
+func (s CostScenario) splitPhaseCost() float64 {
+	slice := float64(s.K) / float64(s.P)
+	if C := s.chunksOr(); C > 1 {
+		S := s.splitSendCost(C, slice/float64(C))
+		M := s.mergeCost(float64(s.P)*slice, false)
+		return pipe(S, M, C)
+	}
+	t := s.splitSendCost(1, slice)
 	t += s.mergeCost(float64(s.P)*slice, false)
 	return t
 }
@@ -513,12 +611,14 @@ func (s CostScenario) stageBcastCost(h simnet.Hierarchy, l int, bytes float64) f
 }
 
 // topSplitSendCost prices the direct-exchange half of a top-phase split
-// over m leaders (one per `stride` ranks): m−1 sends of one
-// leader-partition slice each, bucketed by the innermost level spanning
-// each destination, every bucket paying the egress factors of the levels
-// it crosses with one contending flow per co-located leader. The caller
-// adds the k-way merge of the m slices separately.
-func (s CostScenario) topSplitSendCost(h simnet.Hierarchy, m, stride int, slice float64) float64 {
+// over m leaders (one per `stride` ranks): perDest sends to each of the
+// m−1 other leaders, each carrying `slice` non-zeros, bucketed by the
+// innermost level spanning each destination, every bucket paying the
+// egress factors of the levels it crosses with one contending flow per
+// co-located leader. The caller adds the k-way merge of the m slices
+// separately; perDest = 1 is the unchunked phase, perDest = C with a
+// slice/C payload the chunked one.
+func (s CostScenario) topSplitSendCost(h simnet.Hierarchy, m, stride int, slice float64, perDest int) float64 {
 	t := 0.0
 	prev := 1
 	f := 1.0
@@ -532,7 +632,7 @@ func (s CostScenario) topSplitSendCost(h simnet.Hierarchy, m, stride int, slice 
 			u = m
 		}
 		if cnt := u - prev; cnt > 0 {
-			t += float64(cnt) * modelMsg(h.Levels[l].Profile, s.wire(slice), f)
+			t += float64(cnt*perDest) * modelMsg(h.Levels[l].Profile, s.wire(slice), f)
 		}
 		if u >= m {
 			break
@@ -578,11 +678,17 @@ func (s CostScenario) predictHierSSAR(h simnet.Hierarchy, L int) float64 {
 		}
 	} else {
 		// Top-phase split allgather over m partitions (k-way merge: the m
-		// slices of one leader partition are touched once each).
+		// slices of one leader partition are touched once each), pipelined
+		// like splitPhaseCost when the scenario chunks.
 		slice := kp / float64(m)
-		t += s.topSplitSendCost(h, m, stride, slice)
 		part := s.fill(s.P) / float64(p2m)
-		t += s.mergeCost(float64(m)*slice, false)
+		if C := s.topChunks(m); C > 1 {
+			S := s.topSplitSendCost(h, m, stride, slice/float64(C), C)
+			t += pipe(S, s.mergeCost(float64(m)*slice, false), C)
+		} else {
+			t += s.topSplitSendCost(h, m, stride, slice, 1)
+			t += s.mergeCost(float64(m)*slice, false)
+		}
 		if m > p2m {
 			fslice := s.fill(s.P) / float64(m)
 			prof, f := s.topLink(h, p2m, stride)
@@ -620,8 +726,13 @@ func (s CostScenario) predictHierDSAR(h simnet.Hierarchy, L int) float64 {
 	}
 	kp := s.fill(stride)
 	slice := kp / float64(m)
-	t += s.topSplitSendCost(h, m, stride, slice)
-	t += s.mergeCost(float64(m)*slice, false)
+	if C := s.topChunks(m); C > 1 {
+		S := s.topSplitSendCost(h, m, stride, slice/float64(C), C)
+		t += pipe(S, s.mergeCost(float64(m)*slice, false), C)
+	} else {
+		t += s.topSplitSendCost(h, m, stride, slice, 1)
+		t += s.mergeCost(float64(m)*slice, false)
+	}
 	g := s.Profile.GammaPerElem
 	block := float64(s.N) / float64(m)
 	t += g * block

@@ -126,7 +126,7 @@ func TestAutoCostModelOnTopology(t *testing.T) {
 	w := comm.NewWorldTopo(32, contendedTopo)
 	comm.Run(w, func(p *comm.Proc) any {
 		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 1<<20, 100)
-		if got, _ := resolve(p, v, Options{}, p.NextTagBase()); got != HierSSAR {
+		if got, _, _ := resolve(p, v, Options{}, p.NextTagBase()); got != HierSSAR {
 			panic("Auto on a contended topology should resolve to HierSSAR, got " + got.String())
 		}
 		return nil
@@ -139,7 +139,7 @@ func TestAutoCostModelOnTopology(t *testing.T) {
 	tiny := comm.NewWorldTopo(8, testTopo)
 	comm.Run(tiny, func(p *comm.Proc) any {
 		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 1000, 20)
-		if got, _ := resolve(p, v, Options{}, p.NextTagBase()); got != SSARRecDouble {
+		if got, _, _ := resolve(p, v, Options{}, p.NextTagBase()); got != SSARRecDouble {
 			panic("Auto on a tiny uncontended instance should resolve to SSARRecDouble, got " + got.String())
 		}
 		return nil
@@ -149,7 +149,7 @@ func TestAutoCostModelOnTopology(t *testing.T) {
 	single := comm.NewWorldTopo(4, testTopo)
 	comm.Run(single, func(p *comm.Proc) any {
 		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 1<<20, 100)
-		if got, _ := resolve(p, v, Options{}, p.NextTagBase()); got != SSARRecDouble {
+		if got, _, _ := resolve(p, v, Options{}, p.NextTagBase()); got != SSARRecDouble {
 			panic("Auto on a single-node topology should price flat algorithms, got " + got.String())
 		}
 		return nil
@@ -161,7 +161,7 @@ func TestAutoCostModelOnTopology(t *testing.T) {
 	denseNIC := comm.NewWorldTopo(16, contendedTopo)
 	comm.Run(denseNIC, func(p *comm.Proc) any {
 		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 1<<16, 40000)
-		if got, _ := resolve(p, v, Options{}, p.NextTagBase()); got != HierDSAR {
+		if got, _, _ := resolve(p, v, Options{}, p.NextTagBase()); got != HierDSAR {
 			panic("Auto in the contended dense regime should resolve to HierDSAR, got " + got.String())
 		}
 		return nil
@@ -172,7 +172,7 @@ func TestAutoCostModelOnTopology(t *testing.T) {
 	denseW := comm.NewWorldTopo(16, testTopo)
 	comm.Run(denseW, func(p *comm.Proc) any {
 		v := randSparse(rand.New(rand.NewSource(int64(p.Rank()))), 1<<16, 40000)
-		if got, _ := resolve(p, v, Options{}, p.NextTagBase()); got != DSARSplitAllgather {
+		if got, _, _ := resolve(p, v, Options{}, p.NextTagBase()); got != DSARSplitAllgather {
 			panic("Auto in the uncontended dense regime should resolve to DSAR, got " + got.String())
 		}
 		return nil

@@ -139,7 +139,7 @@ func hierSSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Ve
 		L = hierDepth(h, opts.Levels)
 	}
 	if !ok || !hierExploitable(h, L, P) {
-		return ssarSplitAllgather(p, v, sc, base)
+		return ssarSplitAllgather(p, v, sc, base, opts.Chunks)
 	}
 	cur, stages := hierUpSweep(p, v, h, L, sc, base)
 
@@ -167,7 +167,7 @@ func hierSSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Ve
 			if wire <= small {
 				result = ssarRecDouble(lsub, cur, sc, base+hierLeaderTag)
 			} else {
-				result = ssarSplitAllgather(lsub, cur, sc, base+hierLeaderTag)
+				result = ssarSplitAllgather(lsub, cur, sc, base+hierLeaderTag, opts.Chunks)
 			}
 			p.Join(lsub)
 			if cur != v {

@@ -106,7 +106,7 @@ func TestHierLevelsOptionTruncates(t *testing.T) {
 func TestAutoPicksDepthOnDragonfly(t *testing.T) {
 	h := simnet.DragonflyLike(4, 4)
 	s := CostScenario{N: 1 << 20, P: 64, K: 104, Profile: simnet.AriesGlobal, Hier: &h}
-	alg, levels := ChooseAutoLevels(s)
+	alg, levels, _ := ChooseAutoLevels(s)
 	if alg != HierSSAR {
 		t.Fatalf("sparse regime on DragonflyLike should resolve hierarchical, got %s", alg)
 	}
@@ -123,7 +123,7 @@ func TestAutoPicksDepthOnDragonfly(t *testing.T) {
 	}
 
 	dense := CostScenario{N: 1 << 16, P: 64, K: 40000, Profile: simnet.AriesGlobal, Hier: &h}
-	if alg, lv := ChooseAutoLevels(dense); alg != HierDSAR || lv != 3 {
+	if alg, lv, _ := ChooseAutoLevels(dense); alg != HierDSAR || lv != 3 {
 		t.Fatalf("dense regime on DragonflyLike should resolve to HierDSAR at depth 3, got %s@%d", alg, lv)
 	}
 

@@ -145,13 +145,101 @@ func splitPhase(p *comm.Proc, v *stream.Vector, sc *stream.Scratch, base int) *s
 	return acc
 }
 
+// splitPhasePipelined is the chunked split phase: every rank's partition
+// is subdivided into C uniform key-range chunks, and chunk c's slices
+// travel under their own tag (base + c·P + src) so the merge of chunk c
+// can start while chunk c+1's sends are still being issued. On real
+// transports the overlap is physical — a forked merge goroutine drains and
+// merges chunk after chunk while the main goroutine keeps extracting and
+// sending — and on the simulator the send stage stays on the parent clock
+// while the merge stage runs on a forked clock, so Join composes the two
+// stages by max, the virtual-time analogue of the same pipeline. The C
+// reduced chunk slices are disjoint ascending key ranges of this rank's
+// partition, so reassembly is a pure concatenation (uncharged: the merge
+// charge already covered every pair once). Callers must pass C ≥ 2
+// (clampChunks decides that); C = 1 is splitPhase itself.
+func splitPhasePipelined(p *comm.Proc, v *stream.Vector, sc *stream.Scratch, base, C int) *stream.Vector {
+	rank, P := p.Rank(), p.Size()
+	n := v.Dim()
+	myLo, myHi := partition(n, P, rank)
+	accs := make([]*stream.Vector, C)
+
+	// The merge stage: extract my partition's chunk, receive the P−1 peer
+	// slices for it, k-way merge — repeated per chunk, on proc f. The
+	// extraction uses no scratch when f runs concurrently with the send
+	// stage (a Scratch belongs to one goroutine).
+	mergeStage := func(f *comm.Proc, fsc *stream.Scratch) {
+		for c := 0; c < C; c++ {
+			clo, chi := stream.ChunkRange(myHi-myLo, C, c)
+			acc := v.ExtractRangeInto(myLo+clo, myLo+chi, fsc)
+			ins := make([]*stream.Vector, P-1)
+			for off := 1; off < P; off++ {
+				from := (rank - off + P) % P
+				ins[off-1] = f.Recv(from, base+c*P+from).Payload.(*stream.Vector)
+			}
+			mergeKCharged(f, acc, ins, fsc)
+			accs[c] = acc
+		}
+	}
+	sendStage := func() {
+		for c := 0; c < C; c++ {
+			for off := 1; off < P; off++ {
+				to := (rank + off) % P
+				tLo, tHi := partition(n, P, to)
+				clo, chi := stream.ChunkRange(tHi-tLo, C, c)
+				piece := v.ExtractRangeInto(tLo+clo, tLo+chi, sc)
+				p.Send(to, base+c*P+rank, piece, piece.WireBytes())
+			}
+		}
+	}
+
+	if p.Wall() {
+		// Real transport: true pipeline. The merge goroutine owns no
+		// scratch (the main goroutine's sc stays single-owner) and the two
+		// stages only share v read-only and the accs slots handed over at
+		// the channel close.
+		f := p.Fork()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			mergeStage(f, nil)
+		}()
+		sendStage()
+		<-done
+		p.Join(f)
+	} else {
+		// Simulator: sends price on the parent clock (injection occupies
+		// the sender, as in splitPhase), merges on a forked clock; Join's
+		// max models the overlap of the merge stage behind the send stage.
+		sendStage()
+		f := p.Fork()
+		mergeStage(f, sc)
+		p.Join(f)
+	}
+
+	out := stream.ConcatChunks(accs, sc)
+	for _, a := range accs {
+		sc.Release(a)
+	}
+	return out
+}
+
 // ssarSplitAllgather implements SSAR_Split_allgather (§5.3.2): the split
 // phase above followed by a sparse concatenating allgather via recursive
 // doubling (partition contents are disjoint by construction, so merging is
-// concatenation — the "simple (concatenating) sparse allgather").
-func ssarSplitAllgather(p *comm.Proc, v *stream.Vector, sc *stream.Scratch, base int) *stream.Vector {
-	acc := splitPhase(p, v, sc, base)
-	out := sparseAllgatherConcat(p, acc, sc, base+p.Size()+8)
+// concatenation — the "simple (concatenating) sparse allgather"). With
+// chunks ≥ 2 the split phase runs pipelined (splitPhasePipelined) and the
+// allgather's tag range shifts past the C·P chunk tags; chunks ≤ 1 is the
+// unchunked path, byte-identical to the pre-chunking implementation.
+func ssarSplitAllgather(p *comm.Proc, v *stream.Vector, sc *stream.Scratch, base, chunks int) *stream.Vector {
+	C := clampChunks(chunks, v.Dim(), p.Size())
+	var acc *stream.Vector
+	if C > 1 {
+		acc = splitPhasePipelined(p, v, sc, base, C)
+	} else {
+		acc = splitPhase(p, v, sc, base)
+	}
+	out := sparseAllgatherConcat(p, acc, sc, base+C*p.Size()+8)
 	sc.Release(acc) // the allgather cloned it; the partition slice is dead
 	return out
 }
@@ -223,7 +311,13 @@ func SparseAllgather(p *comm.Proc, mine *stream.Vector) *stream.Vector {
 // that keeps data-parallel SGD replicas consistent.
 func dsarSplitAllgather(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Vector {
 	sc := opts.Scratch
-	reduced := splitPhase(p, v, sc, base)
+	C := clampChunks(opts.Chunks, v.Dim(), p.Size())
+	var reduced *stream.Vector
+	if C > 1 {
+		reduced = splitPhasePipelined(p, v, sc, base, C)
+	} else {
+		reduced = splitPhase(p, v, sc, base)
+	}
 	rank, P := p.Rank(), p.Size()
 	n := v.Dim()
 	lo, hi := partition(n, P, rank)
@@ -245,7 +339,7 @@ func dsarSplitAllgather(p *comm.Proc, v *stream.Vector, opts Options, base int) 
 	}
 	result := make([]float64, n)
 
-	agBase := base + P + 8
+	agBase := base + C*P + 8
 	if opts.Quant != nil {
 		// Quantize my block; exchange quantized blocks; decode all. The
 		// block dies once encoded, so it is scratch-pooled.

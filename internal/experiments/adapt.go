@@ -153,3 +153,25 @@ func AdaptSweep() []AdaptRow {
 	}
 	return rows
 }
+
+// AdaptDiversitySweep runs the adaptation ablation across the *entire*
+// scenario library (scenario.Names) rather than the four BENCH_5 cells:
+// the same three arms per workload, on the same machine shape. Library
+// scenarios vary P, N, and call counts, so this sweep is a
+// scenario-diversity check (does the controller ever lose badly to the
+// static arms on shapes it was not tuned on?) and is reported
+// snapshot-only — it is NOT drift-gated, because adding a library entry
+// legitimately adds a row.
+func AdaptDiversitySweep() []AdaptRow {
+	key := scenario.NewKey(AdaptSeed)
+	names := scenario.Names()
+	rows := make([]AdaptRow, 0, len(names))
+	for _, name := range names {
+		sc, err := scenario.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, RunAdaptCell(4, 1, sc, key))
+	}
+	return rows
+}

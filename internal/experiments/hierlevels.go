@@ -94,7 +94,7 @@ func RunHierLevelsCell(n int, d float64, P, rpn, npg int, family string, seed in
 		row.SpeedupOverFlat = row.FlatSim / row.ThreeLevelSim
 		row.SpeedupOverTwoLevel = row.TwoLevelSim / row.ThreeLevelSim
 	}
-	alg, levels := core.ChooseAutoLevels(scenario)
+	alg, levels, _ := core.ChooseAutoLevels(scenario)
 	row.AutoChoice = alg.String()
 	row.AutoLevels = levels
 	cheapest := row.FlatSim

@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+)
+
+// This file holds the overlap/bucketing ablation recorded as BENCH_7.json:
+// the library's layered workload profiles (lstm, transformer) run three
+// ways — one monolithic fused allreduce per call, one blocking allreduce
+// per model layer (the naive layer-wise training loop), and the
+// bucket-fusion scheduler (core.BucketScheduler) issuing model-sized
+// buckets as nonblocking collectives with chunked pipelining
+// (Options.Chunks = AutoChunks). The layer profiles are taken from the
+// scenario library but scaled to N = 2^20: at the library's 2^16 the
+// BucketCoords sizing rule (~alpha/beta-sized buckets, ~10^5 coordinates
+// on Aries-class links) fuses the whole model into one bucket and the
+// ablation degenerates to fused-vs-layerwise.
+//
+// The simulated cells carry the "bucketed beats per-layer" headline and
+// are drift-gated by scripts/ci.sh. A fourth column records nonblocking
+// per-layer issue: on the simulator outstanding collectives max-compose
+// at zero per-call cost (core.Request's forked clocks), so at equal
+// per-collective options nonblocking layerwise is a virtual-time LOWER
+// bound — the bucketed arm undercuts it only through chunked pipelining,
+// and the issue overhead it hides is a wall phenomenon. OverlapWallSweep
+// measures that side on the goroutine transport; its snapshot lives in
+// the BENCH_7 Note as static text (the BENCH_3 precedent), keeping the
+// document byte-gateable.
+//
+// The second cell block validates the cost model's pipelining term: the
+// same pinned split-allgather instance simulated at Chunks ∈ {1,2,4,8}
+// against PredictSeconds on the matching CostScenario.
+
+// OverlapRow is one workload cell of the overlap ablation, all arms in
+// simulated virtual seconds.
+type OverlapRow struct {
+	Workload     string `json:"workload"`
+	N            int    `json:"n"`
+	P            int    `json:"p"`
+	RanksPerNode int    `json:"ranks_per_node"`
+	NICSerial    int    `json:"nic_serial"`
+	Calls        int    `json:"calls"`
+	// Layers is the model's layer count; Buckets is how many collectives
+	// the scheduler fuses them into at BucketCoords coordinates per
+	// bucket (the core.BucketCoords sizing rule on the inter-node
+	// profile).
+	Layers       int `json:"layers"`
+	Buckets      int `json:"buckets"`
+	BucketCoords int `json:"bucket_coords"`
+	// FusedSim: one blocking allreduce of the whole gradient per call.
+	// LayerwiseSim: one *blocking* allreduce per layer — the naive
+	// layer-wise loop the scheduler replaces, and the baseline of the
+	// headline. BucketedSim: the bucket scheduler, nonblocking with
+	// AutoChunks pipelining. LayerwiseNBSim: nonblocking per-layer issue,
+	// reported because at equal per-collective options it is the
+	// virtual-time lower bound (see the file comment) — its wall cost is
+	// what the wall sweep measures.
+	FusedSim       float64 `json:"fused_sim_seconds"`
+	LayerwiseSim   float64 `json:"layerwise_sim_seconds"`
+	BucketedSim    float64 `json:"bucketed_sim_seconds"`
+	LayerwiseNBSim float64 `json:"layerwise_nonblocking_sim_seconds"`
+	// BucketedVsLayerwise is LayerwiseSim/BucketedSim — the drift-gated
+	// headline (> 1 means bucketed overlap beats the per-layer loop).
+	// BucketedVsFused is FusedSim/BucketedSim (> 1 means issuing
+	// model-sized buckets beats the monolithic exchange).
+	BucketedVsLayerwise float64 `json:"bucketed_vs_layerwise"`
+	BucketedVsFused     float64 `json:"bucketed_vs_fused"`
+}
+
+// OverlapSeed seeds the BENCH_7 sweep.
+const OverlapSeed = 811
+
+// overlapN is the gradient dimension the ablation runs the library layer
+// profiles at (see the file comment).
+const overlapN = 1 << 20
+
+// layerContribs splits a full-dimension gradient vector into per-layer
+// contributions along the model's spans — what the training loop's
+// layer-wise extraction produces naturally.
+func layerContribs(v *stream.Vector, spans [][2]int) []*stream.Vector {
+	out := make([]*stream.Vector, len(spans))
+	for i, sp := range spans {
+		out[i] = v.ExtractRange(sp[0], sp[1])
+	}
+	return out
+}
+
+// RunOverlapCell measures one layered workload under the arms on
+// identical fresh worlds. Simulated times are deterministic, so one run
+// per arm suffices.
+func RunOverlapCell(rpn, nic int, sc scenario.Scenario, key scenario.SimulationKey) OverlapRow {
+	topo := simnet.Topology{RanksPerNode: rpn, Intra: simnet.NVLinkLike, Inter: simnet.Aries, NICSerial: nic}
+	sched := sc.Generator(key).All()
+	spans := sc.LayerSpans()
+	coords := core.BucketCoords(core.CostScenario{N: sc.N, P: sc.P, Profile: simnet.Aries})
+	bs := core.NewBucketScheduler(spans, coords)
+
+	row := OverlapRow{
+		Workload: sc.Name, N: sc.N, P: sc.P, RanksPerNode: rpn, NICSerial: nic,
+		Calls: len(sched), Layers: len(spans), Buckets: bs.NumBuckets(), BucketCoords: coords,
+	}
+
+	arm := func(f func(p *comm.Proc, inputs []*stream.Vector)) float64 {
+		w := comm.NewWorldTopo(sc.P, topo)
+		comm.Run(w, func(p *comm.Proc) any {
+			for _, inputs := range sched {
+				f(p, inputs)
+			}
+			return nil
+		})
+		return w.MaxTime()
+	}
+
+	row.FusedSim = arm(func(p *comm.Proc, inputs []*stream.Vector) {
+		core.Allreduce(p, inputs[p.Rank()], core.Options{})
+	})
+	row.LayerwiseSim = arm(func(p *comm.Proc, inputs []*stream.Vector) {
+		for _, c := range layerContribs(inputs[p.Rank()], spans) {
+			core.Allreduce(p, c, core.Options{})
+		}
+	})
+	row.LayerwiseNBSim = arm(func(p *comm.Proc, inputs []*stream.Vector) {
+		contribs := layerContribs(inputs[p.Rank()], spans)
+		reqs := make([]*core.Request, len(contribs))
+		for i, c := range contribs {
+			reqs[i] = core.IAllreduce(p, c, core.Options{})
+		}
+		for _, r := range reqs {
+			r.Wait(p)
+		}
+	})
+	row.BucketedSim = arm(func(p *comm.Proc, inputs []*stream.Vector) {
+		contribs := layerContribs(inputs[p.Rank()], spans)
+		bs.Drain(p, bs.Issue(p, contribs, []core.Options{{Chunks: core.AutoChunks}}))
+	})
+
+	if row.BucketedSim > 0 {
+		row.BucketedVsLayerwise = row.LayerwiseSim / row.BucketedSim
+		row.BucketedVsFused = row.FusedSim / row.BucketedSim
+	}
+	return row
+}
+
+// overlapScenarios returns the BENCH_7 workloads: the library's layered
+// profiles at the ablation's scale. Renamed so the seed-isolated RNG
+// streams never collide with the library-scale runs of other sweeps.
+func overlapScenarios() []scenario.Scenario {
+	var out []scenario.Scenario
+	for _, name := range []string{"lstm", "transformer"} {
+		sc, err := scenario.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		sc.N = overlapN
+		sc.Name = sc.Name + "-1m"
+		out = append(out, sc)
+	}
+	return out
+}
+
+// OverlapSweep runs the BENCH_7 workload cells on the BENCH_5 machine
+// shape (4 ranks per node, serialized NIC).
+func OverlapSweep() []OverlapRow {
+	var rows []OverlapRow
+	key := scenario.NewKey(OverlapSeed)
+	for _, sc := range overlapScenarios() {
+		rows = append(rows, RunOverlapCell(4, 1, sc, key))
+	}
+	return rows
+}
+
+// PipeModelRow is one pipelining-model validation cell: a pinned
+// split-allgather instance simulated at a fixed chunk degree against the
+// cost model's prediction for the same scenario.
+type PipeModelRow struct {
+	N      int `json:"n"`
+	P      int `json:"p"`
+	K      int `json:"k_per_rank"`
+	Chunks int `json:"chunks"`
+	// SimSeconds is the simulated virtual time of one allreduce;
+	// ModelSeconds is PredictSeconds on the matching CostScenario;
+	// ModelOverSim is their ratio (the documented error band of the
+	// pipelining term — asserted by the acceptance test).
+	SimSeconds   float64 `json:"sim_seconds"`
+	ModelSeconds float64 `json:"model_seconds"`
+	ModelOverSim float64 `json:"model_over_sim"`
+}
+
+// PipeModelSweep validates the cost model's pipelining term: the same
+// seeded SSARSplitAllgather instance on a flat Aries world, simulated at
+// Chunks ∈ {1, 2, 4, 8}, each against the model's prediction.
+func PipeModelSweep() []PipeModelRow {
+	const (
+		n = 1 << 16
+		P = 8
+		k = 1 << 12
+	)
+	prof := simnet.Aries
+	inputs := transportInputs(OverlapSeed, n, P, k)
+	kmax := 0
+	for _, v := range inputs {
+		if nz := v.NNZ(); nz > kmax {
+			kmax = nz
+		}
+	}
+	var rows []PipeModelRow
+	for _, C := range []int{1, 2, 4, 8} {
+		w := comm.NewWorld(P, prof)
+		comm.Run(w, func(p *comm.Proc) any {
+			return core.Allreduce(p, inputs[p.Rank()],
+				core.Options{Algorithm: core.SSARSplitAllgather, Chunks: C})
+		})
+		row := PipeModelRow{N: n, P: P, K: kmax, Chunks: C, SimSeconds: w.MaxTime()}
+		row.ModelSeconds = core.PredictSeconds(core.SSARSplitAllgather,
+			core.CostScenario{N: n, P: P, K: kmax, Profile: prof, Chunks: C})
+		if row.SimSeconds > 0 {
+			row.ModelOverSim = row.ModelSeconds / row.SimSeconds
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// OverlapWallRow is one wall-clock cell of the overlap sweep: blocking
+// per-layer vs bucketed issue on the goroutine transport, where issue
+// overhead and merge scheduling cost real time. Wall numbers are
+// machine-dependent, so they are never drift-gated — a snapshot goes in
+// the BENCH_7 Note as prose.
+type OverlapWallRow struct {
+	Workload string `json:"workload"`
+	Calls    int    `json:"calls"`
+	Layers   int    `json:"layers"`
+	Buckets  int    `json:"buckets"`
+	Runs     int    `json:"runs"`
+	// Median wall seconds of the whole call sequence per arm, and the
+	// LayerwiseWall/BucketedWall ratio (> 1 means the scheduler's fewer,
+	// overlapped collectives beat the blocking per-layer loop in real
+	// time).
+	LayerwiseWall       float64 `json:"layerwise_wall_seconds"`
+	BucketedWall        float64 `json:"bucketed_wall_seconds"`
+	BucketedVsLayerwise float64 `json:"bucketed_vs_layerwise"`
+}
+
+// OverlapWallSweep measures the wall-clock complement of OverlapSweep on
+// the goroutine transport with a pinned algorithm (Auto's agreement
+// traffic would only add identical noise to both arms). Takes the median
+// of runs per arm.
+func OverlapWallSweep(runs int) []OverlapWallRow {
+	if runs < 1 {
+		runs = 1
+	}
+	topo := simnet.Topology{RanksPerNode: 4, Intra: simnet.NVLinkLike, Inter: simnet.Aries, NICSerial: 1}
+	key := scenario.NewKey(OverlapSeed)
+	var rows []OverlapWallRow
+	for _, sc := range overlapScenarios() {
+		sched := sc.Generator(key).All()
+		spans := sc.LayerSpans()
+		coords := core.BucketCoords(core.CostScenario{N: sc.N, P: sc.P, Profile: simnet.Aries})
+		bs := core.NewBucketScheduler(spans, coords)
+		opts := core.Options{Algorithm: core.SSARSplitAllgather}
+
+		arm := func(f func(p *comm.Proc, inputs []*stream.Vector)) float64 {
+			times := make([]float64, runs)
+			for i := range times {
+				w := comm.NewWorldTopo(sc.P, topo).UseGoroutineTransport()
+				comm.Run(w, func(p *comm.Proc) any {
+					for _, inputs := range sched {
+						f(p, inputs)
+					}
+					return nil
+				})
+				times[i] = w.MaxTime()
+			}
+			return median(times)
+		}
+
+		row := OverlapWallRow{Workload: sc.Name, Calls: len(sched),
+			Layers: len(spans), Buckets: bs.NumBuckets(), Runs: runs}
+		row.LayerwiseWall = arm(func(p *comm.Proc, inputs []*stream.Vector) {
+			for _, c := range layerContribs(inputs[p.Rank()], spans) {
+				core.Allreduce(p, c, opts)
+			}
+		})
+		row.BucketedWall = arm(func(p *comm.Proc, inputs []*stream.Vector) {
+			contribs := layerContribs(inputs[p.Rank()], spans)
+			bs.Drain(p, bs.Issue(p, contribs, []core.Options{opts}))
+		})
+		if row.BucketedWall > 0 {
+			row.BucketedVsLayerwise = row.LayerwiseWall / row.BucketedWall
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}

@@ -72,13 +72,6 @@ func scaledSparse(cfg data.SparseConfig, scale float64) data.SparseConfig {
 	return cfg
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // RunTable2Case trains with the dense baseline and the SparCML algorithm
 // and reports per-epoch times and speedups.
 func RunTable2Case(tc Table2Case, epochs int, seed int64) Table2Row {

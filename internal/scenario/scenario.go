@@ -222,6 +222,35 @@ type Gen struct {
 	zipf map[string]*rand.Zipf
 }
 
+// LayerSpans returns each layer's coordinate range [lo, hi) over [0, N),
+// mirroring exactly the partition the generator samples supports from:
+// layer i takes Round(Frac·N) coordinates starting where layer i−1 ended,
+// with the last layer absorbing the remainder. A layer whose fraction
+// rounds to zero width gets an empty span at its offset. Scenarios without
+// layer profiles return nil. This is the span list bucket-fusion
+// schedulers (core.NewBucketScheduler) consume, so bucket boundaries
+// derived from a scenario are replica-consistent by construction.
+func (sc Scenario) LayerSpans() [][2]int {
+	if len(sc.Layers) == 0 {
+		return nil
+	}
+	spans := make([][2]int, len(sc.Layers))
+	off := 0
+	for li, l := range sc.Layers {
+		span := int(math.Round(l.Frac * float64(sc.N)))
+		if li == len(sc.Layers)-1 {
+			span = sc.N - off
+		}
+		if span <= 0 {
+			spans[li] = [2]int{off, off}
+			continue
+		}
+		spans[li] = [2]int{off, off + span}
+		off += span
+	}
+	return spans
+}
+
 // Generator binds a scenario to a determinism key. It panics on an
 // invalid declaration (scenarios are static data; an invalid one is a
 // programming error).

@@ -186,13 +186,6 @@ func TestSelectLargeKUsesShellSortPath(t *testing.T) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func BenchmarkSelect1MTop1Percent(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	v := make([]float64, 1<<20)

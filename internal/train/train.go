@@ -118,6 +118,21 @@ type Config struct {
 	// using non-blocking calls", §8.3). Requires the task's model to
 	// implement LayerSpans; ignored otherwise.
 	LayerWise bool
+	// BucketCoords enables bucketed-overlap exchange: per-layer gradients
+	// are coalesced into buckets of at least this many span coordinates
+	// (core.NewBucketScheduler), issued as nonblocking collectives in
+	// backprop order, and drained before the update — DDP-style bucket
+	// fusion between the two extremes of one fused exchange and one
+	// collective per layer. Implies layer-wise extraction, so like
+	// LayerWise it requires the task to implement LayerSpans (ignored
+	// otherwise); when both are set, bucketing wins. 0 disables; use
+	// core.BucketCoords for the cost-model-derived size.
+	BucketCoords int
+	// Chunks is forwarded to core.Options.Chunks for MethodTopK's
+	// collectives: ≥ 2 pipelines each collective's split phase at that
+	// degree, core.AutoChunks lets the cost model pick, and 0 keeps the
+	// unchunked schedule.
+	Chunks int
 	// Adapt, when non-nil, routes MethodTopK's gradient allreduces
 	// through the runtime adaptation controller instead of static Auto:
 	// each call is sketched, and algorithm/depth are chosen from the
@@ -193,6 +208,14 @@ func Run(p *comm.Proc, task Task, cfg Config) []Point {
 	if steps <= 0 {
 		steps = (task.NumSamples() + cfg.BatchPerNode - 1) / cfg.BatchPerNode
 	}
+	// Bucket composition depends only on the static layer spans, so the
+	// scheduler is built once; every rank derives the same buckets.
+	var sched *core.BucketScheduler
+	if cfg.BucketCoords > 0 {
+		if spans := layerSpans(task, cfg); spans != nil {
+			sched = core.NewBucketScheduler(spans, cfg.BucketCoords)
+		}
+	}
 	var history []Point
 	commTime := 0.0
 	var bytesSent int64
@@ -221,7 +244,7 @@ func Run(p *comm.Proc, task Task, cfg Config) []Point {
 				// Algorithm 1: acc ← ε + α∇F; ε ← acc − TopK(acc);
 				// g ← allreduce(Q(TopK(acc))); v ← v − g.
 				residual.Accumulate(task.Grads(), lr)
-				opts := core.Options{Algorithm: cfg.Algorithm, Seed: cfg.Seed + int64(globalStep)}
+				opts := core.Options{Algorithm: cfg.Algorithm, Chunks: cfg.Chunks, Seed: cfg.Seed + int64(globalStep)}
 				if cfg.QuantBits > 0 {
 					opts.Quant = &quant.Config{Bits: cfg.QuantBits, Bucket: 1024, Norm: quant.NormMax}
 				}
@@ -231,27 +254,40 @@ func Run(p *comm.Proc, task Task, cfg Config) []Point {
 				spans := layerSpans(task, cfg)
 				if spans != nil {
 					// Layer-wise: one nonblocking allreduce per layer,
-					// overlapped with each other. With adaptation enabled
-					// the parent proc decides once for the whole step
-					// (Controller.Plan fuses every layer's sketch) and the
-					// resolved concrete choice is applied to all layers, so
-					// layer-wise no longer bypasses the controller.
+					// overlapped with each other — or, with a scheduler,
+					// one per fused bucket in backprop order. With
+					// adaptation enabled the parent proc decides once for
+					// the whole step (Controller.Plan fuses every layer's
+					// sketch; Controller.PlanBuckets decides per bucket)
+					// and the resolved concrete choices are applied to the
+					// step's nonblocking calls, so neither path bypasses
+					// the controller.
 					t0 := p.Now()
 					contribs := make([]*stream.Vector, len(spans))
 					for si, span := range spans {
 						contribs[si] = residual.ExtractSpan(span[0], span[1], cfg.Bucket, cfg.K)
 						bytesSent += int64(contribs[si].WireBytes())
 					}
-					lopts := opts
-					if cfg.Adapt != nil {
-						lopts = cfg.Adapt.Plan(p, contribs, lopts)
-					}
-					reqs := make([]*core.Request, len(spans))
-					for si := range contribs {
-						reqs[si] = core.IAllreduce(p, contribs[si], lopts)
-					}
-					for _, req := range reqs {
-						applyUpdateVec(params, req.Wait(p))
+					if sched != nil {
+						bopts := []core.Options{opts}
+						if cfg.Adapt != nil {
+							bopts = cfg.Adapt.PlanBuckets(p, sched, contribs, opts)
+						}
+						for _, sum := range sched.Drain(p, sched.Issue(p, contribs, bopts)) {
+							applyUpdateVec(params, sum)
+						}
+					} else {
+						lopts := opts
+						if cfg.Adapt != nil {
+							lopts = cfg.Adapt.Plan(p, contribs, lopts)
+						}
+						reqs := make([]*core.Request, len(spans))
+						for si := range contribs {
+							reqs[si] = core.IAllreduce(p, contribs[si], lopts)
+						}
+						for _, req := range reqs {
+							applyUpdateVec(params, req.Wait(p))
+						}
 					}
 					commTime += p.Now() - t0
 				} else {
@@ -370,10 +406,10 @@ type Spanner interface {
 	LayerSpans() [][2]int
 }
 
-// layerSpans returns the task's layer spans when layer-wise exchange is
-// requested and supported, nil otherwise.
+// layerSpans returns the task's layer spans when layer-wise or bucketed
+// exchange is requested and supported, nil otherwise.
 func layerSpans(task Task, cfg Config) [][2]int {
-	if !cfg.LayerWise {
+	if !cfg.LayerWise && cfg.BucketCoords <= 0 {
 		return nil
 	}
 	s, ok := task.(Spanner)
@@ -381,13 +417,6 @@ func layerSpans(task Task, cfg Config) [][2]int {
 		return nil
 	}
 	return s.LayerSpans()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // StepDecay returns a schedule that divides the learning rate by

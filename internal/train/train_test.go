@@ -406,3 +406,43 @@ func TestLayerWiseAdaptiveTraining(t *testing.T) {
 		}
 	}
 }
+
+func TestBucketedTrainingConvergesAndStaysConsistent(t *testing.T) {
+	// Bucketed-overlap exchange (Config.BucketCoords) selects TopK per
+	// layer like LayerWise but fuses consecutive layers into scheduler
+	// buckets; it must converge like the per-layer loop and keep replicas
+	// bit-consistent, with and without the adaptive per-bucket planner.
+	P := 4
+	base := Config{
+		Method: MethodTopK, LR: 0.0125, BatchPerNode: 32, Epochs: 6,
+		Bucket: 256, K: 8, Algorithm: core.SSARRecDouble, Seed: 11,
+		BucketCoords: 200, // fuses the residual MLP's small layers
+	}
+	run := func(cfg Config, adaptive bool) [][]Point {
+		if !adaptive {
+			return runTraining(t, P, cfg, func(rank int) Task { return denseBlobTask(rank, P) })
+		}
+		w := comm.NewWorld(P, testNet)
+		return comm.Run(w, func(p *comm.Proc) []Point {
+			c := cfg
+			c.Algorithm = core.Auto
+			c.Chunks = core.AutoChunks
+			c.Adapt = adapt.NewController(adapt.Config{})
+			return Run(p, denseBlobTask(p.Rank(), P), c)
+		})
+	}
+	for _, adaptive := range []bool{false, true} {
+		hist := run(base, adaptive)
+		last := hist[0][len(hist[0])-1]
+		if last.Top1 < 0.85 {
+			t.Fatalf("adaptive=%v: bucketed final top-1 %g, want >=0.85", adaptive, last.Top1)
+		}
+		for r := 1; r < P; r++ {
+			for i := range hist[r] {
+				if math.Abs(hist[r][i].Loss-hist[0][i].Loss) > 1e-9 {
+					t.Fatalf("adaptive=%v: bucketed replicas diverged at point %d", adaptive, i)
+				}
+			}
+		}
+	}
+}

@@ -10,15 +10,20 @@
 # smoke-run the k-way merge ablation benchmarks, then record the
 # deterministic sweeps as
 # BENCH_2.json (contention model), BENCH_3.json (k-way merge/scratch),
-# BENCH_4.json (hierarchy-depth ablation), and BENCH_5.json (runtime
-# adaptation ablation), hard-failing if any drifts from the committed
-# files. BENCH_5's acceptance invariants (adaptive beats static-uniform on
-# clustered/drifting workloads, within noise elsewhere) are enforced by
-# TestBench5AcceptanceCriteria against the committed file during the test
-# phase, so a drift that regresses them fails twice. BENCH_6.json (the
+# BENCH_4.json (hierarchy-depth ablation), BENCH_5.json (runtime
+# adaptation ablation), and BENCH_7.json (overlap/bucketing ablation plus
+# the chunked-pipeline cost-model validation), hard-failing if any drifts
+# from the committed files. BENCH_5's acceptance invariants (adaptive
+# beats static-uniform on clustered/drifting workloads, within noise
+# elsewhere) are enforced by TestBench5AcceptanceCriteria against the
+# committed file during the test phase, and BENCH_7's (bucketed beats
+# per-layer and fused on both workloads, pipeline model within its error
+# band) by TestBench7AcceptanceCriteria/TestBench7PipelineModelBand, so a
+# drift that regresses either fails twice. BENCH_6.json (the
 # execution-backend comparison) carries measured wall times, so it is NOT
 # drift-gated; the transport smoke plus the equivalence/calibration tests
-# enforce its deterministic claims instead.
+# enforce its deterministic claims instead. BENCH_7's wall-clock overlap
+# snapshot lives in its note as static text for the same reason.
 #
 # Usage: ./scripts/ci.sh
 set -euo pipefail
@@ -44,11 +49,14 @@ go run ./tools/doccheck . ./internal/simnet ./internal/comm ./internal/core ./in
 echo "== docdrift (docs tables must name real identifiers)"
 go run ./tools/docdrift -root . docs/COLLECTIVES.md docs/ARCHITECTURE.md
 
-echo "== go test -race (comm + core + adapt + stream + scenario: real transports, parallel merge, lazy RNG streams)"
-go test -race ./internal/comm/... ./internal/core/... ./internal/adapt/... ./internal/stream/... ./internal/scenario/...
+echo "== go test -race (comm + core + adapt + stream + scenario + train: real transports, parallel merge, lazy RNG streams, chunked pipelines + bucket scheduler)"
+go test -race ./internal/comm/... ./internal/core/... ./internal/adapt/... ./internal/stream/... ./internal/scenario/... ./internal/train/...
 
 echo "== transport smoke (goroutine + loopback TCP backends, wall clock)"
 go run ./cmd/sparbench -sweep transport -transport all > /dev/null
+
+echo "== overlap wall smoke (bucketed vs per-layer on the goroutine backend, 1 run)"
+go run ./cmd/sparbench -sweep overlapwall -runs 1 > /dev/null
 
 echo "== go test ./..."
 go test ./...
@@ -57,8 +65,9 @@ tmp_bench=$(mktemp)
 tmp_bench3=$(mktemp)
 tmp_bench4=$(mktemp)
 tmp_bench5=$(mktemp)
+tmp_bench7=$(mktemp)
 tmp_replay=$(mktemp -d)
-trap 'rm -f "$tmp_bench" "$tmp_bench3" "$tmp_bench4" "$tmp_bench5"; rm -rf "$tmp_replay"' EXIT
+trap 'rm -f "$tmp_bench" "$tmp_bench3" "$tmp_bench4" "$tmp_bench5" "$tmp_bench7"; rm -rf "$tmp_replay"' EXIT
 
 echo "== replay determinism (record a scenario trace, replay it, diff against the live run)"
 go run ./cmd/sparreplay -record -scenario clustered -out "$tmp_replay/t.trace"
@@ -102,6 +111,14 @@ go run ./cmd/sparbench -sweep adapt -json > "$tmp_bench5"
 if ! cmp -s "$tmp_bench5" BENCH_5.json; then
   cp "$tmp_bench5" BENCH_5.json
   echo "BENCH_5.json drifted from the committed sweep — regenerated it; commit the update" >&2
+  exit 1
+fi
+
+echo "== record BENCH_7.json (overlap/bucketing ablation + pipeline cost-model cells; simulated metrics only, deterministic)"
+go run ./cmd/sparbench -sweep overlap -json > "$tmp_bench7"
+if ! cmp -s "$tmp_bench7" BENCH_7.json; then
+  cp "$tmp_bench7" BENCH_7.json
+  echo "BENCH_7.json drifted from the committed sweep — regenerated it; commit the update" >&2
   exit 1
 fi
 

@@ -81,6 +81,11 @@ const (
 // allreduce calls nearly allocation-free.
 type Options = core.Options
 
+// AutoChunks, set as Options.Chunks, asks the cost model to pick the
+// pipelined chunk degree alongside the algorithm (a positive value pins
+// it; 0 or 1 runs the classic unchunked pass).
+const AutoChunks = core.AutoChunks
+
 // Scratch is a per-rank pool of reusable reduction buffers. Passing one in
 // Options.Scratch lets the collectives draw merge/densify storage from the
 // pool and recycle received streams into it, so repeated allreduce calls
@@ -195,9 +200,11 @@ func ChooseAuto(s CostScenario) Algorithm {
 
 // ChooseAutoLevels is ChooseAuto returning additionally the hierarchy
 // depth the chosen algorithm should run at (Options.Levels; 0 for flat
-// choices): on a multi-tier Hierarchy world the cost model prices the
-// hierarchical algorithms at every usable depth and picks the cheapest.
-func ChooseAutoLevels(s CostScenario) (Algorithm, int) {
+// choices) and the split-phase chunk count it should pipeline at
+// (Options.Chunks; 1 unless the scenario's Chunks is AutoChunks): on a
+// multi-tier Hierarchy world the cost model prices the hierarchical
+// algorithms at every usable depth and picks the cheapest.
+func ChooseAutoLevels(s CostScenario) (Algorithm, int, int) {
 	return core.ChooseAutoLevels(s)
 }
 
@@ -452,6 +459,45 @@ func (c *Comm) AllreduceAdaptive(v *Vector, a *Adaptive, opts Options) *Vector {
 // identical program order.
 func (c *Comm) IAllreduce(v *Vector, opts Options) *Request {
 	return &Request{inner: core.IAllreduce(c.proc, v, opts), c: c}
+}
+
+// BucketScheduler coalesces per-layer gradient contributions into
+// cost-model-sized fused buckets and runs them as overlapped nonblocking
+// collectives in backprop order; see core.BucketScheduler.
+type BucketScheduler = core.BucketScheduler
+
+// NewBucketScheduler partitions the model's layer spans (span i = [lo,hi)
+// coordinate range of layer i) into buckets of at least coords
+// coordinates each, walked in backprop order so bucket 0 is ready first.
+func NewBucketScheduler(spans [][2]int, coords int) *BucketScheduler {
+	return core.NewBucketScheduler(spans, coords)
+}
+
+// BucketCoords returns the scenario's model-derived bucket size in
+// coordinates: large enough that the per-collective latency floor stays
+// a small fraction of the bucket's dense-equivalent transfer time.
+func BucketCoords(s CostScenario) int { return core.BucketCoords(s) }
+
+// BucketIssue fuses every bucket of the scheduler and starts its
+// nonblocking allreduce, in issue (backprop) order. opts follows
+// BucketScheduler.Issue: nil, one replicated element, or one per bucket.
+func (c *Comm) BucketIssue(s *BucketScheduler, contribs []*Vector, opts []Options) []*Request {
+	inner := s.Issue(c.proc, contribs, opts)
+	out := make([]*Request, len(inner))
+	for i, r := range inner {
+		out[i] = &Request{inner: r, c: c}
+	}
+	return out
+}
+
+// BucketDrain waits on BucketIssue's requests in issue order and returns
+// the summed bucket vectors.
+func (c *Comm) BucketDrain(reqs []*Request) []*Vector {
+	out := make([]*Vector, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
 }
 
 // AllgatherSparse gathers disjoint sparse contributions from all ranks

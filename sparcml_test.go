@@ -89,7 +89,7 @@ func TestFacadeHierarchyWorld(t *testing.T) {
 	}
 	// The level-aware cost model must resolve Auto to a hierarchical
 	// algorithm with an explicit depth on this machine.
-	alg, levels := ChooseAutoLevels(CostScenario{
+	alg, levels, _ := ChooseAutoLevels(CostScenario{
 		N: 100000, P: 64, K: 2, Profile: AriesGlobal, Hier: &h,
 	})
 	if alg != HierSSAR || levels < 2 {
