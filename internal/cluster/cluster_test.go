@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/simnet"
+)
+
+// testMachine returns a small ingress-capped 3-level machine: nodes of 4
+// slots behind a single-flow NIC, groups of 2 nodes behind a two-flow
+// uplink.
+func testMachine() simnet.Hierarchy {
+	h := simnet.DragonflyLike(4, 2)
+	for i := range h.Levels {
+		h.Levels[i].IngressSerial = h.Levels[i].Serial
+	}
+	return h
+}
+
+// smallJob returns a P-rank, calls-step uniform workload declaration.
+func smallJob(name string, p, calls int, start float64) Job {
+	return Job{
+		Name: name,
+		Scenario: scenario.Scenario{
+			Name: "uniform", N: 1 << 12, P: p, Calls: calls,
+			Density: scenario.Const(0.02),
+		},
+		Start: start,
+	}
+}
+
+// runSmall runs a canonical 4-job mix under the given policy and knobs.
+func runSmall(t *testing.T, place Placement, seed int64, jitter float64) []JobStats {
+	t.Helper()
+	c := New(Config{
+		Machine: testMachine(), Slots: 32,
+		Key: scenario.NewKey(seed), Jitter: jitter,
+	}, place)
+	c.Add(smallJob("a", 8, 3, 0))
+	c.Add(smallJob("b", 8, 3, 0))
+	c.Add(smallJob("c", 16, 2, 1e-4))
+	c.Add(smallJob("d", 8, 2, 2e-4))
+	return c.Run()
+}
+
+// TestClusterDeterminism: re-running a cluster schedule under the same
+// SimulationKey must reproduce per-job sim times (and every other stat)
+// exactly, for every policy.
+func TestClusterDeterminism(t *testing.T) {
+	for _, place := range []Placement{Packed{}, Spread{}, Random{}, CostAware{}} {
+		a := runSmall(t, place, 42, 0.2)
+		b := runSmall(t, place, 42, 0.2)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same key diverged:\n%+v\nvs\n%+v", place.Name(), a, b)
+		}
+		if c := runSmall(t, place, 43, 0.2); reflect.DeepEqual(a, c) {
+			t.Fatalf("%s: different keys produced identical runs", place.Name())
+		}
+	}
+}
+
+// TestClusterFIFOAdmission: jobs are admitted in Add order and a queue
+// head too large for the free slots blocks later jobs (no backfill), even
+// ones that would fit.
+func TestClusterFIFOAdmission(t *testing.T) {
+	c := New(Config{Machine: testMachine(), Slots: 16, Key: scenario.NewKey(1)}, Packed{})
+	c.Add(smallJob("first", 16, 2, 0)) // fills the machine
+	c.Add(smallJob("big", 16, 2, 0))   // must wait for "first"
+	c.Add(smallJob("small", 4, 1, 0))  // would fit, must not jump "big"
+	stats := c.Run()
+	if stats[0].Admitted != 0 {
+		t.Fatalf("first admitted at %g, want 0", stats[0].Admitted)
+	}
+	if stats[1].Admitted != stats[0].Finished {
+		t.Fatalf("big admitted at %g, want first's finish %g", stats[1].Admitted, stats[0].Finished)
+	}
+	if stats[2].Admitted < stats[1].Admitted {
+		t.Fatalf("small backfilled past big: %g < %g", stats[2].Admitted, stats[1].Admitted)
+	}
+}
+
+// TestClusterContentionSlowsJobs: two spread jobs sharing nodes must each
+// run no faster than alone, and at least one strictly slower — the
+// dynamic activity counters at work. (Packed jobs on exclusive nodes and
+// groups share no capped boundary, so spreading is what creates
+// cross-tenant contention here.) A second tenant admitted only after the
+// first finishes must match its solo time exactly.
+func TestClusterContentionSlowsJobs(t *testing.T) {
+	solo := func(name string) JobStats {
+		c := New(Config{Machine: testMachine(), Slots: 32, Key: scenario.NewKey(7)}, Spread{})
+		c.Add(smallJob(name, 16, 2, 0))
+		return c.Run()[0]
+	}
+	a, b := solo("a"), solo("b")
+
+	c := New(Config{Machine: testMachine(), Slots: 32, Key: scenario.NewKey(7)}, Spread{})
+	c.Add(smallJob("a", 16, 2, 0))
+	c.Add(smallJob("b", 16, 2, 0))
+	both := c.Run()
+	if both[0].SimSeconds < a.SimSeconds || both[1].SimSeconds < b.SimSeconds {
+		t.Fatalf("co-tenancy sped a job up: %+v vs solo %g/%g", both, a.SimSeconds, b.SimSeconds)
+	}
+	if both[0].SimSeconds == a.SimSeconds && both[1].SimSeconds == b.SimSeconds {
+		t.Fatal("co-tenancy changed nothing: activity counters are dead")
+	}
+
+	// A second tenant admitted after the first finishes sees an idle
+	// machine: byte-identical to its solo run.
+	seq := New(Config{Machine: testMachine(), Slots: 16, Key: scenario.NewKey(7)}, Spread{})
+	seq.Add(smallJob("a", 16, 2, 0))
+	seq.Add(smallJob("b", 16, 2, 0))
+	stats := seq.Run()
+	bSolo := func() JobStats {
+		c := New(Config{Machine: testMachine(), Slots: 16, Key: scenario.NewKey(7)}, Spread{})
+		c.Add(smallJob("b", 16, 2, 0))
+		return c.Run()[0]
+	}()
+	if stats[1].SimSeconds != bSolo.SimSeconds {
+		t.Fatalf("serialized job b ran %g, solo %g — residual flows leaked", stats[1].SimSeconds, bSolo.SimSeconds)
+	}
+}
+
+// TestClusterFlowAccounting: every registered flow is retired — after Run
+// the counters must be all zero — and a job never contributes at levels
+// its traffic does not cross.
+func TestClusterFlowAccounting(t *testing.T) {
+	c := New(Config{Machine: testMachine(), Slots: 32, Key: scenario.NewKey(3)}, Packed{})
+	c.Add(smallJob("a", 8, 2, 0))
+	c.Add(smallJob("intra", 4, 2, 0)) // fits one node: crosses nothing
+	c.Run()
+	for l, groups := range c.flows {
+		for g, f := range groups {
+			if f != 0 {
+				t.Fatalf("flows[%d][%d] = %d after Run, want 0", l, g, f)
+			}
+		}
+	}
+	// Register a node-local job's flows by hand: no level is crossed, so
+	// no counter moves.
+	c.adjustFlows([]int{0, 1, 2, 3}, +1)
+	for l, groups := range c.flows {
+		for g, f := range groups {
+			if f != 0 {
+				t.Fatalf("node-local job leaked flows[%d][%d] = %d", l, g, f)
+			}
+		}
+	}
+	// An 8-slot job across two nodes loads each node's egress with its 4
+	// residents, and nothing above (it fits one level-1 group).
+	c.adjustFlows([]int{0, 1, 2, 3, 4, 5, 6, 7}, +1)
+	if c.flows[0][0] != 4 || c.flows[0][1] != 4 {
+		t.Fatalf("two-node job flows at level 0: %v, want [4 4 ...]", c.flows[0])
+	}
+	for l := 1; l < len(c.flows); l++ {
+		for g, f := range c.flows[l] {
+			if f != 0 {
+				t.Fatalf("two-node job leaked flows[%d][%d] = %d", l, g, f)
+			}
+		}
+	}
+	c.adjustFlows([]int{0, 1, 2, 3, 4, 5, 6, 7}, -1)
+}
+
+// TestClusterJitterStretches: enabling the straggler knob must stretch
+// per-job sim times (never shrink them) while leaving the workload
+// streams untouched, and must itself be deterministic.
+func TestClusterJitterStretches(t *testing.T) {
+	base := runSmall(t, Packed{}, 42, 0)
+	jit := runSmall(t, Packed{}, 42, 0.5)
+	grew := false
+	for i := range base {
+		if jit[i].SimSeconds < base[i].SimSeconds {
+			t.Fatalf("jitter shrank job %s: %g < %g", jit[i].Name, jit[i].SimSeconds, base[i].SimSeconds)
+		}
+		if jit[i].SimSeconds > base[i].SimSeconds {
+			grew = true
+		}
+		// The workload (and hence the pinned algorithm) is unperturbed.
+		if jit[i].Algorithm != base[i].Algorithm {
+			t.Fatalf("jitter changed job %s's algorithm: %s vs %s", jit[i].Name, jit[i].Algorithm, base[i].Algorithm)
+		}
+	}
+	if !grew {
+		t.Fatal("Jitter = 0.5 stretched nothing")
+	}
+	if again := runSmall(t, Packed{}, 42, 0.5); !reflect.DeepEqual(jit, again) {
+		t.Fatal("jittered run is not deterministic")
+	}
+}
+
+// TestClusterArrivalJitter: the arrival knob delays starts within its
+// bound, deterministically per key.
+func TestClusterArrivalJitter(t *testing.T) {
+	run := func(seed int64, aj float64) []JobStats {
+		c := New(Config{Machine: testMachine(), Slots: 32, Key: scenario.NewKey(seed), ArrivalJitter: aj}, Packed{})
+		c.Add(smallJob("a", 8, 1, 0))
+		c.Add(smallJob("b", 8, 1, 0))
+		return c.Run()
+	}
+	plain := run(9, 0)
+	jit := run(9, 1e-3)
+	for i := range jit {
+		if jit[i].Arrived < plain[i].Arrived || jit[i].Arrived >= plain[i].Arrived+1e-3 {
+			t.Fatalf("job %s arrived at %g, want in [%g, %g)", jit[i].Name, jit[i].Arrived, plain[i].Arrived, plain[i].Arrived+1e-3)
+		}
+	}
+	if !reflect.DeepEqual(jit, run(9, 1e-3)) {
+		t.Fatal("arrival jitter is not deterministic")
+	}
+}
+
+// TestClusterStatsShape: basic invariants of the reported stats.
+func TestClusterStatsShape(t *testing.T) {
+	stats := runSmall(t, CostAware{}, 5, 0)
+	for _, s := range stats {
+		if s.Admitted < s.Arrived {
+			t.Fatalf("job %s admitted before it arrived: %+v", s.Name, s)
+		}
+		if math.Abs(s.Finished-s.Admitted-s.SimSeconds) > 1e-12 {
+			t.Fatalf("job %s ran with gaps: finished %g, admitted %g, sim %g", s.Name, s.Finished, s.Admitted, s.SimSeconds)
+		}
+		if s.PredictedStep <= 0 || s.PredictedJob != s.PredictedStep*float64(s.Steps) {
+			t.Fatalf("job %s predictions malformed: %+v", s.Name, s)
+		}
+		if len(s.Slots) != s.P || s.Algorithm == "" {
+			t.Fatalf("job %s stats malformed: %+v", s.Name, s)
+		}
+	}
+}

@@ -50,6 +50,19 @@ type World struct {
 	boxes   []*mailbox
 	times   []float64 // final per-rank time (virtual or wall), filled by Run
 
+	// mach and slots are set only by NewWorldPlaced: the full machine
+	// hierarchy and the ascending machine slot hosting each rank. Pricing
+	// (profiles, contention levels) then happens over slots on mach, while
+	// hier holds the induced job-structure hierarchy when derivable.
+	mach  *simnet.Hierarchy
+	slots []int
+
+	// activity, when non-nil, replaces the static communicator-size
+	// contention proxy with observed in-flight flow counts (see
+	// SetActivitySource). Install before Run; reads happen on rank
+	// goroutines.
+	activity ActivitySource
+
 	// transport is the execution backend (see transport.go); wall caches
 	// transport.Wall() for the clock-gating hot paths, and epoch anchors
 	// wall-clock measurement (unix nanos, reset by Run).
@@ -181,6 +194,70 @@ func NewWorldHier(p int, h simnet.Hierarchy) *World {
 	return w
 }
 
+// NewWorldPlaced creates a world of p ranks gang-placed onto slots of a
+// larger machine: rank i occupies machine slot slots[i] (strictly
+// ascending, within the machine), and every message is priced by the
+// machine hierarchy over the two ranks' slots — profile of the innermost
+// machine level the slots share, serialization factors of the machine
+// levels crossed. When the placement is regular, the world reports the
+// induced job-structure hierarchy (simnet.Hierarchy.Induced) through
+// Hierarchy/SubLevel so hierarchical collectives organize around the
+// machine's real locality; irregular placements report no hierarchy and
+// run flat, still machine-correctly priced. Panics on an invalid machine,
+// a slot count mismatch, or out-of-machine slots. Multi-tenant contention
+// across co-placed worlds is modeled by installing a shared
+// ActivitySource (see SetActivitySource); without one, contention falls
+// back to the per-world static proxy.
+func NewWorldPlaced(p int, mach simnet.Hierarchy, slots []int) *World {
+	if err := mach.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if len(slots) != p {
+		panic(fmt.Sprintf("comm: %d slots for %d ranks", len(slots), p))
+	}
+	for i, s := range slots {
+		if s < 0 {
+			panic(fmt.Sprintf("comm: negative machine slot %d", s))
+		}
+		if i > 0 && slots[i-1] >= s {
+			panic("comm: machine slots must be strictly ascending")
+		}
+	}
+	w := NewWorld(p, mach.Levels[len(mach.Levels)-1].Profile)
+	m := mach
+	w.mach = &m
+	w.slots = append([]int(nil), slots...)
+	if ih, ok := mach.Induced(slots); ok {
+		w.hier = &ih
+	}
+	return w
+}
+
+// ActivitySource supplies observed per-level in-flight flow counts for
+// dynamic contention pricing — the multi-tenant replacement for the static
+// communicator-size proxy (see Proc.Send). Slot arguments are machine
+// slots on placed worlds (NewWorldPlaced) and plain world ranks otherwise;
+// levels index the pricing hierarchy (the machine's, on placed worlds).
+// Counts include the querying flow itself; values below 1 are treated
+// as 1. Implementations must be safe for concurrent reads from rank
+// goroutines — the cluster simulator satisfies this by only mutating
+// counters between Run calls on its single event-loop goroutine.
+type ActivitySource interface {
+	// EgressFlows returns how many flows are driving the egress of the
+	// level-`level` group containing `slot` at the current event.
+	EgressFlows(slot, level int) int
+	// IngressFlows returns how many flows are converging on the ingress of
+	// the level-`level` group containing `slot` at the current event.
+	IngressFlows(slot, level int) int
+}
+
+// SetActivitySource installs src as the world's dynamic contention oracle:
+// Send prices every crossed level's egress (and, on hierarchies with
+// ingress caps, the destination's ingress) with src's observed flow counts
+// instead of the static communicator-size proxy. Install before Run; pass
+// nil to restore the proxy.
+func (w *World) SetActivitySource(src ActivitySource) { w.activity = src }
+
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.p }
 
@@ -208,10 +285,29 @@ func (w *World) Hierarchy() (simnet.Hierarchy, bool) {
 	return *w.hier, true
 }
 
+// pricingHier returns the hierarchy messages are priced on — the machine
+// hierarchy for placed worlds, the world's own otherwise — or nil for flat
+// worlds.
+func (w *World) pricingHier() *simnet.Hierarchy {
+	if w.mach != nil {
+		return w.mach
+	}
+	return w.hier
+}
+
+// slotOf maps a world rank to its position on the pricing hierarchy: its
+// machine slot on placed worlds, the rank itself otherwise.
+func (w *World) slotOf(rank int) int {
+	if w.slots != nil {
+		return w.slots[rank]
+	}
+	return rank
+}
+
 // profileFor returns the profile pricing a message from src to dst.
 func (w *World) profileFor(src, dst int) simnet.Profile {
-	if w.hier != nil {
-		return w.hier.ProfileFor(src, dst)
+	if h := w.pricingHier(); h != nil {
+		return h.ProfileFor(w.slotOf(src), w.slotOf(dst))
 	}
 	return w.profile
 }
@@ -435,27 +531,41 @@ func (p *Proc) NextTagBase() int {
 const tagStride = 1 << 20
 
 // activeAt returns how many ranks of this Proc's communicator share this
-// rank's level-l group — the modeled number of flows contending for the
-// group's egress when the communicator drives traffic out of it. The
-// communicator group is the activity proxy: collectives keep every member
-// of the communicator they run on busy in lockstep, so a
-// world-communicator phase contends with all group-mates while a leader
-// sub-communicator phase (one rank per group) is contention-free. The
-// count is static per communicator view, which keeps message pricing
+// rank's level-l group on the pricing hierarchy — the modeled number of
+// flows contending for the group's egress when the communicator drives
+// traffic out of it. This is the static fallback proxy, used only when no
+// ActivitySource is installed: the communicator group stands in for the
+// in-flight flow set, on the grounds that collectives keep every member of
+// the communicator they run on busy in lockstep — a world-communicator
+// phase contends with all group-mates, a leader sub-communicator phase
+// (one rank per group) is contention-free. The proxy is exact for one job
+// running lockstep collectives alone on the machine and deliberately blind
+// to anything else (overlapped collectives, co-tenant jobs); worlds driven
+// by the cluster simulator install an ActivitySource and never reach it.
+// The count is static per communicator view, which keeps message pricing
 // deterministic (no cross-goroutine state).
 func (p *Proc) activeAt(l int) int {
-	h := p.world.hier
+	w := p.world
+	h := w.pricingHier()
 	if p.levelUsers == nil {
 		p.levelUsers = make([]int, h.Depth())
 	}
 	if p.levelUsers[l] == 0 {
-		if p.group == nil {
-			p.levelUsers[l] = len(h.GroupRanks(p.rank, l, p.world.p))
+		if p.group == nil && w.slots == nil {
+			p.levelUsers[l] = len(h.GroupRanks(p.rank, l, w.p))
 		} else {
-			mine := h.GroupOf(p.rank, l)
-			for _, r := range p.group {
-				if h.GroupOf(r, l) == mine {
-					p.levelUsers[l]++
+			mine := h.GroupOf(w.slotOf(p.rank), l)
+			if p.group == nil {
+				for r := 0; r < w.p; r++ {
+					if h.GroupOf(w.slotOf(r), l) == mine {
+						p.levelUsers[l]++
+					}
+				}
+			} else {
+				for _, r := range p.group {
+					if h.GroupOf(w.slotOf(r), l) == mine {
+						p.levelUsers[l]++
+					}
 				}
 			}
 		}
@@ -471,10 +581,13 @@ func (p *Proc) activeAt(l int) int {
 // gives the split phase its (P−1)α latency term in §5.3.2); the receiver
 // will observe the same completion time. On hierarchy worlds the message
 // pays, for every level it escapes below the shared one, that level's
-// egress serialization factor (simnet.Hierarchy.SerialFactor) for the
-// ranks of this communicator co-located in the sender's group — on a
-// two-level topology world exactly the per-node NIC factor of
-// Topology.NICFactor.
+// egress serialization factor (simnet.Hierarchy.SerialFactor) — and, on
+// hierarchies with ingress caps, every entered level's ingress factor
+// (simnet.Hierarchy.IngressFactor). The contending flow counts come from
+// the world's ActivitySource when one is installed (observed in-flight
+// flows, the multi-tenant cluster path) and otherwise from the static
+// communicator-size proxy of activeAt — on a two-level topology world
+// exactly the per-node NIC factor of Topology.NICFactor.
 //
 // On real transports the payload actually moves (through the wire codec in
 // process, over a socket across processes) and the recorded trace times
@@ -483,25 +596,44 @@ func (p *Proc) Send(to, tag int, payload any, bytes int) {
 	p.world.transport.send(p, p.worldRank(to), tag, payload, bytes)
 }
 
-// sendFactor returns the modeled egress serialization factor and priced
-// hierarchy level of a message to world rank dst (see Send).
+// sendFactor returns the modeled contention factor and priced hierarchy
+// level of a message to world rank dst (see Send): the product of every
+// escaped level's egress serialization factor and — under an
+// ActivitySource, on ingress-capped hierarchies — every entered level's
+// ingress factor at the destination.
 func (p *Proc) sendFactor(dst int) (factor float64, level int) {
 	factor = 1.0
-	if h := p.world.hier; h != nil {
-		level = h.SharedLevel(p.rank, dst)
+	w := p.world
+	h := w.pricingHier()
+	if h == nil {
+		return factor, level
+	}
+	src, d := w.slotOf(p.rank), w.slotOf(dst)
+	level = h.SharedLevel(src, d)
+	if a := w.activity; a != nil {
 		for l := 0; l < level; l++ {
-			factor *= h.SerialFactor(l, p.activeAt(l))
+			if n := a.EgressFlows(src, l); n > 1 {
+				factor *= h.SerialFactor(l, n)
+			}
+			if n := a.IngressFlows(d, l); n > 1 {
+				factor *= h.IngressFactor(l, n)
+			}
 		}
+		return factor, level
+	}
+	for l := 0; l < level; l++ {
+		factor *= h.SerialFactor(l, p.activeAt(l))
 	}
 	return factor, level
 }
 
 // sharedLevel returns the hierarchy level a message to world rank dst is
-// priced (and calibrated) at: the innermost level shared by the two ranks,
-// 0 on flat worlds.
+// priced (and calibrated) at: the innermost pricing-hierarchy level shared
+// by the two ranks (their machine slots, on placed worlds), 0 on flat
+// worlds.
 func (p *Proc) sharedLevel(dst int) int {
-	if h := p.world.hier; h != nil {
-		return h.SharedLevel(p.rank, dst)
+	if h := p.world.pricingHier(); h != nil {
+		return h.SharedLevel(p.world.slotOf(p.rank), p.world.slotOf(dst))
 	}
 	return 0
 }

@@ -96,6 +96,14 @@ type CostScenario struct {
 	// DefaultHotFraction and DefaultHotMass (the shape of the `clustered`
 	// test pattern). Ignored under SupportUniform.
 	HotFraction, HotMass float64
+	// External, when non-empty, models co-tenant traffic: External[l] flows
+	// from other jobs contend at hierarchy level l alongside this job's
+	// own, raising every crossed level's egress (and, on ingress-capped
+	// hierarchies, ingress) factor. Missing entries mean zero. This is how
+	// the cluster simulator's observed per-level activity feeds placement
+	// and per-job Auto decisions; empty External prices the job as the sole
+	// tenant, exactly as before.
+	External []int
 }
 
 // SupportModel selects how the cost model estimates fill-in E[K] from the
@@ -355,6 +363,27 @@ func (s CostScenario) spanCapped(h simnet.Hierarchy, l int) int {
 	return span
 }
 
+// ext returns the modeled external (co-tenant) flow count at level l.
+func (s CostScenario) ext(l int) int {
+	if l < len(s.External) {
+		return s.External[l]
+	}
+	return 0
+}
+
+// levelFactor returns the contention factor one flow pays crossing level l
+// when `own` of this job's flows share the group's boundary: the egress
+// serialization factor for own plus External co-tenant flows, times the
+// matching ingress factor on ingress-capped levels (1 elsewhere, so
+// sole-tenant scenarios on cap-free hierarchies price exactly as before).
+func (s CostScenario) levelFactor(h simnet.Hierarchy, l, own int) float64 {
+	active := own + s.ext(l)
+	if active < 1 {
+		active = 1
+	}
+	return h.SerialFactor(l, active) * h.IngressFactor(l, active)
+}
+
 // link returns the profile and egress contention factor pricing an
 // exchange at rank distance `dist` when the whole world communicator is
 // active: the profile of the innermost level spanning the distance, times
@@ -371,7 +400,7 @@ func (s CostScenario) link(dist int) (simnet.Profile, float64) {
 	}
 	f := 1.0
 	for j := 0; j < l; j++ {
-		f *= h.SerialFactor(j, s.spanCapped(h, j))
+		f *= s.levelFactor(h, j, s.spanCapped(h, j))
 	}
 	return h.Levels[l].Profile, f
 }
@@ -394,7 +423,7 @@ func (s CostScenario) topLink(h simnet.Hierarchy, d, stride int) (simnet.Profile
 		if active < 1 {
 			active = 1
 		}
-		f *= h.SerialFactor(j, active)
+		f *= s.levelFactor(h, j, active)
 	}
 	return h.Levels[l].Profile, f
 }
@@ -483,7 +512,7 @@ func (s CostScenario) splitSendCost(perDest int, slice float64) float64 {
 			if span >= s.P {
 				break
 			}
-			f *= h.SerialFactor(l, span)
+			f *= s.levelFactor(h, l, span)
 			prev = span
 		}
 	} else {
@@ -637,7 +666,7 @@ func (s CostScenario) topSplitSendCost(h simnet.Hierarchy, m, stride int, slice 
 		if u >= m {
 			break
 		}
-		f *= h.SerialFactor(l, u)
+		f *= s.levelFactor(h, l, u)
 		prev = u
 	}
 	return t

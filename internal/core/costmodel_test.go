@@ -353,3 +353,46 @@ func TestSupportModelGateBoundary(t *testing.T) {
 	}
 	t.Logf("δ=%d: uniform gate k=%d, clustered gate k=%d (ratio %.2f)", delta, kU, kC, float64(kC)/float64(kU))
 }
+
+// TestExternalFlowsRaisePredictedCost: modeling co-tenant flows via
+// CostScenario.External must strictly raise every contended algorithm's
+// predicted time on a serialization-capped hierarchy, monotonically in the
+// external count, while an empty or all-zero External prices identically
+// to the sole-tenant scenario.
+func TestExternalFlowsRaisePredictedCost(t *testing.T) {
+	h := simnet.DragonflyLike(4, 2)
+	base := CostScenario{N: 1 << 16, P: 32, K: 1 << 12, Profile: simnet.AriesGlobal, Hier: &h}
+	algs := []Algorithm{SSARRecDouble, SSARSplitAllgather, DSARSplitAllgather, HierSSAR, HierDSAR}
+	for _, alg := range algs {
+		sole := PredictSeconds(alg, base)
+		zero := base
+		zero.External = []int{0, 0, 0}
+		if got := PredictSeconds(alg, zero); got != sole {
+			t.Fatalf("%v: zero External changed the prediction: %g vs %g", alg, got, sole)
+		}
+		prev := sole
+		for _, ext := range []int{4, 16, 64} {
+			sc := base
+			sc.External = []int{ext, ext, ext}
+			got := PredictSeconds(alg, sc)
+			if got <= prev {
+				t.Fatalf("%v: External=%d predicted %g, want > %g", alg, ext, got, prev)
+			}
+			prev = got
+		}
+	}
+	// Ingress caps compound with egress on the same crossed levels.
+	capped := simnet.Hierarchy{Levels: append([]simnet.Level(nil), h.Levels...)}
+	for i := range capped.Levels {
+		capped.Levels[i].IngressSerial = capped.Levels[i].Serial
+	}
+	for _, alg := range algs {
+		eg := base
+		eg.External = []int{8, 8, 8}
+		in := eg
+		in.Hier = &capped
+		if got, want := PredictSeconds(alg, in), PredictSeconds(alg, eg); got <= want {
+			t.Fatalf("%v: ingress caps predicted %g, want > egress-only %g", alg, got, want)
+		}
+	}
+}

@@ -66,6 +66,11 @@ const (
 	SubsystemRagged = "ragged"
 	// SubsystemBatch draws training minibatch indices (internal/train).
 	SubsystemBatch = "batch"
+	// SubsystemArrival draws per-job start-time jitter (internal/cluster).
+	SubsystemArrival = "arrival"
+	// SubsystemJitter draws per-step straggler stretch factors
+	// (internal/cluster).
+	SubsystemJitter = "jitter"
 )
 
 // PartitionedRNG hands out isolated, lazily-initialized random streams

@@ -29,6 +29,14 @@ type Level struct {
 	// disables contention at this level; the outermost level's cap is
 	// meaningless (nothing escapes the machine) and ignored.
 	Serial int
+	// IngressSerial is the receiver-side mirror of Serial: the number of
+	// concurrent full-rate flows one group can absorb across its boundary
+	// before incast serialization sets in. A message entering the group
+	// pays the fair-share factor active/IngressSerial when more than
+	// IngressSerial flows converge on it (see Hierarchy.IngressFactor).
+	// Zero — the value on every built-in preset — disables ingress
+	// contention at this level, so single-tenant pricing is unchanged.
+	IngressSerial int
 }
 
 // Hierarchy is the N-level generalization of the two-level Topology:
@@ -68,6 +76,9 @@ func (h Hierarchy) Validate() error {
 		}
 		if lv.Serial < 0 {
 			return fmt.Errorf("simnet: hierarchy level %d Serial must be >= 0, got %d", i, lv.Serial)
+		}
+		if lv.IngressSerial < 0 {
+			return fmt.Errorf("simnet: hierarchy level %d IngressSerial must be >= 0, got %d", i, lv.IngressSerial)
 		}
 		if i < len(h.Levels)-1 && lv.GroupSize < 1 {
 			return fmt.Errorf("simnet: hierarchy level %d needs GroupSize >= 1, got %d", i, lv.GroupSize)
@@ -140,6 +151,98 @@ func (h Hierarchy) SerialFactor(level, active int) float64 {
 		return 1
 	}
 	return float64(active) / float64(s)
+}
+
+// IngressFactor returns the dimensionless bandwidth multiplier one flow
+// entering a level-`level` group pays when `active` flows converge on the
+// group's ingress concurrently: 1 when the level has no cap
+// (IngressSerial == 0) or the flows fit under it, active/IngressSerial
+// (> 1) otherwise — the receiver-side (incast) mirror of SerialFactor.
+// active must be >= 1 (a receiver always absorbs its own flow).
+func (h Hierarchy) IngressFactor(level, active int) float64 {
+	if active < 1 {
+		panic("simnet: IngressFactor needs active >= 1")
+	}
+	s := h.Levels[level].IngressSerial
+	if s <= 0 || active <= s {
+		return 1
+	}
+	return float64(active) / float64(s)
+}
+
+// HasIngress reports whether any level carries an ingress serialization
+// cap. All built-in presets report false, so ingress pricing stays off —
+// and single-tenant runs stay byte-identical — unless a caller opts in.
+func (h Hierarchy) HasIngress() bool {
+	for _, lv := range h.Levels {
+		if lv.IngressSerial > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Induced derives the hierarchy a job gang-placed on the given machine
+// slots observes over its own ranks: job rank i lives on slots[i], and
+// induced level l groups the job ranks sharing a level-l machine group,
+// carrying that machine level's Profile and serialization caps. slots must
+// be strictly ascending (so job ranks cluster contiguously by machine
+// group). Returns ok=false when the placement is irregular — some level
+// hosts a different number of job slots per occupied machine group — in
+// which case no nested hierarchy describes the job's structure and the job
+// should run flat. When ok, the induced hierarchy's SharedLevel agrees
+// with the machine's on every pair of job ranks, so structure-driven
+// algorithm choices match machine-level pricing.
+func (h Hierarchy) Induced(slots []int) (induced Hierarchy, ok bool) {
+	if len(slots) == 0 {
+		return Hierarchy{}, false
+	}
+	for i := 1; i < len(slots); i++ {
+		if slots[i] <= slots[i-1] {
+			return Hierarchy{}, false
+		}
+	}
+	levels := make([]Level, len(h.Levels))
+	prev := 1 // induced span of the previous level
+	for l := 0; l < len(h.Levels)-1; l++ {
+		c, uniform := h.uniformGroupCount(slots, l)
+		if !uniform || c%prev != 0 {
+			return Hierarchy{}, false
+		}
+		lv := h.Levels[l]
+		lv.GroupSize = c / prev
+		levels[l] = lv
+		prev = c
+	}
+	top := h.Levels[len(h.Levels)-1]
+	top.GroupSize = 0
+	levels[len(levels)-1] = top
+	return Hierarchy{Levels: levels}, true
+}
+
+// uniformGroupCount returns the number of slots per occupied level-l
+// machine group when that count is uniform across the occupied groups.
+// slots must be ascending, so occupied groups appear as contiguous runs.
+func (h Hierarchy) uniformGroupCount(slots []int, l int) (count int, uniform bool) {
+	want, run := 0, 0
+	g := h.GroupOf(slots[0], l)
+	for _, s := range slots {
+		if sg := h.GroupOf(s, l); sg != g {
+			if want == 0 {
+				want = run
+			} else if run != want {
+				return 0, false
+			}
+			g, run = sg, 0
+		}
+		run++
+	}
+	if want == 0 {
+		want = run
+	} else if run != want {
+		return 0, false
+	}
+	return want, true
 }
 
 // Leader returns the leader rank — the lowest rank — of the level-l group

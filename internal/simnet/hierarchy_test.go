@@ -129,6 +129,51 @@ func TestHierarchySerialFactor(t *testing.T) {
 	h.SerialFactor(0, 0)
 }
 
+func TestHierarchyIngressFactor(t *testing.T) {
+	h := Hierarchy{Levels: []Level{
+		{GroupSize: 4, Profile: NVLinkLike, Serial: 1, IngressSerial: 1},
+		{GroupSize: 3, Profile: Aries, Serial: 2, IngressSerial: 2},
+		{Profile: AriesGlobal},
+	}}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("ingress-capped hierarchy rejected: %v", err)
+	}
+	if got := h.IngressFactor(0, 1); got != 1 {
+		t.Fatalf("one flow under a cap of 1 = %g, want 1", got)
+	}
+	if got := h.IngressFactor(0, 4); got != 4 {
+		t.Fatalf("4 flows through a cap of 1 = %g, want 4", got)
+	}
+	if got := h.IngressFactor(1, 2); got != 1 {
+		t.Fatalf("2 flows under a cap of 2 = %g, want 1", got)
+	}
+	if got := h.IngressFactor(1, 3); got != 1.5 {
+		t.Fatalf("3 flows through a cap of 2 = %g, want 1.5", got)
+	}
+	if got := h.IngressFactor(2, 100); got != 1 {
+		t.Fatalf("uncapped level factor = %g, want 1", got)
+	}
+	if !h.HasIngress() {
+		t.Fatal("ingress-capped hierarchy must report HasIngress")
+	}
+	if threeTier.HasIngress() {
+		t.Fatal("preset-style hierarchy must not report HasIngress")
+	}
+	if DragonflyLike(4, 8).HasIngress() {
+		t.Fatal("DragonflyLike must not carry ingress caps")
+	}
+	bad := Hierarchy{Levels: []Level{{GroupSize: 4, Profile: NVLinkLike, IngressSerial: -1}, {Profile: Aries}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative IngressSerial accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("active < 1 must panic")
+		}
+	}()
+	h.IngressFactor(0, 0)
+}
+
 // TestTopologyHierarchyEquivalence: the two-level hierarchy derived from a
 // Topology must agree with the topology's own locality and pricing.
 func TestTopologyHierarchyEquivalence(t *testing.T) {
@@ -162,6 +207,51 @@ func TestTopologyHierarchyEquivalence(t *testing.T) {
 		if got, want := h.SerialFactor(0, active), topo.NICFactor(active); got != want {
 			t.Fatalf("SerialFactor(0, %d) = %g, NICFactor says %g", active, got, want)
 		}
+	}
+}
+
+func TestHierarchyInduced(t *testing.T) {
+	mach := DragonflyLike(4, 2) // nodes of 4, groups of 2 nodes (span 8)
+	// Packed 8 ranks onto slots 0..7: two full nodes of one group.
+	packed := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	ih, ok := mach.Induced(packed)
+	if !ok {
+		t.Fatal("packed placement must induce a hierarchy")
+	}
+	if ih.Depth() != 3 || ih.Span(0) != 4 || ih.Span(1) != 8 {
+		t.Fatalf("packed induced shape wrong: depth=%d spans=%d/%d", ih.Depth(), ih.Span(0), ih.Span(1))
+	}
+	if err := ih.Validate(); err != nil {
+		t.Fatalf("induced hierarchy must validate: %v", err)
+	}
+	// Spread 4 ranks one per node across two groups: induced nodes of 1.
+	spread := []int{0, 4, 8, 12}
+	ih, ok = mach.Induced(spread)
+	if !ok {
+		t.Fatal("spread placement must induce a hierarchy")
+	}
+	if ih.Span(0) != 1 || ih.Span(1) != 2 {
+		t.Fatalf("spread induced shape wrong: spans=%d/%d", ih.Span(0), ih.Span(1))
+	}
+	// Induced and machine shared levels must agree rank-for-rank.
+	for a := range spread {
+		for b := range spread {
+			if got, want := ih.SharedLevel(a, b), mach.SharedLevel(spread[a], spread[b]); got != want {
+				t.Fatalf("induced SharedLevel(%d, %d) = %d, machine says %d", a, b, got, want)
+			}
+		}
+	}
+	// Irregular placement (3 slots on one node, 1 on another) has no
+	// nested structure.
+	if _, ok := mach.Induced([]int{0, 1, 2, 4}); ok {
+		t.Fatal("irregular placement must not induce a hierarchy")
+	}
+	// Unsorted or empty slot lists are rejected.
+	if _, ok := mach.Induced([]int{4, 0}); ok {
+		t.Fatal("unsorted slots must be rejected")
+	}
+	if _, ok := mach.Induced(nil); ok {
+		t.Fatal("empty slots must be rejected")
 	}
 }
 

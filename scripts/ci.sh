@@ -11,15 +11,20 @@
 # deterministic sweeps as
 # BENCH_2.json (contention model), BENCH_3.json (k-way merge/scratch),
 # BENCH_4.json (hierarchy-depth ablation), BENCH_5.json (runtime
-# adaptation ablation), and BENCH_7.json (overlap/bucketing ablation plus
-# the chunked-pipeline cost-model validation), hard-failing if any drifts
+# adaptation ablation), BENCH_7.json (overlap/bucketing ablation plus
+# the chunked-pipeline cost-model validation), and BENCH_8.json (the
+# multi-tenant cluster sweep plus the pinned adapt-diversity cells),
+# hard-failing if any drifts
 # from the committed files. BENCH_5's acceptance invariants (adaptive
 # beats static-uniform on clustered/drifting workloads, within noise
 # elsewhere) are enforced by TestBench5AcceptanceCriteria against the
-# committed file during the test phase, and BENCH_7's (bucketed beats
+# committed file during the test phase, BENCH_7's (bucketed beats
 # per-layer and fused on both workloads, pipeline model within its error
-# band) by TestBench7AcceptanceCriteria/TestBench7PipelineModelBand, so a
-# drift that regresses either fails twice. BENCH_6.json (the
+# band) by TestBench7AcceptanceCriteria/TestBench7PipelineModelBand, and
+# BENCH_8's (full mix concurrent, cost-aware strictly beats random on
+# mean predicted job time, packed holds slowdown 1.0 on exclusive
+# groups) by TestBench8AcceptanceCriteria/TestBench8AdaptDiversity, so a
+# drift that regresses any fails twice. BENCH_6.json (the
 # execution-backend comparison) carries measured wall times, so it is NOT
 # drift-gated; the transport smoke plus the equivalence/calibration tests
 # enforce its deterministic claims instead. BENCH_7's wall-clock overlap
@@ -44,13 +49,13 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo "== doccheck (exported symbols need doc comments)"
-go run ./tools/doccheck . ./internal/simnet ./internal/comm ./internal/core ./internal/adapt ./internal/scenario
+go run ./tools/doccheck . ./internal/simnet ./internal/comm ./internal/core ./internal/adapt ./internal/scenario ./internal/cluster
 
 echo "== docdrift (docs tables must name real identifiers)"
 go run ./tools/docdrift -root . docs/COLLECTIVES.md docs/ARCHITECTURE.md
 
-echo "== go test -race (comm + core + adapt + stream + scenario + train: real transports, parallel merge, lazy RNG streams, chunked pipelines + bucket scheduler)"
-go test -race ./internal/comm/... ./internal/core/... ./internal/adapt/... ./internal/stream/... ./internal/scenario/... ./internal/train/...
+echo "== go test -race (comm + core + adapt + stream + scenario + train + cluster: real transports, parallel merge, lazy RNG streams, chunked pipelines + bucket scheduler, multi-tenant event loop)"
+go test -race ./internal/comm/... ./internal/core/... ./internal/adapt/... ./internal/stream/... ./internal/scenario/... ./internal/train/... ./internal/cluster/...
 
 echo "== transport smoke (goroutine + loopback TCP backends, wall clock)"
 go run ./cmd/sparbench -sweep transport -transport all > /dev/null
@@ -66,8 +71,9 @@ tmp_bench3=$(mktemp)
 tmp_bench4=$(mktemp)
 tmp_bench5=$(mktemp)
 tmp_bench7=$(mktemp)
+tmp_bench8=$(mktemp)
 tmp_replay=$(mktemp -d)
-trap 'rm -f "$tmp_bench" "$tmp_bench3" "$tmp_bench4" "$tmp_bench5" "$tmp_bench7"; rm -rf "$tmp_replay"' EXIT
+trap 'rm -f "$tmp_bench" "$tmp_bench3" "$tmp_bench4" "$tmp_bench5" "$tmp_bench7" "$tmp_bench8"; rm -rf "$tmp_replay"' EXIT
 
 echo "== replay determinism (record a scenario trace, replay it, diff against the live run)"
 go run ./cmd/sparreplay -record -scenario clustered -out "$tmp_replay/t.trace"
@@ -119,6 +125,14 @@ go run ./cmd/sparbench -sweep overlap -json > "$tmp_bench7"
 if ! cmp -s "$tmp_bench7" BENCH_7.json; then
   cp "$tmp_bench7" BENCH_7.json
   echo "BENCH_7.json drifted from the committed sweep — regenerated it; commit the update" >&2
+  exit 1
+fi
+
+echo "== record BENCH_8.json (multi-tenant cluster sweep + pinned adapt-diversity cells; simulated metrics only, deterministic — doubles as the cluster sweep smoke)"
+go run ./cmd/sparbench -sweep cluster -json > "$tmp_bench8"
+if ! cmp -s "$tmp_bench8" BENCH_8.json; then
+  cp "$tmp_bench8" BENCH_8.json
+  echo "BENCH_8.json drifted from the committed sweep — regenerated it; commit the update" >&2
   exit 1
 fi
 

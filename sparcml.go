@@ -24,9 +24,11 @@ package sparcml
 
 import (
 	"repro/internal/adapt"
+	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/quant"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/stream"
 )
@@ -563,6 +565,75 @@ func (c *Comm) Alltoall(pieces []*Vector) []*Vector {
 func (c *Comm) DrydenAllreduce(v *Vector, k int) (result, postponed *Vector) {
 	return core.DrydenAllreduce(c.proc, v, k)
 }
+
+// SimulationKey is the determinism key of one workload-generation run:
+// every random stream (scenario draws, cluster jitter, random placement)
+// derives from (key, stream name), so equal keys replay byte-identical
+// runs. See scenario.SimulationKey.
+type SimulationKey = scenario.SimulationKey
+
+// NewSimulationKey builds a SimulationKey from a user-facing seed.
+func NewSimulationKey(seed int64) SimulationKey { return scenario.NewKey(seed) }
+
+// WorkloadScenario is a declarative workload: dimension, world size, call
+// count, and the density/support/drift schedules the deterministic
+// generator realizes. See scenario.Scenario for the schedule fields.
+type WorkloadScenario = scenario.Scenario
+
+// ScenarioByName looks up a named workload in the scenario library.
+func ScenarioByName(name string) (WorkloadScenario, error) { return scenario.ByName(name) }
+
+// ScenarioNames lists every library workload in sorted order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// Cluster is the multi-tenant cluster simulator: one shared machine
+// hierarchy hosting concurrent jobs gang-scheduled by a Placement policy
+// and advanced on a shared virtual clock, with cross-job contention
+// served dynamically from in-flight flow counters. See internal/cluster.
+type Cluster = cluster.Cluster
+
+// ClusterConfig configures a Cluster: the machine, its slot count, the
+// determinism key, and the straggler/arrival jitter knobs.
+type ClusterConfig = cluster.Config
+
+// ClusterJob declares one workload to admit to a Cluster.
+type ClusterJob = cluster.Job
+
+// ClusterJobStats is one cluster job's outcome: arrival/admission/finish
+// times, simulated collective seconds, the admission-time cost prediction,
+// and the pinned algorithm.
+type ClusterJobStats = cluster.JobStats
+
+// Placement gang-schedules a cluster job's ranks onto machine slots.
+type Placement = cluster.Placement
+
+// The placement policies: lowest free slots (Packed), uniform stride
+// across the machine (Spread), uniform random slots from the job's
+// isolated stream (RandomPlacement), and cost-model-driven candidate
+// search (CostAware).
+type (
+	// Packed places jobs on the lowest free slots.
+	Packed = cluster.Packed
+	// Spread places jobs at a uniform stride across the free slots.
+	Spread = cluster.Spread
+	// RandomPlacement places jobs on random free slots.
+	RandomPlacement = cluster.Random
+	// CostAware prices candidate placements with the Auto cost model and
+	// takes the cheapest.
+	CostAware = cluster.CostAware
+)
+
+// NewCluster creates a cluster over cfg.Slots slots of cfg.Machine,
+// placing jobs with the given policy:
+//
+//	c := sparcml.NewCluster(sparcml.ClusterConfig{
+//	    Machine: sparcml.DragonflyLike(4, 2), Slots: 64,
+//	    Key: sparcml.NewSimulationKey(1),
+//	}, sparcml.CostAware{})
+//	sc, _ := sparcml.ScenarioByName("clustered")
+//	c.Add(sparcml.ClusterJob{Name: "trainer-0", Scenario: sc})
+//	stats := c.Run()
+func NewCluster(cfg ClusterConfig, place Placement) *Cluster { return cluster.New(cfg, place) }
 
 // Request is a handle on a nonblocking collective.
 type Request struct {
