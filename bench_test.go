@@ -585,6 +585,88 @@ func TestSketchOverheadBudget(t *testing.T) {
 	}
 }
 
+// BenchmarkObsDisabledOverhead is the PR-10 observability acceptance
+// bench: the BENCH_3-shaped P=16 split-phase merge allreduce with no
+// hub attached (the default, where every hook is one nil field check)
+// versus with EnableObservability recording every send and phase.
+// Compare the two sub-benchmark times; TestObsDisabledOverheadBudget
+// enforces the disabled-path budget in the test suite.
+func BenchmarkObsDisabledOverhead(b *testing.B) {
+	const n, k, P = 1 << 18, 2000, 16
+	inputs := randSparseInputs(31*P, n, k, P)
+	run := func(b *testing.B, observe bool) {
+		for i := 0; i < b.N; i++ {
+			// Fresh world per op so the enabled arm's span buffers do not
+			// accumulate across iterations and skew the comparison.
+			w := comm.NewWorld(P, simnet.Aries)
+			if observe {
+				w.EnableObservability()
+			}
+			comm.Run(w, func(p *comm.Proc) any {
+				return core.Allreduce(p, inputs[p.Rank()],
+					core.Options{Algorithm: core.SSARSplitAllgather})
+			})
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
+}
+
+// TestObsDisabledOverheadBudget enforces the observability acceptance:
+// with no hub attached, the instrumentation left in the hot paths must
+// cost under 1% of the P=16 split-phase merge allreduce it rides in. The
+// per-hook disabled cost (one nil field check, measured in a rank
+// goroutine) is multiplied by a deliberately generous hook count per
+// call — every send plus every phase bracket at P=16 stays well under
+// 16·P — and, like TestSketchOverheadBudget, the 1% budget is enforced
+// at 10× slack so a noisy CI machine cannot flake the suite while a
+// regression that puts real work (an allocation, a lock) on the disabled
+// path still fails loudly. Zero-allocation of the same path is asserted
+// exactly in internal/comm's TestDisabledObsZeroAllocs.
+func TestObsDisabledOverheadBudget(t *testing.T) {
+	const n, k, P, reps = 1 << 18, 2000, 16, 20
+	inputs := randSparseInputs(31*P, n, k, P)
+	w := comm.NewWorld(P, simnet.Aries)
+	call := func() {
+		comm.Run(w, func(p *comm.Proc) any {
+			return core.Allreduce(p, inputs[p.Rank()],
+				core.Options{Algorithm: core.SSARSplitAllgather})
+		})
+	}
+	call() // warm scratch and scheduler state
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		call()
+	}
+	perCall := time.Since(start) / reps
+
+	// Disabled hook cost, measured where the hooks actually run: inside a
+	// rank goroutine of a world that never called EnableObservability.
+	const hookReps = 1 << 20
+	var hooks time.Duration
+	comm.Run(w, func(p *comm.Proc) any {
+		if p.Rank() != 0 {
+			return nil
+		}
+		begin := time.Now()
+		for i := 0; i < hookReps; i++ {
+			p.SpanBegin("probe")
+			p.SpanEnd()
+		}
+		hooks = time.Since(begin)
+		return nil
+	})
+	perHook := hooks / (2 * hookReps)
+	const hooksPerCall = 16 * P
+	estimated := perHook * hooksPerCall
+	ratio := float64(estimated) / float64(perCall)
+	t.Logf("disabled hooks ≈ %.3f%% of merge call (%v/hook × %d hooks vs %v/call)",
+		ratio*100, perHook, hooksPerCall, perCall)
+	if ratio > 0.10 {
+		t.Fatalf("disabled observability costs %.2f%% of the split-phase merge call; budget is 1%% (enforced here at 10x slack)", ratio*100)
+	}
+}
+
 // BenchmarkAblationQuantBits measures the DSAR allreduce at 2/4/8-bit
 // quantization versus full precision.
 func BenchmarkAblationQuantBits(b *testing.B) {

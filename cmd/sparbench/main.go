@@ -21,8 +21,11 @@
 //	sparbench -sweep transport  [-transport goroutine|tcp|all] [-json]
 //	sparbench -sweep overlap    [-json]
 //	sparbench -sweep overlapwall [-runs 5]
-//	sparbench -replay t.trace   [-rpn 4] [-nic 1] [-json]  # re-run a recorded adaptation cell
+//	sparbench -replay t.trace   [-rpn 4] [-nic 1] [-json] [-obs trace.json] [-obsmetrics m.txt]
 //	sparbench -csv  # machine-readable output
+//
+// Any invocation also takes -cpuprofile/-memprofile to write pprof
+// profiles of the run (inspect with `go tool pprof`).
 package main
 
 import (
@@ -34,10 +37,13 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/simnet"
@@ -74,9 +80,39 @@ func run(args []string, stdout io.Writer) error {
 		jsonOut   = fs.Bool("json", false, "for -sweep contention: emit the BENCH_2-format JSON document")
 		trace     = fs.Bool("trace", false, "dump a message timeline of one SSAR_Recursive_double allreduce and exit")
 		replayF   = fs.String("replay", "", "workload trace file: replay one adaptation cell from it and exit (record with cmd/sparreplay)")
+		obsOut    = fs.String("obs", "", "for -replay: write the adaptive arm's Chrome trace-event JSON (Perfetto) here")
+		obsMet    = fs.String("obsmetrics", "", "for -replay: write the adaptive arm's plain-text metrics dump here")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run here")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile (after the run) here")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
 	}
 
 	if *replayF != "" {
@@ -84,7 +120,16 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		row := experiments.ReplayAdaptCell(*rpn, *nic, tr)
+		var row experiments.AdaptRow
+		if *obsOut != "" || *obsMet != "" {
+			var hub *obs.Obs
+			row, hub = experiments.ReplayAdaptCellObs(*rpn, *nic, tr)
+			if err := exportObs(hub, *obsOut, *obsMet); err != nil {
+				return err
+			}
+		} else {
+			row = experiments.ReplayAdaptCell(*rpn, *nic, tr)
+		}
 		if *jsonOut {
 			enc := json.NewEncoder(stdout)
 			enc.SetIndent("", "  ")
@@ -721,6 +766,38 @@ func emitBench8(w io.Writer, rows []experiments.ClusterRow, summaries []experime
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// exportObs writes the hub's Chrome trace and/or metrics dump to the
+// given paths (empty path = skip).
+func exportObs(hub *obs.Obs, tracePath, metricsPath string) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := hub.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := hub.WriteMetrics(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func flagPassed(fs *flag.FlagSet, name string) bool {

@@ -10,9 +10,11 @@
 //	sparreplay -scenario clustered [-seed 701] [-rpn 4] [-nic 1] [-json]   # live run
 //	sparreplay -record -scenario clustered -out clustered.trace [-seed 701]
 //	sparreplay -replay clustered.trace [-rpn 4] [-nic 1] [-json]
+//	sparreplay -scenario lstm -obs trace.json [-obsmetrics metrics.txt]
 //
 // A live run and a replay of its recorded trace emit identical bytes —
-// scripts/ci.sh diffs exactly that.
+// scripts/ci.sh diffs exactly that, including the -obs Perfetto export:
+// replaying a recorded trace reproduces the live timeline byte for byte.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scenario"
 )
@@ -52,6 +55,8 @@ func run(args []string, stdout io.Writer) error {
 		rpn     = fs.Int("rpn", 4, "ranks per node of the simulated topology")
 		nic     = fs.Int("nic", 1, "per-node NIC serialization cap")
 		jsonOut = fs.Bool("json", false, "emit the cell row as JSON instead of a table")
+		obsOut  = fs.String("obs", "", "write the adaptive arm's Chrome trace-event JSON (Perfetto) here")
+		obsMet  = fs.String("obsmetrics", "", "write the adaptive arm's plain-text metrics dump here")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +78,13 @@ func run(args []string, stdout io.Writer) error {
 		tr, err := scenario.ReadFile(*replay)
 		if err != nil {
 			return err
+		}
+		if *obsOut != "" || *obsMet != "" {
+			row, hub := experiments.ReplayAdaptCellObs(*rpn, *nic, tr)
+			if err := writeObs(hub, *obsOut, *obsMet); err != nil {
+				return err
+			}
+			return emitRow(stdout, row, *jsonOut)
 		}
 		return emitRow(stdout, experiments.ReplayAdaptCell(*rpn, *nic, tr), *jsonOut)
 	}
@@ -99,7 +111,46 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	if *obsOut != "" || *obsMet != "" {
+		row, hub := experiments.RunAdaptCellObs(*rpn, *nic, sc, key)
+		if err := writeObs(hub, *obsOut, *obsMet); err != nil {
+			return err
+		}
+		return emitRow(stdout, row, *jsonOut)
+	}
 	return emitRow(stdout, experiments.RunAdaptCell(*rpn, *nic, sc, key), *jsonOut)
+}
+
+// writeObs exports the hub's Chrome trace and/or metrics dump to the
+// given paths (empty path = skip).
+func writeObs(hub *obs.Obs, tracePath, metricsPath string) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := hub.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := hub.WriteMetrics(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // emitRow prints one adaptation-cell row. The JSON form is byte-stable:

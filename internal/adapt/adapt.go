@@ -126,6 +126,11 @@ type Controller struct {
 
 	buckets        []bucketHold
 	bucketSwitches int
+
+	// decisions is the structured decision history (see DecisionEvent),
+	// capped at maxDecisionHistory; calls counts decided calls.
+	decisions []DecisionEvent
+	calls     int
 }
 
 // bucketHold is one bucket's hysteresis state machine in the per-bucket
@@ -149,16 +154,16 @@ type bucketHold struct {
 // state, so flapping is harmless and hysteresis would only delay the
 // cheaper schedule. All inputs are agreed quantities, so every rank's
 // state machines transition identically.
-func (h *bucketHold) decide(cfg Config, candAlg core.Algorithm, candLevels, candChunks int, s core.CostScenario, switches *int) (core.Algorithm, int, int) {
+func (h *bucketHold) decide(cfg Config, candAlg core.Algorithm, candLevels, candChunks int, s core.CostScenario, switches *int) (core.Algorithm, int, int, bool, string) {
 	if !h.started {
 		h.started = true
 		h.curAlg, h.curLevels, h.curChunks = candAlg, candLevels, candChunks
-		return h.curAlg, h.curLevels, h.curChunks
+		return h.curAlg, h.curLevels, h.curChunks, false, ReasonAdopt
 	}
 	if candAlg == h.curAlg && candLevels == h.curLevels {
 		h.pendCount = 0
 		h.curChunks = candChunks
-		return h.curAlg, h.curLevels, h.curChunks
+		return h.curAlg, h.curLevels, h.curChunks, false, ReasonKeep
 	}
 	scCur, scCand := s, s
 	scCur.Levels, scCur.Chunks = h.curLevels, h.curChunks
@@ -175,11 +180,12 @@ func (h *bucketHold) decide(cfg Config, candAlg core.Algorithm, candLevels, cand
 			h.curAlg, h.curLevels, h.curChunks = candAlg, candLevels, candChunks
 			h.pendCount = 0
 			*switches++
+			return h.curAlg, h.curLevels, h.curChunks, true, ReasonSwitch
 		}
-	} else {
-		h.pendCount = 0
+		return h.curAlg, h.curLevels, h.curChunks, false, ReasonHold
 	}
-	return h.curAlg, h.curLevels, h.curChunks
+	h.pendCount = 0
+	return h.curAlg, h.curLevels, h.curChunks, false, ReasonMargin
 }
 
 // NewController returns a fresh per-rank controller.
@@ -241,7 +247,12 @@ func (a *Controller) Allreduce(p *comm.Proc, v *stream.Vector, opts core.Options
 	}
 	s := a.agreeScenario(p, v, opts)
 	candAlg, candLevels, _ := core.ChooseAutoLevels(s)
-	alg, levels := a.decide(candAlg, candLevels, s)
+	alg, levels, switched, reason := a.decide(candAlg, candLevels, s)
+	a.recordDecision(p, DecisionEvent{Call: a.calls, Bucket: -1,
+		Algorithm: alg, Levels: levels, Support: s.Support,
+		PredictedSeconds: predictFor(alg, levels, 0, s),
+		Switched:         switched, Reason: reason})
+	a.calls++
 	opts.Algorithm, opts.Levels = alg, levels
 	opts.Support, opts.HotFraction, opts.HotMass = s.Support, s.HotFraction, s.HotMass
 	return core.Allreduce(p, v, opts)
@@ -279,7 +290,12 @@ func (a *Controller) Plan(p *comm.Proc, vs []*stream.Vector, opts core.Options) 
 	}
 	s := a.agreeScenario(p, rep, opts)
 	candAlg, candLevels, _ := core.ChooseAutoLevels(s)
-	alg, levels := a.decide(candAlg, candLevels, s)
+	alg, levels, switched, reason := a.decide(candAlg, candLevels, s)
+	a.recordDecision(p, DecisionEvent{Call: a.calls, Bucket: -1,
+		Algorithm: alg, Levels: levels, Support: s.Support,
+		PredictedSeconds: predictFor(alg, levels, 0, s),
+		Switched:         switched, Reason: reason})
+	a.calls++
 	opts.Algorithm, opts.Levels = alg, levels
 	opts.Support, opts.HotFraction, opts.HotMass = s.Support, s.HotFraction, s.HotMass
 	return opts
@@ -339,10 +355,15 @@ func (a *Controller) PlanBuckets(p *comm.Proc, sched *core.BucketScheduler, cont
 			out[b].Chunks = core.ChooseChunks(opts.Algorithm, s)
 			continue
 		}
-		alg, levels, chunks := a.buckets[b].decide(a.cfg, candAlg, candLevels, candChunks, s, &a.bucketSwitches)
+		alg, levels, chunks, switched, reason := a.buckets[b].decide(a.cfg, candAlg, candLevels, candChunks, s, &a.bucketSwitches)
+		a.recordDecision(p, DecisionEvent{Call: a.calls, Bucket: b,
+			Algorithm: alg, Levels: levels, Chunks: chunks, Support: s.Support,
+			PredictedSeconds: predictFor(alg, levels, chunks, s),
+			Switched:         switched, Reason: reason})
 		out[b].Algorithm, out[b].Levels, out[b].Chunks = alg, levels, chunks
 		out[b].Support, out[b].HotFraction, out[b].HotMass = s.Support, s.HotFraction, s.HotMass
 	}
+	a.calls++
 	return out
 }
 
@@ -464,15 +485,15 @@ func calibrated(base simnet.Profile, alpha, beta float64) simnet.Profile {
 // SwitchMargin cheaper for HoldCalls consecutive decisions. All inputs
 // are agreed quantities, so every rank's state machine transitions
 // identically.
-func (a *Controller) decide(candAlg core.Algorithm, candLevels int, s core.CostScenario) (core.Algorithm, int) {
+func (a *Controller) decide(candAlg core.Algorithm, candLevels int, s core.CostScenario) (core.Algorithm, int, bool, string) {
 	if !a.started {
 		a.started = true
 		a.curAlg, a.curLevels = candAlg, candLevels
-		return a.curAlg, a.curLevels
+		return a.curAlg, a.curLevels, false, ReasonAdopt
 	}
 	if candAlg == a.curAlg && candLevels == a.curLevels {
 		a.pendCount = 0
-		return a.curAlg, a.curLevels
+		return a.curAlg, a.curLevels, false, ReasonKeep
 	}
 	scCur, scCand := s, s
 	scCur.Levels = a.curLevels
@@ -489,11 +510,12 @@ func (a *Controller) decide(candAlg core.Algorithm, candLevels int, s core.CostS
 			a.curAlg, a.curLevels = candAlg, candLevels
 			a.pendCount = 0
 			a.switches++
+			return a.curAlg, a.curLevels, true, ReasonSwitch
 		}
-	} else {
-		a.pendCount = 0
+		return a.curAlg, a.curLevels, false, ReasonHold
 	}
-	return a.curAlg, a.curLevels
+	a.pendCount = 0
+	return a.curAlg, a.curLevels, false, ReasonMargin
 }
 
 // clamp bounds x to [lo, hi].

@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/stream"
@@ -50,6 +52,12 @@ type Config struct {
 	// ArrivalJitter delays each job's start by a uniform [0, ArrivalJitter)
 	// seconds drawn from the job's arrival stream. Zero consumes no draws.
 	ArrivalJitter float64
+	// Obs, when non-nil, receives the cluster's job lifecycle on the
+	// shared virtual clock: each job gets a named track carrying
+	// job:arrive / job:queued / job:admit / job:step / job:finish events.
+	// The event loop is single-threaded, so the recorded order is
+	// deterministic. Nil disables observability at zero cost.
+	Obs *obs.Obs
 }
 
 // Job declares one workload to admit: a scenario-library workload with
@@ -179,6 +187,11 @@ func (c *Cluster) Add(j Job) {
 	}
 	js.stats = JobStats{Name: j.Name, P: j.Scenario.P, Steps: j.Scenario.Calls, Arrived: js.arrived}
 	c.jobs = append(c.jobs, js)
+	if tr := c.cfg.Obs.Named(j.Name); tr != nil {
+		tr.Instant("job:arrive", js.arrived,
+			obs.Attr{Key: "p", Value: strconv.Itoa(j.Scenario.P)},
+			obs.Attr{Key: "steps", Value: strconv.Itoa(j.Scenario.Calls)})
+	}
 }
 
 // Run executes the discrete-event loop until every declared job has
@@ -227,6 +240,9 @@ func (c *Cluster) Run() []JobStats {
 			continue
 		}
 		js.stats.Finished = c.now
+		if tr := c.cfg.Obs.Named(js.decl.Name); tr != nil {
+			tr.Instant("job:finish", c.now)
+		}
 		for _, s := range js.slots {
 			c.free[s] = true
 		}
@@ -394,6 +410,13 @@ func (c *Cluster) admit(js *jobState, slots []int) {
 	cost.Levels, cost.Chunks = levels, chunks
 	js.stats.PredictedStep = core.PredictSeconds(alg, cost)
 	js.stats.PredictedJob = js.stats.PredictedStep * float64(len(js.sched))
+	if tr := c.cfg.Obs.Named(js.decl.Name); tr != nil {
+		tr.Event("job:queued", js.arrived, c.now)
+		tr.Instant("job:admit", c.now,
+			obs.Attr{Key: "slots", Value: fmt.Sprint(slots)},
+			obs.Attr{Key: "predicted_step_s",
+				Value: strconv.FormatFloat(js.stats.PredictedStep, 'g', -1, 64)})
+	}
 	c.startStep(js)
 }
 
@@ -447,4 +470,10 @@ func (c *Cluster) startStep(js *jobState) {
 	js.stats.SimSeconds += dt
 	js.done = c.now + dt
 	js.running = true
+	if tr := c.cfg.Obs.Named(js.decl.Name); tr != nil {
+		tr.Event("job:step", c.now, js.done,
+			obs.Attr{Key: "step", Value: strconv.Itoa(js.step)},
+			obs.Attr{Key: "alg", Value: js.stats.Algorithm})
+		c.cfg.Obs.Metrics().Counter("cluster.steps").Inc(0)
+	}
 }

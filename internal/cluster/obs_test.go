@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// TestClusterJobLifecycleSpans: with an obs hub attached, every job gets
+// a named track whose events tell the full lifecycle story in order:
+// job:arrive → job:queued → job:admit → job:step… → job:finish, with the
+// queued span covering [arrived, admitted] and step count matching the
+// scenario.
+func TestClusterJobLifecycleSpans(t *testing.T) {
+	hub := obs.New(0, obs.ClockVirtual)
+	c := New(Config{
+		Machine: testMachine(), Slots: 16,
+		Key: scenario.NewKey(7), Obs: hub,
+	}, Packed{})
+	c.Add(smallJob("alpha", 16, 3, 0)) // fills the machine
+	c.Add(smallJob("beta", 8, 2, 0))   // must queue behind alpha
+	stats := c.Run()
+
+	byJob := map[string][]obs.Span{}
+	for _, s := range hub.Spans() {
+		byJob[s.Track] = append(byJob[s.Track], s)
+	}
+	for i, st := range stats {
+		spans := byJob[st.Name]
+		if len(spans) == 0 {
+			t.Fatalf("job %q: no spans on its named track", st.Name)
+		}
+		count := map[string]int{}
+		for _, s := range spans {
+			count[s.Name]++
+		}
+		if count["job:arrive"] != 1 || count["job:queued"] != 1 ||
+			count["job:admit"] != 1 || count["job:finish"] != 1 {
+			t.Fatalf("job %q lifecycle counts: %v", st.Name, count)
+		}
+		if count["job:step"] != st.Steps {
+			t.Fatalf("job %q: %d job:step events, want %d", st.Name, count["job:step"], st.Steps)
+		}
+		for _, s := range spans {
+			switch s.Name {
+			case "job:arrive":
+				if !s.Instant || s.Start != st.Arrived {
+					t.Fatalf("job %q arrive at %g, want instant at %g", st.Name, s.Start, st.Arrived)
+				}
+			case "job:queued":
+				if s.Start != st.Arrived || s.End != st.Admitted {
+					t.Fatalf("job %q queued [%g,%g], want [%g,%g]",
+						st.Name, s.Start, s.End, st.Arrived, st.Admitted)
+				}
+			case "job:finish":
+				if !s.Instant || s.Start != st.Finished {
+					t.Fatalf("job %q finish at %g, want %g", st.Name, s.Start, st.Finished)
+				}
+			case "job:step":
+				if s.End <= s.Start {
+					t.Fatalf("job %q: empty step span %+v", st.Name, s)
+				}
+			}
+		}
+		// The second job queues behind the first on a full machine.
+		if i == 1 && st.Admitted <= st.Arrived {
+			t.Fatalf("job %q admitted at %g despite full machine at arrival %g",
+				st.Name, st.Admitted, st.Arrived)
+		}
+	}
+	wantSteps := int64(stats[0].Steps + stats[1].Steps)
+	if got := hub.Metrics().Counter("cluster.steps").Value(); got != wantSteps {
+		t.Fatalf("cluster.steps = %d, want %d", got, wantSteps)
+	}
+}
+
+// TestClusterObsDisabledIdentical: attaching an obs hub must not perturb
+// the simulation — stats with and without observability are identical.
+func TestClusterObsDisabledIdentical(t *testing.T) {
+	run := func(hub *obs.Obs) []JobStats {
+		c := New(Config{
+			Machine: testMachine(), Slots: 32,
+			Key: scenario.NewKey(42), Jitter: 0.2, Obs: hub,
+		}, CostAware{})
+		c.Add(smallJob("a", 8, 3, 0))
+		c.Add(smallJob("b", 16, 2, 1e-4))
+		return c.Run()
+	}
+	plain := run(nil)
+	observed := run(obs.New(0, obs.ClockVirtual))
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("stats diverged with obs attached:\n%+v\nvs\n%+v", plain, observed)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -84,6 +85,12 @@ type World struct {
 
 	// tracer, when non-nil, records every Send (see trace.go).
 	tracer atomic.Pointer[Tracer]
+
+	// obs, when non-nil, is the observability hub plus the cached
+	// hot-path metric handles (see obs.go). Installed by
+	// EnableObservability before Run; nil means disabled, and every
+	// instrumentation site costs one pointer comparison.
+	obs *worldObs
 }
 
 type mailbox struct {
@@ -117,6 +124,7 @@ func (w *World) setTransport(t Transport) {
 	w.transport = t
 	w.wall = t.Wall()
 	w.epoch.Store(time.Now().UnixNano())
+	w.syncObsClock()
 }
 
 // Transport returns the name of the world's execution backend: "sim" (the
@@ -373,6 +381,11 @@ type Proc struct {
 	// modeled count of flows contending for the group's egress (see
 	// activeAt). A zero entry means not yet computed.
 	levelUsers []int
+
+	// obs is this rank's span track, cached at Proc creation (Run, Sub,
+	// Fork) so the disabled path is a plain nil field check. Nil when
+	// the world's observability is disabled.
+	obs *obs.Track
 }
 
 // Rank returns this process's rank in [0, Size) — group-local on a
@@ -461,7 +474,7 @@ func (p *Proc) Sub(ranks []int) *Proc {
 	if idx < 0 {
 		panic(fmt.Sprintf("comm: Sub group %v does not contain caller rank %d", ranks, p.rank))
 	}
-	s := &Proc{rank: p.rank, world: p.world, group: ranks, groupRank: idx}
+	s := &Proc{rank: p.rank, world: p.world, group: ranks, groupRank: idx, obs: p.obs}
 	s.clock.Observe(p.clock.Now())
 	return s
 }
@@ -647,6 +660,9 @@ func (p *Proc) recordSend(dst, tag, bytes int, start, arrival, factor float64, l
 		tr.record(TraceEvent{Src: p.rank, Dst: dst, Tag: tag, Bytes: bytes,
 			SendTime: start, Arrival: arrival, NICFactor: factor, Level: level})
 	}
+	if ob := p.world.obs; ob != nil {
+		p.observeSend(ob, dst, tag, bytes, start, arrival, level)
+	}
 }
 
 // deliver enqueues a message into the destination world rank's mailbox.
@@ -720,7 +736,7 @@ func (p *Proc) SendRecv(peer, tag int, payload any, bytes int) Message {
 // forking, so concurrent operations never collide.
 func (p *Proc) Fork() *Proc {
 	f := &Proc{rank: p.rank, world: p.world, group: p.group, groupRank: p.groupRank,
-		levelUsers: append([]int(nil), p.levelUsers...)}
+		levelUsers: append([]int(nil), p.levelUsers...), obs: p.obs}
 	f.clock.Observe(p.clock.Now())
 	return f
 }
@@ -774,6 +790,9 @@ func Run[R any](w *World, f func(*Proc) R) []R {
 				}
 			}()
 			p := &Proc{rank: rank, world: w}
+			if w.obs != nil {
+				p.obs = w.obs.hub.Rank(rank)
+			}
 			results[rank] = f(p)
 			w.times[rank] = p.Now()
 		}(r)

@@ -1,0 +1,104 @@
+package comm
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// worldObs bundles a world's observability hub with the metric handles
+// the send hot path needs, resolved once at enable time so recordSend
+// never takes the registry lock.
+type worldObs struct {
+	hub       *obs.Obs
+	sends     *obs.Counter
+	sendBytes *obs.Counter
+	wire      *obs.Histogram
+}
+
+// EnableObservability attaches an observability hub to the world: one
+// span track per rank plus a metrics registry, on the transport's clock
+// (virtual on the simulator, wall on goroutine/TCP). Call it before
+// Run — ranks cache their track when they start. Idempotent: repeated
+// calls return the same hub. A world that never calls this carries nil
+// handles everywhere and pays one pointer comparison (zero allocations)
+// per instrumentation site.
+func (w *World) EnableObservability() *obs.Obs {
+	if w.obs != nil {
+		return w.obs.hub
+	}
+	hub := obs.New(w.p, w.obsClock())
+	reg := hub.Metrics()
+	w.obs = &worldObs{
+		hub:       hub,
+		sends:     reg.Counter("comm.sends"),
+		sendBytes: reg.Counter("comm.send_bytes"),
+		wire:      reg.Histogram("comm.wire_seconds"),
+	}
+	return hub
+}
+
+// Observability returns the world's hub, or nil when observability was
+// never enabled.
+func (w *World) Observability() *obs.Obs {
+	if w.obs == nil {
+		return nil
+	}
+	return w.obs.hub
+}
+
+// obsClock maps the transport's clock mode to the hub's clock label.
+func (w *World) obsClock() obs.Clock {
+	if w.wall {
+		return obs.ClockWall
+	}
+	return obs.ClockVirtual
+}
+
+// syncObsClock re-labels the hub's clock after a transport change
+// (EnableObservability before UseGoroutineTransport, say).
+func (w *World) syncObsClock() {
+	if w.obs != nil {
+		w.obs.hub.SetClock(w.obsClock())
+	}
+}
+
+// Obs returns this rank's span track, or nil when observability is
+// disabled — callers building attribute lists must guard on it, because
+// variadic arguments are materialized before any nil check can run.
+func (p *Proc) Obs() *obs.Track { return p.obs }
+
+// SpanBegin opens a span named name at the rank's current time on its
+// main lane. Free (one nil check, no allocations) when observability is
+// disabled.
+func (p *Proc) SpanBegin(name string) {
+	if p.obs != nil {
+		p.obs.Begin(name, p.Now())
+	}
+}
+
+// SpanEnd closes the innermost span opened by SpanBegin at the rank's
+// current time. Free when observability is disabled.
+func (p *Proc) SpanEnd() {
+	if p.obs != nil {
+		p.obs.End(p.Now())
+	}
+}
+
+// observeSend is recordSend's enabled-path tail: bump the sharded
+// counters and record the message as a span on the rank's net lane
+// (sends get their own lane because a message's arrival can outlive the
+// phase that sent it).
+func (p *Proc) observeSend(ob *worldObs, dst, tag, bytes int, start, arrival float64, level int) {
+	rank := p.rank
+	ob.sends.Inc(rank)
+	ob.sendBytes.Add(rank, int64(bytes))
+	ob.wire.Observe(rank, arrival-start)
+	if t := p.obs; t != nil {
+		t.EventLane(obs.LaneNet, "send", start, arrival,
+			obs.Attr{Key: "dst", Value: strconv.Itoa(dst)},
+			obs.Attr{Key: "tag", Value: strconv.Itoa(tag)},
+			obs.Attr{Key: "bytes", Value: strconv.Itoa(bytes)},
+			obs.Attr{Key: "level", Value: strconv.Itoa(level)})
+	}
+}

@@ -1,0 +1,138 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+// TestDisabledObsZeroAllocs is the disabled-path cost contract: a world
+// that never called EnableObservability must take zero allocations per
+// send-bookkeeping call and per span hook. The measurement runs inside a
+// rank goroutine, exactly where the hot path lives.
+func TestDisabledObsZeroAllocs(t *testing.T) {
+	w := NewWorld(1, simnet.Profile{Alpha: 1e-6})
+	got := Run(w, func(p *Proc) float64 {
+		return testing.AllocsPerRun(200, func() {
+			p.recordSend(0, 7, 64, 0, 1e-6, 1, 0)
+			p.SpanBegin("phase")
+			p.SpanEnd()
+		})
+	})
+	if got[0] != 0 {
+		t.Fatalf("disabled observability allocated %v times per send+span", got[0])
+	}
+	if p := w.Observability(); p != nil {
+		t.Fatal("Observability should be nil when never enabled")
+	}
+}
+
+func TestEnableObservabilityRecordsSends(t *testing.T) {
+	w := NewWorld(2, simnet.Profile{Alpha: 1e-6, BetaPerByte: 1e-9})
+	hub := w.EnableObservability()
+	if w.EnableObservability() != hub || w.Observability() != hub {
+		t.Fatal("EnableObservability not idempotent")
+	}
+	if hub.Clock() != obs.ClockVirtual {
+		t.Fatal("simulator world should report the virtual clock")
+	}
+	Run(w, func(p *Proc) any {
+		p.SpanBegin("exchange")
+		p.Send(1-p.Rank(), 3, nil, 64)
+		p.Recv(1-p.Rank(), 3)
+		p.SpanEnd()
+		return nil
+	})
+	reg := hub.Metrics()
+	if n := reg.Counter("comm.sends").Value(); n != 2 {
+		t.Fatalf("comm.sends = %d, want 2", n)
+	}
+	if b := reg.Counter("comm.send_bytes").Value(); b != 128 {
+		t.Fatalf("comm.send_bytes = %d, want 128", b)
+	}
+	if c := reg.Histogram("comm.wire_seconds").Count(); c != 2 {
+		t.Fatalf("comm.wire_seconds count = %d, want 2", c)
+	}
+	var sends, phases int
+	for _, s := range hub.Spans() {
+		switch {
+		case s.Lane == obs.LaneNet && s.Name == "send":
+			sends++
+			if s.End <= s.Start {
+				t.Fatalf("send span must have positive wire time: %+v", s)
+			}
+			if s.Attrs[0].Key != "dst" || s.Attrs[2].Key != "bytes" || s.Attrs[2].Value != "64" {
+				t.Fatalf("send span attrs wrong: %+v", s.Attrs)
+			}
+		case s.Name == "exchange":
+			phases++
+		}
+	}
+	if sends != 2 || phases != 2 {
+		t.Fatalf("sends=%d phases=%d, want 2/2", sends, phases)
+	}
+}
+
+// TestObsTrackFollowsSubAndFork checks that sub-communicator views and
+// forked procs keep reporting onto the owning rank's track, so spans
+// from hierarchical leader phases and nonblocking collectives land on
+// the right timeline.
+func TestObsTrackFollowsSubAndFork(t *testing.T) {
+	w := NewWorld(4, simnet.Profile{Alpha: 1e-6})
+	hub := w.EnableObservability()
+	Run(w, func(p *Proc) any {
+		if p.Rank() < 2 {
+			p.NextTagBase()
+			sub := p.Sub([]int{0, 1})
+			sub.SpanBegin("sub-phase")
+			sub.SpanEnd()
+			p.Join(sub)
+		}
+		f := p.Fork()
+		f.SpanBegin("forked")
+		f.SpanEnd()
+		p.Join(f)
+		return nil
+	})
+	byRank := map[int]int{}
+	for _, s := range hub.Spans() {
+		byRank[s.Rank]++
+		if s.Name == "sub-phase" && s.Rank > 1 {
+			t.Fatalf("sub span on wrong track: %+v", s)
+		}
+	}
+	for r := 0; r < 4; r++ {
+		want := 1 // "forked"
+		if r < 2 {
+			want = 2 // plus "sub-phase"
+		}
+		if byRank[r] != want {
+			t.Fatalf("rank %d has %d spans, want %d", r, byRank[r], want)
+		}
+	}
+}
+
+func TestObsClockFollowsTransport(t *testing.T) {
+	w := NewWorld(2, simnet.Profile{Alpha: 1e-6})
+	hub := w.EnableObservability()
+	w.UseGoroutineTransport()
+	if hub.Clock() != obs.ClockWall {
+		t.Fatal("hub clock should flip to wall when a real transport is attached")
+	}
+}
+
+// BenchmarkDisabledObsHooks measures the disabled-path cost of the
+// instrumentation added to the send path and the span hooks: a handful
+// of nil checks per call.
+func BenchmarkDisabledObsHooks(b *testing.B) {
+	w := NewWorld(1, simnet.Profile{Alpha: 1e-6})
+	Run(w, func(p *Proc) any {
+		for i := 0; i < b.N; i++ {
+			p.recordSend(0, 7, 64, 0, 1e-6, 1, 0)
+			p.SpanBegin("phase")
+			p.SpanEnd()
+		}
+		return nil
+	})
+}

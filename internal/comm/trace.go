@@ -199,10 +199,12 @@ func (t *Tracer) Rounds() (counts []int, bytes []int64) {
 	return counts, bytes
 }
 
-// Dump writes a human-readable timeline.
+// Dump writes a human-readable timeline, one line per event carrying
+// every TraceEvent field: send time, endpoints, tag, size, the priced
+// hierarchy level, the contention (NIC) factor, and the arrival time.
 func (t *Tracer) Dump(w io.Writer) {
 	for _, e := range t.Events() {
-		fmt.Fprintf(w, "%12.3fµs  %2d → %2d  tag=%-8d %8dB  arrives %12.3fµs\n",
-			e.SendTime*1e6, e.Src, e.Dst, e.Tag, e.Bytes, e.Arrival*1e6)
+		fmt.Fprintf(w, "%12.3fµs  %2d → %2d  tag=%-8d %8dB  lvl=%d nic=%-6.3g arrives %12.3fµs\n",
+			e.SendTime*1e6, e.Src, e.Dst, e.Tag, e.Bytes, e.Level, e.NICFactor, e.Arrival*1e6)
 	}
 }

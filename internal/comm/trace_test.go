@@ -236,3 +236,49 @@ func TestTracerEventsOfSince(t *testing.T) {
 		t.Fatalf("post-reset full read: %d events, want 5", len(all))
 	}
 }
+
+func TestDumpPrintsAllFields(t *testing.T) {
+	// Dump was lossy for a while (it predates Level and NICFactor):
+	// every TraceEvent field must appear on its line.
+	cases := []struct {
+		event TraceEvent
+		want  []string
+	}{
+		{
+			event: TraceEvent{Src: 0, Dst: 1, Tag: 5, Bytes: 256,
+				SendTime: 1e-6, Arrival: 3.5e-6, NICFactor: 2, Level: 1},
+			want: []string{"1.000µs", "0 →  1", "tag=5", "256B",
+				"lvl=1", "nic=2", "arrives", "3.500µs"},
+		},
+		{
+			event: TraceEvent{Src: 3, Dst: 2, Tag: 40, Bytes: 1024,
+				SendTime: 2e-6, Arrival: 9e-6, NICFactor: 1.25, Level: 2},
+			want: []string{"2.000µs", "3 →  2", "tag=40", "1024B",
+				"lvl=2", "nic=1.25", "arrives", "9.000µs"},
+		},
+		{
+			event: TraceEvent{Src: 1, Dst: 0, Tag: 7, Bytes: 8,
+				SendTime: 4e-6, Arrival: 4.1e-6, NICFactor: 1, Level: 0},
+			want: []string{"4.000µs", "1 →  0", "tag=7", "8B",
+				"lvl=0", "nic=1", "arrives", "4.100µs"},
+		},
+	}
+	tr := &Tracer{shards: make([]traceShard, 4)}
+	for _, c := range cases {
+		tr.record(c.event)
+	}
+	var buf bytes.Buffer
+	tr.Dump(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(cases) {
+		t.Fatalf("dumped %d lines, want %d:\n%s", len(lines), len(cases), buf.String())
+	}
+	// Events (and hence lines) come out sorted by send time.
+	for i, c := range cases {
+		for _, want := range c.want {
+			if !strings.Contains(lines[i], want) {
+				t.Errorf("line %d = %q: missing %q", i, lines[i], want)
+			}
+		}
+	}
+}

@@ -93,6 +93,8 @@ func hierUpSweep(p *comm.Proc, v *stream.Vector, h simnet.Hierarchy, L int, sc *
 	rank, P := p.Rank(), p.Size()
 	cur := v
 	var stages []hierStage
+	p.SpanBegin("hier:upsweep")
+	defer p.SpanEnd()
 	for l := 0; l <= L-2; l++ {
 		group := h.StageRanks(rank, l, P)
 		if len(group) <= 1 {
@@ -119,6 +121,8 @@ func hierUpSweep(p *comm.Proc, v *stream.Vector, h simnet.Hierarchy, L int, sc *
 // stages, outermost first. Ranks that handed off mid-sweep enter with a
 // nil result and receive it at their last stage.
 func hierDownSweep(p *comm.Proc, result *stream.Vector, stages []hierStage, sc *stream.Scratch, base int) *stream.Vector {
+	p.SpanBegin("hier:downsweep")
+	defer p.SpanEnd()
 	for i := len(stages) - 1; i >= 0; i-- {
 		st := stages[i]
 		sub := p.Sub(st.group)
@@ -149,6 +153,7 @@ func hierSSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Ve
 	// pick the flat SSAR variant the paper's guidance prescribes for it.
 	var result *stream.Vector
 	if cur != nil {
+		p.SpanBegin("hier:leaders")
 		leaders := h.LeadersAt(L-2, P)
 		if len(leaders) == 1 {
 			if cur == v {
@@ -174,6 +179,7 @@ func hierSSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Ve
 				sc.Release(cur) // the leader allreduce cloned it
 			}
 		}
+		p.SpanEnd()
 	}
 
 	return hierDownSweep(p, result, stages, sc, base)
@@ -213,12 +219,14 @@ func hierDSAR(p *comm.Proc, v *stream.Vector, opts Options, base int) *stream.Ve
 	// allgathered — one egress flow per group.
 	var result *stream.Vector
 	if cur != nil {
+		p.SpanBegin("hier:leaders")
 		lsub := p.Sub(h.LeadersAt(L-2, P))
 		result = dsarSplitAllgather(lsub, cur, opts, base+hierLeaderTag)
 		p.Join(lsub)
 		if cur != v {
 			sc.Release(cur) // the leader DSAR extracted slices; the input is dead
 		}
+		p.SpanEnd()
 	}
 
 	return hierDownSweep(p, result, stages, sc, base)

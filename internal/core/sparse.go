@@ -3,8 +3,10 @@ package core
 import (
 	"math/rand"
 	"runtime"
+	"strconv"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/quant"
 	"repro/internal/stream"
 )
@@ -128,20 +130,24 @@ func mergeKCharged(p *comm.Proc, acc *stream.Vector, ins []*stream.Vector, sc *s
 func splitPhase(p *comm.Proc, v *stream.Vector, sc *stream.Scratch, base int) *stream.Vector {
 	rank, P := p.Rank(), p.Size()
 	n := v.Dim()
+	p.SpanBegin("split:send")
 	for off := 1; off < P; off++ {
 		to := (rank + off) % P
 		lo, hi := partition(n, P, to)
 		piece := v.ExtractRangeInto(lo, hi, sc)
 		p.Send(to, base+rank, piece, piece.WireBytes())
 	}
+	p.SpanEnd()
 	lo, hi := partition(n, P, rank)
 	acc := v.ExtractRangeInto(lo, hi, sc)
+	p.SpanBegin("split:merge")
 	ins := make([]*stream.Vector, P-1)
 	for off := 1; off < P; off++ {
 		from := (rank - off + P) % P
 		ins[off-1] = p.Recv(from, base+from).Payload.(*stream.Vector)
 	}
 	mergeKCharged(p, acc, ins, sc)
+	p.SpanEnd()
 	return acc
 }
 
@@ -170,6 +176,7 @@ func splitPhasePipelined(p *comm.Proc, v *stream.Vector, sc *stream.Scratch, bas
 	// stage (a Scratch belongs to one goroutine).
 	mergeStage := func(f *comm.Proc, fsc *stream.Scratch) {
 		for c := 0; c < C; c++ {
+			mergeStart := f.Now()
 			clo, chi := stream.ChunkRange(myHi-myLo, C, c)
 			acc := v.ExtractRangeInto(myLo+clo, myLo+chi, fsc)
 			ins := make([]*stream.Vector, P-1)
@@ -179,16 +186,27 @@ func splitPhasePipelined(p *comm.Proc, v *stream.Vector, sc *stream.Scratch, bas
 			}
 			mergeKCharged(f, acc, ins, fsc)
 			accs[c] = acc
+			// The merge stage overlaps the send stage (physically on wall
+			// transports), so its spans live on the dedicated merge lane.
+			if o := f.Obs(); o != nil {
+				o.EventLane(obs.LaneMerge, "split:merge", mergeStart, f.Now(),
+					obs.Attr{Key: "chunk", Value: strconv.Itoa(c)})
+			}
 		}
 	}
 	sendStage := func() {
 		for c := 0; c < C; c++ {
+			sendStart := p.Now()
 			for off := 1; off < P; off++ {
 				to := (rank + off) % P
 				tLo, tHi := partition(n, P, to)
 				clo, chi := stream.ChunkRange(tHi-tLo, C, c)
 				piece := v.ExtractRangeInto(tLo+clo, tLo+chi, sc)
 				p.Send(to, base+c*P+rank, piece, piece.WireBytes())
+			}
+			if o := p.Obs(); o != nil {
+				o.Event("split:send", sendStart, p.Now(),
+					obs.Attr{Key: "chunk", Value: strconv.Itoa(c)})
 			}
 		}
 	}
@@ -344,11 +362,16 @@ func dsarSplitAllgather(p *comm.Proc, v *stream.Vector, opts Options, base int) 
 		// Quantize my block; exchange quantized blocks; decode all. The
 		// block dies once encoded, so it is scratch-pooled.
 		block := sc.GrabDense(hi-lo, v.Op().Neutral())
+		p.SpanBegin("dsar:densify")
 		densify(block)
+		p.SpanEnd()
+		p.SpanBegin("dsar:quantize")
 		rng := rand.New(rand.NewSource(opts.Seed ^ int64(rank+1)*0x5851F42D4C957F2D))
 		q := quant.Encode(block, *opts.Quant, rng)
 		sc.PutDense(block)                              // Encode copies into its own storage
 		p.Compute(p.Profile().DenseReduceTime(hi - lo)) // encode pass
+		p.SpanEnd()
+		p.SpanBegin("dsar:allgather")
 		gathered := allgatherQuantized(p, q, agBase)
 		for r, qr := range gathered {
 			rLo, _ := partition(n, P, r)
@@ -356,6 +379,7 @@ func dsarSplitAllgather(p *comm.Proc, v *stream.Vector, opts Options, base int) 
 			copy(result[rLo:rLo+len(dec)], dec)
 		}
 		p.Compute(p.Profile().DenseReduceTime(n)) // decode pass
+		p.SpanEnd()
 	} else {
 		// The block goes on the wire itself (AllgatherDenseInto takes
 		// ownership), so it is a dedicated allocation, not pool storage;
@@ -367,8 +391,12 @@ func dsarSplitAllgather(p *comm.Proc, v *stream.Vector, opts Options, base int) 
 				block[i] = neutral
 			}
 		}
+		p.SpanBegin("dsar:densify")
 		densify(block)
+		p.SpanEnd()
+		p.SpanBegin("dsar:allgather")
 		AllgatherDenseInto(p, block, result, v.ValueBytes(), agBase)
+		p.SpanEnd()
 	}
 	// The assembled array becomes the result's backing storage directly —
 	// the caller owns it, so it is never recycled into the scratch.

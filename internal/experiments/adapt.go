@@ -7,6 +7,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/stream"
@@ -60,7 +61,17 @@ type AdaptRow struct {
 // key, run under the three arms on identical fresh worlds. Simulated
 // times are deterministic, so one run per arm suffices.
 func RunAdaptCell(rpn, nic int, sc scenario.Scenario, key scenario.SimulationKey) AdaptRow {
-	return runAdaptSchedule(rpn, nic, sc.Name, sc.N, sc.P, sc.Generator(key).All())
+	row, _ := runAdaptSchedule(rpn, nic, sc.Name, sc.N, sc.P, sc.Generator(key).All(), false)
+	return row
+}
+
+// RunAdaptCellObs is RunAdaptCell with observability attached to the
+// adaptive arm's world: the returned hub carries per-rank send and
+// collective-phase spans plus the adapt decision instants, ready for
+// WriteChrome/WriteMetrics. The static arms stay uninstrumented, so the
+// row itself is byte-identical to RunAdaptCell's.
+func RunAdaptCellObs(rpn, nic int, sc scenario.Scenario, key scenario.SimulationKey) (AdaptRow, *obs.Obs) {
+	return runAdaptSchedule(rpn, nic, sc.Name, sc.N, sc.P, sc.Generator(key).All(), true)
 }
 
 // ReplayAdaptCell re-runs a cell from a recorded trace. Because the trace
@@ -68,12 +79,25 @@ func RunAdaptCell(rpn, nic int, sc scenario.Scenario, key scenario.SimulationKey
 // deterministic given their inputs, the returned row is byte-identical to
 // the live run that recorded the trace.
 func ReplayAdaptCell(rpn, nic int, tr *scenario.Trace) AdaptRow {
-	return runAdaptSchedule(rpn, nic, tr.Name, tr.N, tr.P, tr.Steps)
+	row, _ := runAdaptSchedule(rpn, nic, tr.Name, tr.N, tr.P, tr.Steps, false)
+	return row
+}
+
+// ReplayAdaptCellObs is ReplayAdaptCell with observability attached, the
+// replay-side twin of RunAdaptCellObs: replaying a recorded trace yields
+// a hub whose exported timeline is byte-identical to the live run's,
+// because the simulator's virtual clocks are deterministic given the
+// reconstructed inputs.
+func ReplayAdaptCellObs(rpn, nic int, tr *scenario.Trace) (AdaptRow, *obs.Obs) {
+	return runAdaptSchedule(rpn, nic, tr.Name, tr.N, tr.P, tr.Steps, true)
 }
 
 // runAdaptSchedule is the shared measurement core of the live and replay
 // paths: both reduce to "run this exact schedule under the three arms".
-func runAdaptSchedule(rpn, nic int, name string, n, P int, sched [][]*stream.Vector) AdaptRow {
+// When observe is set, the adaptive arm's world gets an obs hub (returned
+// to the caller); the hooks only read the virtual clocks, so the row is
+// identical either way.
+func runAdaptSchedule(rpn, nic int, name string, n, P int, sched [][]*stream.Vector, observe bool) (AdaptRow, *obs.Obs) {
 	topo := simnet.Topology{RanksPerNode: rpn, Intra: simnet.NVLinkLike, Inter: simnet.Aries, NICSerial: nic}
 	row := AdaptRow{
 		Workload: name, N: n, P: P, RanksPerNode: rpn, NICSerial: nic,
@@ -94,6 +118,10 @@ func runAdaptSchedule(rpn, nic int, name string, n, P int, sched [][]*stream.Vec
 	row.StaticClusteredSim = static(core.Options{Support: core.SupportClustered})
 
 	w := comm.NewWorldTopo(P, topo)
+	var hub *obs.Obs
+	if observe {
+		hub = w.EnableObservability()
+	}
 	tr := w.EnableTrace()
 	tr.LimitPerRank(4096)
 	ctrls := make([]*adapt.Controller, P)
@@ -120,7 +148,7 @@ func runAdaptSchedule(rpn, nic int, name string, n, P int, sched [][]*stream.Vec
 		row.AdaptiveVsUniform = row.StaticUniformSim / row.AdaptiveSim
 		row.AdaptiveVsBestStatic = math.Min(row.StaticUniformSim, row.StaticClusteredSim) / row.AdaptiveSim
 	}
-	return row
+	return row, hub
 }
 
 // AdaptSeed seeds the BENCH_5 sweep; cmd/sparreplay records its traces

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// counterShard is one rank's slot of a sharded counter, padded out to a
+// cache line so concurrent ranks never false-share.
+type counterShard struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing per-rank-sharded counter. Each
+// rank increments its own cache-line-padded shard with one atomic add;
+// Value sums the shards. A nil *Counter is a valid disabled counter.
+type Counter struct {
+	name   string
+	shards []counterShard
+}
+
+// Add adds delta to rank's shard. Out-of-range ranks fold into shard 0.
+func (c *Counter) Add(rank int, delta int64) {
+	if c == nil {
+		return
+	}
+	if uint(rank) >= uint(len(c.shards)) {
+		rank = 0
+	}
+	c.shards[rank].v.Add(delta)
+}
+
+// Inc adds one to rank's shard.
+func (c *Counter) Inc(rank int) { c.Add(rank, 1) }
+
+// Value sums every rank's shard.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var s int64
+	for i := range c.shards {
+		s += c.shards[i].v.Load()
+	}
+	return s
+}
+
+// ValueOf reads one rank's shard (0 for out-of-range ranks and nil).
+func (c *Counter) ValueOf(rank int) int64 {
+	if c == nil || uint(rank) >= uint(len(c.shards)) {
+		return 0
+	}
+	return c.shards[rank].v.Load()
+}
+
+// Gauge is a last-write-wins float64 metric (fitted α, current loss, …)
+// stored as atomic bits. A nil *Gauge is a valid disabled gauge.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value reads the last stored value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket per-rank-sharded histogram. Bounds are
+// fixed at creation; Observe finds the bucket with a linear scan (the
+// bound lists are short) and does one atomic add on the observing
+// rank's row. A nil *Histogram is a valid disabled histogram.
+type Histogram struct {
+	name   string
+	bounds []float64
+	// counts is ranks rows × (len(bounds)+1) columns, flattened; the
+	// last column is the +Inf overflow bucket.
+	counts []atomic.Int64
+	ranks  int
+}
+
+// Observe records v into rank's row. Out-of-range ranks fold into row 0.
+func (h *Histogram) Observe(rank int, v float64) {
+	if h == nil {
+		return
+	}
+	if uint(rank) >= uint(h.ranks) {
+		rank = 0
+	}
+	b := len(h.bounds)
+	for i, bound := range h.bounds {
+		if v <= bound {
+			b = i
+			break
+		}
+	}
+	h.counts[rank*(len(h.bounds)+1)+b].Add(1)
+}
+
+// Count sums every bucket of every rank.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var s int64
+	for i := range h.counts {
+		s += h.counts[i].Load()
+	}
+	return s
+}
+
+// Buckets returns the cumulative-free per-bucket totals summed over
+// ranks: element i counts observations ≤ bounds[i], and the final extra
+// element counts the +Inf overflow.
+func (h *Histogram) Buckets() []int64 {
+	if h == nil {
+		return nil
+	}
+	cols := len(h.bounds) + 1
+	out := make([]int64, cols)
+	for r := 0; r < h.ranks; r++ {
+		for b := 0; b < cols; b++ {
+			out[b] += h.counts[r*cols+b].Load()
+		}
+	}
+	return out
+}
+
+// Bounds returns the histogram's upper bucket bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// DefaultLatencyBounds is the bucket layout used when a histogram is
+// created without explicit bounds: decades from 100 ns to 1 s, suited
+// to both virtual message latencies and wall-clock step times.
+var DefaultLatencyBounds = []float64{
+	1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1,
+}
+
+// Registry holds a hub's named metrics. Lookup takes a mutex, so
+// callers cache the returned handles; the handles themselves are
+// lock-free. A nil *Registry is a valid disabled registry: its getters
+// return nil handles, which are in turn nil-safe.
+type Registry struct {
+	ranks int
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates a registry sharded for the given rank count
+// (clamped to at least one shard).
+func NewRegistry(ranks int) *Registry {
+	if ranks < 1 {
+		ranks = 1
+	}
+	return &Registry{
+		ranks:    ranks,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name, shards: make([]counterShard, r.ranks)}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram with
+// the given upper bucket bounds (DefaultLatencyBounds when none are
+// given). Bounds are fixed by the first call; later calls return the
+// existing histogram unchanged.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		if len(bounds) == 0 {
+			bounds = DefaultLatencyBounds
+		}
+		h = &Histogram{
+			name:   name,
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, r.ranks*(len(bounds)+1)),
+			ranks:  r.ranks,
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Write dumps every metric as plain text, one line per metric, sorted
+// by kind then name so the output is deterministic:
+//
+//	counter comm.sends = 384
+//	gauge train.loss = 0.123
+//	histogram comm.wire_seconds count=384 le1e-06=10 … +Inf=0
+func (r *Registry) Write(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	cnames := sortedKeys(r.counters)
+	gnames := sortedKeys(r.gauges)
+	hnames := sortedKeys(r.hists)
+	counters, gauges, hists := r.counters, r.gauges, r.hists
+	r.mu.Unlock()
+
+	for _, n := range cnames {
+		if _, err := fmt.Fprintf(w, "counter %s = %d\n", n, counters[n].Value()); err != nil {
+			return err
+		}
+	}
+	for _, n := range gnames {
+		if _, err := fmt.Fprintf(w, "gauge %s = %s\n", n,
+			strconv.FormatFloat(gauges[n].Value(), 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	for _, n := range hnames {
+		h := hists[n]
+		if _, err := fmt.Fprintf(w, "histogram %s count=%d", n, h.Count()); err != nil {
+			return err
+		}
+		buckets := h.Buckets()
+		for i, bound := range h.bounds {
+			if _, err := fmt.Fprintf(w, " le%s=%d",
+				strconv.FormatFloat(bound, 'g', -1, 64), buckets[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, " +Inf=%d\n", buckets[len(buckets)-1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every handle type must be a no-op when nil: the disabled path of
+	// an uninstrumented world is built entirely out of nil receivers.
+	var o *Obs
+	if o.Clock() != ClockVirtual {
+		t.Fatal("nil hub clock")
+	}
+	o.SetClock(ClockWall)
+	if o.Rank(0) != nil || o.Named("x") != nil || o.Metrics() != nil {
+		t.Fatal("nil hub handed out non-nil handles")
+	}
+	if o.Spans() != nil {
+		t.Fatal("nil hub has spans")
+	}
+	var tr *Track
+	tr.Begin("a", 0)
+	tr.End(1)
+	tr.Event("b", 0, 1)
+	tr.EventLane(LaneNet, "c", 0, 1)
+	tr.Instant("d", 0)
+	if tr.Spans() != nil || tr.RankID() != -1 || tr.Name() != "" {
+		t.Fatal("nil track misbehaved")
+	}
+	var reg *Registry
+	if reg.Counter("c") != nil || reg.Gauge("g") != nil || reg.Histogram("h") != nil {
+		t.Fatal("nil registry handed out non-nil handles")
+	}
+	if err := reg.Write(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var c *Counter
+	c.Add(0, 1)
+	c.Inc(0)
+	if c.Value() != 0 || c.ValueOf(0) != 0 {
+		t.Fatal("nil counter")
+	}
+	var g *Gauge
+	g.Set(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge")
+	}
+	var h *Histogram
+	h.Observe(0, 1)
+	if h.Count() != 0 || h.Buckets() != nil || h.Bounds() != nil {
+		t.Fatal("nil histogram")
+	}
+}
+
+func TestSpanStack(t *testing.T) {
+	o := New(2, ClockVirtual)
+	tr := o.Rank(1)
+	tr.Begin("outer", 1.0)
+	tr.Begin("inner", 2.0)
+	tr.End(3.0, Attr{Key: "k", Value: "v"})
+	tr.End(4.0)
+	tr.End(5.0) // unmatched: no-op
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "inner" || spans[0].Start != 2 || spans[0].End != 3 {
+		t.Fatalf("inner span wrong: %+v", spans[0])
+	}
+	if len(spans[0].Attrs) != 1 || spans[0].Attrs[0] != (Attr{Key: "k", Value: "v"}) {
+		t.Fatalf("inner attrs wrong: %+v", spans[0].Attrs)
+	}
+	if spans[1].Name != "outer" || spans[1].Start != 1 || spans[1].End != 4 {
+		t.Fatalf("outer span wrong: %+v", spans[1])
+	}
+	if spans[0].Rank != 1 || spans[1].Rank != 1 {
+		t.Fatal("rank not stamped")
+	}
+}
+
+func TestNamedTracksAndInstants(t *testing.T) {
+	o := New(1, ClockVirtual)
+	a := o.Named("job-a")
+	b := o.Named("job-b")
+	if o.Named("job-a") != a {
+		t.Fatal("Named not idempotent")
+	}
+	a.Instant("arrive", 0.5, Attr{Key: "size", Value: "3"})
+	b.Event("step", 1, 2)
+	o.Rank(0).EventLane(LaneMerge, "m", 0, 1)
+	spans := o.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Rank tracks come first, then named tracks in creation order.
+	if spans[0].Lane != LaneMerge || spans[1].Track != "job-a" || spans[2].Track != "job-b" {
+		t.Fatalf("span order wrong: %+v", spans)
+	}
+	if !spans[1].Instant || spans[1].Start != spans[1].End {
+		t.Fatal("instant not marked")
+	}
+	if spans[1].Rank != -1 {
+		t.Fatal("named track rank should be -1")
+	}
+}
+
+func TestCounterSharding(t *testing.T) {
+	r := NewRegistry(4)
+	c := r.Counter("sends")
+	if r.Counter("sends") != c {
+		t.Fatal("Counter not idempotent")
+	}
+	for rank := 0; rank < 4; rank++ {
+		for i := 0; i <= rank; i++ {
+			c.Inc(rank)
+		}
+	}
+	c.Add(99, 10) // out of range folds into shard 0
+	if got := c.Value(); got != 1+2+3+4+10 {
+		t.Fatalf("Value = %d", got)
+	}
+	if c.ValueOf(0) != 11 || c.ValueOf(3) != 4 || c.ValueOf(99) != 0 {
+		t.Fatal("ValueOf wrong")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry(1).Gauge("loss")
+	g.Set(0.25)
+	g.Set(0.125)
+	if g.Value() != 0.125 {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry(2).Histogram("lat", 1, 10, 100)
+	h.Observe(0, 0.5)  // ≤1
+	h.Observe(0, 1)    // ≤1 (inclusive upper bound)
+	h.Observe(1, 7)    // ≤10
+	h.Observe(1, 1000) // +Inf
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	want := []int64{2, 1, 0, 1}
+	got := h.Buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+	if b := h.Bounds(); len(b) != 3 || b[1] != 10 {
+		t.Fatalf("bounds = %v", b)
+	}
+}
+
+func TestRegistryWriteDeterministic(t *testing.T) {
+	r := NewRegistry(2)
+	r.Counter("b.count").Add(0, 2)
+	r.Counter("a.count").Add(1, 1)
+	r.Gauge("z.gauge").Set(1.5)
+	r.Histogram("m.hist", 1, 2).Observe(0, 1.5)
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "counter a.count = 1\n" +
+		"counter b.count = 2\n" +
+		"gauge z.gauge = 1.5\n" +
+		"histogram m.hist count=1 le1=0 le2=1 +Inf=0\n"
+	if sb.String() != want {
+		t.Fatalf("dump:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestDisabledHandlesZeroAlloc(t *testing.T) {
+	// The disabled path must not allocate: nil receivers short-circuit
+	// before any work happens.
+	var tr *Track
+	var c *Counter
+	var h *Histogram
+	if n := testing.AllocsPerRun(100, func() {
+		tr.Begin("x", 0)
+		tr.End(1)
+		tr.Instant("y", 2)
+		c.Inc(0)
+		h.Observe(0, 1)
+	}); n != 0 {
+		t.Fatalf("disabled path allocated %v times per op", n)
+	}
+}

@@ -10,10 +10,12 @@ package train
 
 import (
 	"math/rand"
+	"strconv"
 
 	"repro/internal/adapt"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/quant"
 	"repro/internal/scenario"
 	"repro/internal/simnet"
@@ -227,6 +229,7 @@ func Run(p *comm.Proc, task Task, cfg Config) []Point {
 			lr = cfg.LR * cfg.LRSchedule(epoch)
 		}
 		for s := 0; s < steps; s++ {
+			stepStart := p.Now()
 			idx := sampleBatch(rng, task.NumSamples(), cfg.BatchPerNode)
 			task.ZeroGrads()
 			task.Step(idx)
@@ -327,9 +330,18 @@ func Run(p *comm.Proc, task Task, cfg Config) []Point {
 					}
 				}
 			}
+			if o := p.Obs(); o != nil {
+				o.Event("train:step", stepStart, p.Now(),
+					obs.Attr{Key: "epoch", Value: strconv.Itoa(epoch)},
+					obs.Attr{Key: "step", Value: strconv.Itoa(globalStep)})
+			}
 			globalStep++
 		}
 		loss, top1, top5 := globalEval(p, task, cfg)
+		if o := p.Obs(); o != nil {
+			o.Metrics().Gauge("train.loss").Set(loss)
+			o.Metrics().Gauge("train.top1").Set(top1)
+		}
 		history = append(history, Point{
 			Epoch: epoch, Time: p.Now(), CommTime: commTime,
 			Loss: loss, Top1: top1, Top5: top5, BytesSent: bytesSent,

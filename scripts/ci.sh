@@ -7,6 +7,9 @@
 # sparbench transport sweep, run the full test suite, prove the
 # record/replay contract end to end (record a scenario trace with
 # sparreplay, replay it through sparbench, diff the rows byte for byte),
+# prove the observability contract the same way (live vs replay Perfetto
+# exports byte-identical, the pinned lstm export matching its committed
+# golden under internal/experiments/testdata),
 # smoke-run the k-way merge ablation benchmarks, then record the
 # deterministic sweeps as
 # BENCH_2.json (contention model), BENCH_3.json (k-way merge/scratch),
@@ -49,13 +52,13 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo "== doccheck (exported symbols need doc comments)"
-go run ./tools/doccheck . ./internal/simnet ./internal/comm ./internal/core ./internal/adapt ./internal/scenario ./internal/cluster
+go run ./tools/doccheck . ./internal/simnet ./internal/comm ./internal/core ./internal/adapt ./internal/scenario ./internal/cluster ./internal/obs
 
 echo "== docdrift (docs tables must name real identifiers)"
 go run ./tools/docdrift -root . docs/COLLECTIVES.md docs/ARCHITECTURE.md
 
-echo "== go test -race (comm + core + adapt + stream + scenario + train + cluster: real transports, parallel merge, lazy RNG streams, chunked pipelines + bucket scheduler, multi-tenant event loop)"
-go test -race ./internal/comm/... ./internal/core/... ./internal/adapt/... ./internal/stream/... ./internal/scenario/... ./internal/train/... ./internal/cluster/...
+echo "== go test -race (comm + core + adapt + stream + scenario + train + cluster + obs: real transports, parallel merge, lazy RNG streams, chunked pipelines + bucket scheduler, multi-tenant event loop, sharded metrics + concurrent span tracks)"
+go test -race ./internal/comm/... ./internal/core/... ./internal/adapt/... ./internal/stream/... ./internal/scenario/... ./internal/train/... ./internal/cluster/... ./internal/obs/...
 
 echo "== transport smoke (goroutine + loopback TCP backends, wall clock)"
 go run ./cmd/sparbench -sweep transport -transport all > /dev/null
@@ -82,6 +85,26 @@ go run ./cmd/sparbench -replay "$tmp_replay/t.trace" -json > "$tmp_replay/replay
 if ! cmp -s "$tmp_replay/live.json" "$tmp_replay/replay.json"; then
   echo "replaying the recorded trace diverged from the live run:" >&2
   diff "$tmp_replay/live.json" "$tmp_replay/replay.json" >&2 || true
+  exit 1
+fi
+
+echo "== obs export determinism (live run vs trace replay must emit identical Perfetto JSON + metrics, and the pinned lstm export must match its committed golden)"
+go run ./cmd/sparreplay -scenario clustered -obs "$tmp_replay/live_obs.json" -obsmetrics "$tmp_replay/live_obs.txt" > /dev/null
+go run ./cmd/sparreplay -replay "$tmp_replay/t.trace" -obs "$tmp_replay/replay_obs.json" -obsmetrics "$tmp_replay/replay_obs.txt" > /dev/null
+if ! cmp -s "$tmp_replay/live_obs.json" "$tmp_replay/replay_obs.json"; then
+  echo "replaying the recorded trace produced a different observability timeline:" >&2
+  diff "$tmp_replay/live_obs.json" "$tmp_replay/replay_obs.json" >&2 || true
+  exit 1
+fi
+if ! cmp -s "$tmp_replay/live_obs.txt" "$tmp_replay/replay_obs.txt"; then
+  echo "replaying the recorded trace produced a different metrics dump:" >&2
+  diff "$tmp_replay/live_obs.txt" "$tmp_replay/replay_obs.txt" >&2 || true
+  exit 1
+fi
+go run ./cmd/sparreplay -scenario lstm -obs "$tmp_replay/lstm_obs.json" > /dev/null
+if ! cmp -s "$tmp_replay/lstm_obs.json" internal/experiments/testdata/obs_lstm_golden.json; then
+  echo "the lstm Perfetto export drifted from the committed golden (regenerate with go test ./internal/experiments -run TestGoldenObsExport -update):" >&2
+  diff "$tmp_replay/lstm_obs.json" internal/experiments/testdata/obs_lstm_golden.json >&2 || true
   exit 1
 fi
 

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/quant"
 	"repro/internal/scenario"
 	"repro/internal/simnet"
@@ -372,6 +373,26 @@ func (w *World) EnableAdaptation(cfg AdaptConfig) {
 		a.AttachTracer(tr, r)
 		w.adapts[r] = a
 	}
+}
+
+// Observability is the per-world observation hub: a low-overhead metrics
+// registry plus per-rank span timelines, exportable as a plain-text
+// metrics dump (WriteMetrics) or a Chrome trace-event JSON (WriteChrome)
+// that loads directly into Perfetto. See internal/obs for the span
+// taxonomy and ARCHITECTURE.md's Observability section for a walkthrough.
+type Observability = obs.Obs
+
+// EnableObservability attaches an observation hub to the world: every
+// send, collective phase, adaptation decision, and training step from
+// then on lands on the hub as a span or metric. Call it once, from the
+// driving goroutine, before Run; it is idempotent. With no hub attached
+// the instrumentation costs one nil check per hook and zero allocations:
+//
+//	hub := world.EnableObservability()
+//	sparcml.Run(world, func(c *sparcml.Comm) []float64 { ... })
+//	hub.WriteChrome(f) // open f in https://ui.perfetto.dev
+func (w *World) EnableObservability() *Observability {
+	return w.inner.EnableObservability()
 }
 
 // adaptTraceLimit bounds the shared trace at EnableAdaptation to this
